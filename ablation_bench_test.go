@@ -1,0 +1,93 @@
+// Ablation benchmarks isolating the design choices DESIGN.md §6 calls out:
+// Lemma 2 box pruning, CuTS* partition clipping, dominated-candidate
+// pruning, the actual-tolerance bounds, and the grid index behind snapshot
+// DBSCAN. Each switch changes only the runtime, never the answer (enforced
+// by core's ablation tests).
+package convoys_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+)
+
+// benchRunConfig times a full CuTS run under the given configuration on the
+// Cattle profile — the shape that stresses the filter (long histories),
+// which is where the ablation switches matter.
+func benchRunConfig(b *testing.B, cfg core.Config) {
+	prof := datagen.Cattle(benchScale, benchSeed+100)
+	db := prof.Generate()
+	p := core.Params{M: prof.M, K: prof.K, Eps: prof.Eps}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Run(db, p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBoxPrune(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTS})
+	})
+	b.Run("off", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTS, NoBoxPrune: true})
+	})
+}
+
+func BenchmarkAblationClipTime(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTSStar})
+	})
+	b.Run("off", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTSStar, NoClipTime: true})
+	})
+}
+
+func BenchmarkAblationCandidatePruning(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTS})
+	})
+	b.Run("off", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTS, NoCandidatePruning: true})
+	})
+}
+
+func BenchmarkAblationToleranceMode(b *testing.B) {
+	b.Run("actual", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTSStar})
+	})
+	b.Run("global", func(b *testing.B) {
+		benchRunConfig(b, core.Config{Variant: core.VariantCuTSStar, Tolerance: dbscan.GlobalTolerance})
+	})
+}
+
+// BenchmarkAblationGridVsBrute isolates the snapshot-DBSCAN neighbor search
+// (the inner loop of CMC and of the refinement step).
+func BenchmarkAblationGridVsBrute(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 600)
+	for i := range pts {
+		// Clustered blobs plus scatter, like a snapshot of the Taxi profile.
+		if i%3 == 0 {
+			cx, cy := float64(r.Intn(6))*300, float64(r.Intn(6))*300
+			pts[i] = geom.Pt(cx+r.Float64()*60, cy+r.Float64()*60)
+		} else {
+			pts[i] = geom.Pt(r.Float64()*2000, r.Float64()*2000)
+		}
+	}
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dbscan.Cluster(pts, 40, 3)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dbscan.ClusterBrute(pts, 40, 3)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+// Command benchrunner regenerates the paper's evaluation tables and
+// figures on the synthetic dataset profiles.
+//
+// Usage:
+//
+//	benchrunner -exp all -scale 0.05            # every experiment, small scale
+//	benchrunner -exp fig12 -scale 1             # Figure 12 at full Table 3 scale
+//	benchrunner -list                           # list experiment ids
+//
+// Experiment ids follow the paper: table3, fig12 … fig17, fig19. Scale
+// multiplies the time-domain length of every dataset (1 reproduces the
+// Table 3 sizes; expect minutes of runtime at full scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expr"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19) or 'all'")
+		scale = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
+		seed  = flag.Int64("seed", 1, "random seed for data generation")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expr.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opts := expr.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
+	var err error
+	if *exp == "all" {
+		err = expr.RunAll(opts)
+	} else {
+		run, ok := expr.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		err = run(opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}

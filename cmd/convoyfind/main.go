@@ -1,0 +1,131 @@
+// Command convoyfind discovers convoys in a CSV trajectory file.
+//
+// Usage:
+//
+//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ] [-stats]
+//
+// The input format is "obj,t,x,y" with a header line (see the tsio
+// package). The convoy parameters follow the paper: m is the minimum group
+// size, k the minimum lifetime in time points, e the density-connection
+// distance. The algorithm defaults to CuTS*, the paper's fastest; δ and λ
+// default to the automatic guidelines of Section 7.4.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	convoys "repro"
+)
+
+func main() {
+	var (
+		input  = flag.String("input", "", "input file: CSV (obj,t,x,y with header) or binary .ctb; required")
+		m      = flag.Int("m", 2, "minimum number of objects in a convoy")
+		k      = flag.Int64("k", 2, "minimum convoy lifetime in time points")
+		e      = flag.Float64("e", 1, "density-connection distance threshold")
+		algo   = flag.String("algo", "cuts*", "algorithm: cmc, cuts, cuts+ or cuts*")
+		delta  = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
+		lambda = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
+		stats  = flag.Bool("stats", false, "print phase timings and filter statistics")
+		asJSON = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "convoyfind: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *input, *m, *k, *e, *algo, *delta, *lambda, *stats, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "convoyfind:", err)
+		os.Exit(1)
+	}
+}
+
+// loadDB picks the reader by file extension.
+func loadDB(input string) (*convoys.DB, error) {
+	if strings.HasSuffix(strings.ToLower(input), ".ctb") {
+		return convoys.LoadBinary(input)
+	}
+	return convoys.LoadCSV(input)
+}
+
+// jsonConvoy is the JSON shape of one answer.
+type jsonConvoy struct {
+	Objects  []string     `json:"objects"`
+	Start    convoys.Tick `json:"start"`
+	End      convoys.Tick `json:"end"`
+	Lifetime int64        `json:"lifetime"`
+}
+
+func run(out io.Writer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, stats, asJSON bool) error {
+	db, err := loadDB(input)
+	if err != nil {
+		return err
+	}
+	p := convoys.Params{M: m, K: k, Eps: e}
+
+	var res convoys.Result
+	var st convoys.Stats
+	switch strings.ToLower(algo) {
+	case "cmc":
+		res, err = convoys.CMC(db, p)
+	case "cuts":
+		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSVariant, Delta: delta, Lambda: lambda})
+	case "cuts+":
+		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSPlusVariant, Delta: delta, Lambda: lambda})
+	case "cuts*":
+		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSStarVariant, Delta: delta, Lambda: lambda})
+	default:
+		return fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	labelsOf := func(c convoys.Convoy) []string {
+		labels := make([]string, len(c.Objects))
+		for i, id := range c.Objects {
+			tr := db.Traj(id)
+			if tr.Label != "" {
+				labels[i] = tr.Label
+			} else {
+				labels[i] = fmt.Sprintf("o%d", id)
+			}
+		}
+		return labels
+	}
+
+	if asJSON {
+		payload := make([]jsonConvoy, 0, len(res))
+		for _, c := range res {
+			payload = append(payload, jsonConvoy{
+				Objects:  labelsOf(c),
+				Start:    c.Start,
+				End:      c.End,
+				Lifetime: c.Lifetime(),
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(payload)
+	}
+
+	fmt.Fprintf(out, "%d convoy(s) with m=%d k=%d e=%g in %s (%d objects)\n",
+		len(res), m, k, e, input, db.Len())
+	for _, c := range res {
+		fmt.Fprintf(out, "  {%s} ticks [%d, %d] (%d points)\n",
+			strings.Join(labelsOf(c), ", "), c.Start, c.End, c.Lifetime())
+	}
+	if stats && strings.ToLower(algo) != "cmc" {
+		fmt.Fprintf(out, "algorithm %v: δ=%.3g λ=%d partitions=%d candidates=%d refinement-units=%.0f\n",
+			st.Variant, st.Delta, st.Lambda, st.NumPartitions, st.NumCandidates, st.RefineUnits)
+		fmt.Fprintf(out, "timings: simplify=%v filter=%v refine=%v total=%v (vertex reduction %.1f%%)\n",
+			st.SimplifyTime, st.FilterTime, st.RefineTime, st.TotalTime(), st.VertexReduction()*100)
+	}
+	return nil
+}

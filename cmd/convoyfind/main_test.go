@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	convoys "repro"
+)
+
+// writeFixture stores a small two-convoy dataset in the given format and
+// returns its path.
+func writeFixture(t *testing.T, dir, name string) string {
+	t.Helper()
+	db := convoys.NewDB()
+	for i, y := range []float64{0, 0.5, 50, 50.5} {
+		var samples []convoys.Sample
+		for tick := convoys.Tick(0); tick < 10; tick++ {
+			samples = append(samples, convoys.S(tick, float64(tick), y))
+		}
+		tr, err := convoys.NewTrajectory([]string{"a", "b", "c", "d"}[i], samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Add(tr)
+	}
+	path := filepath.Join(dir, name)
+	var err error
+	if strings.HasSuffix(name, ".ctb") {
+		err = convoys.SaveBinary(path, db)
+	} else {
+		err = convoys.SaveCSV(path, db)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextOutputAllAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.csv")
+	for _, algo := range []string{"cmc", "cuts", "cuts+", "cuts*", "CUTS*"} {
+		var buf bytes.Buffer
+		if err := run(&buf, path, 2, 5, 1, algo, 0, 0, true, false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "2 convoy(s)") {
+			t.Errorf("%s: expected 2 convoys:\n%s", algo, out)
+		}
+		if !strings.Contains(out, "{a, b}") || !strings.Contains(out, "{c, d}") {
+			t.Errorf("%s: labels missing:\n%s", algo, out)
+		}
+		if algo != "cmc" && !strings.Contains(out, "timings:") {
+			t.Errorf("%s: stats missing:\n%s", algo, out)
+		}
+	}
+}
+
+func TestRunBinaryInput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.ctb")
+	var buf bytes.Buffer
+	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 convoy(s)") {
+		t.Errorf("binary input output:\n%s", buf.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.csv")
+	var buf bytes.Buffer
+	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	var payload []jsonConvoy
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(payload) != 2 {
+		t.Fatalf("JSON convoys = %d", len(payload))
+	}
+	for _, c := range payload {
+		if c.Lifetime != 10 || len(c.Objects) != 2 {
+			t.Errorf("JSON convoy = %+v", c)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.csv")
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join(dir, "missing.csv"), 2, 5, 1, "cuts*", 0, 0, false, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run(&buf, path, 2, 5, 1, "nope", 0, 0, false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&buf, path, 0, 5, 1, "cmc", 0, 0, false, false); err == nil {
+		t.Error("invalid m accepted")
+	}
+	// Corrupt CSV.
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, bad, 2, 5, 1, "cmc", 0, 0, false, false); err == nil {
+		t.Error("corrupt CSV accepted")
+	}
+}

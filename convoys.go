@@ -1,0 +1,276 @@
+// Package convoys discovers convoys — groups of objects that travel
+// together for some minimum time — in trajectory databases. It is a
+// from-scratch Go implementation of
+//
+//	Jeung, Yiu, Zhou, Jensen, Shen:
+//	"Discovery of Convoys in Trajectory Databases", VLDB 2008.
+//
+// A convoy query takes three parameters: a group size m, a lifetime k (in
+// time points) and a distance e. It returns every maximal group of at least
+// m objects that are density-connected (DBSCAN sense) with respect to e at
+// each of at least k consecutive time points — unlike disc-based flocks,
+// density connection captures groups of arbitrary shape and extent.
+//
+// # Quick start
+//
+//	db := convoys.NewDB()
+//	for _, object := range objects {
+//	    tr, err := convoys.NewTrajectory(object.Name, object.Samples)
+//	    // handle err
+//	    db.Add(tr)
+//	}
+//	result, err := convoys.Discover(db, convoys.Params{M: 3, K: 180, Eps: 8})
+//	for _, c := range result {
+//	    fmt.Println(c) // ⟨o1,o4,o9,[120,431]⟩
+//	}
+//
+// Discover uses CuTS* — the paper's best algorithm (filter-refinement over
+// DP*-simplified trajectories with CPA distance bounds) — with the paper's
+// automatic δ/λ parameter guidelines. All four algorithms of the paper
+// (CMC, CuTS, CuTS+, CuTS*) are exposed and return identical answers; they
+// differ only in speed. Use DiscoverWith to pick an algorithm and tune the
+// internal parameters, and CMC for the baseline.
+//
+// The subpackages' functionality is re-exported here so that downstream
+// users need a single import.
+package convoys
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dbscan"
+	"repro/internal/flock"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/simplify"
+	"repro/internal/stjoin"
+	"repro/internal/tsio"
+)
+
+// Core model types.
+type (
+	// DB is a trajectory database with dense object IDs.
+	DB = model.DB
+	// Trajectory is one object's time-stamped movement history.
+	Trajectory = model.Trajectory
+	// Sample is a single timestamped location.
+	Sample = model.Sample
+	// Tick is a discrete time point.
+	Tick = model.Tick
+	// ObjectID identifies an object within a DB.
+	ObjectID = model.ObjectID
+	// Point is a planar location.
+	Point = geom.Point
+	// DBStats summarises a database (Table 3 quantities).
+	DBStats = model.Stats
+)
+
+// Query and result types.
+type (
+	// Params are the convoy query parameters (m, k, e).
+	Params = core.Params
+	// Convoy is one answer: a group of objects and its time interval.
+	Convoy = core.Convoy
+	// Result is a canonical (maximal, sorted) set of convoys.
+	Result = core.Result
+	// Config selects a CuTS variant and its internal parameters.
+	Config = core.Config
+	// Variant names a CuTS family member.
+	Variant = core.Variant
+	// Stats reports phase timings and filter statistics of a CuTS run.
+	Stats = core.Stats
+	// Candidate is a filter-step convoy candidate.
+	Candidate = core.Candidate
+	// AccuracyReport compares an answer set against a reference.
+	AccuracyReport = core.AccuracyReport
+)
+
+// CuTS variants.
+const (
+	// CuTSVariant is the base filter-refinement algorithm (DP + Lemma 1).
+	CuTSVariant = core.VariantCuTS
+	// CuTSPlusVariant accelerates simplification (DP+ + Lemma 1).
+	CuTSPlusVariant = core.VariantCuTSPlus
+	// CuTSStarVariant tightens the filter bounds (DP* + Lemma 3); the
+	// paper's overall winner and this package's default.
+	CuTSStarVariant = core.VariantCuTSStar
+)
+
+// Simplification methods (Section 2.2, 5.1, 6).
+type SimplifyMethod = simplify.Method
+
+const (
+	// DP is the classic Douglas–Peucker algorithm.
+	DP = simplify.DP
+	// DPPlus splits at the tolerance-exceeding point nearest the middle.
+	DPPlus = simplify.DPPlus
+	// DPStar measures deviation synchronously in time (Meratnia/de By).
+	DPStar = simplify.DPStar
+)
+
+// SimplifiedTrajectory is the result of trajectory simplification,
+// carrying per-segment actual tolerances (Definition 4).
+type SimplifiedTrajectory = simplify.Trajectory
+
+// NewDB returns an empty trajectory database.
+func NewDB() *DB { return model.NewDB() }
+
+// NewTrajectory validates samples (strictly increasing time, non-empty) and
+// builds a trajectory; add it to a DB to assign its ObjectID.
+func NewTrajectory(label string, samples []Sample) (*Trajectory, error) {
+	return model.NewTrajectory(label, samples)
+}
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// S constructs a Sample at tick t.
+func S(t Tick, x, y float64) Sample { return Sample{T: t, P: geom.Pt(x, y)} }
+
+// Discover answers the convoy query with the paper's best algorithm
+// (CuTS*) using the automatic δ/λ guidelines of Section 7.4.
+func Discover(db *DB, p Params) (Result, error) {
+	res, _, err := core.Run(db, p, core.Config{Variant: core.VariantCuTSStar})
+	return res, err
+}
+
+// DiscoverWith answers the convoy query with an explicit algorithm
+// configuration and returns run statistics alongside the result.
+func DiscoverWith(db *DB, p Params, cfg Config) (Result, Stats, error) {
+	return core.Run(db, p, cfg)
+}
+
+// CMC answers the convoy query with the Coherent Moving Cluster baseline
+// (Algorithm 1): snapshot DBSCAN at every tick, no filter step. Slower but
+// useful as a reference.
+func CMC(db *DB, p Params) (Result, error) { return core.CMC(db, p) }
+
+// Streamer discovers convoys incrementally over a live position feed: push
+// per-tick snapshots with Advance, receive convoys as they close, flush the
+// rest with Close. Replaying a database through a Streamer and
+// canonicalizing the emissions equals the batch CMC answer.
+type Streamer = core.Streamer
+
+// NewStreamer returns an online convoy discoverer for the given parameters.
+func NewStreamer(p Params) (*Streamer, error) { return core.NewStreamer(p) }
+
+// MC2 runs the moving-cluster baseline with overlap threshold theta and
+// returns its answers cast as convoys (no correctness guarantee — this is
+// the method the paper shows to be unreliable in Figure 19).
+func MC2(db *DB, p Params, theta float64) ([]Convoy, error) {
+	return core.MC2(db, p, theta)
+}
+
+// CompareAnswers computes false-positive/negative percentages of an answer
+// set against a reference result (the appendix's accuracy metrics).
+func CompareAnswers(reported []Convoy, reference Result) AccuracyReport {
+	return core.CompareAnswers(reported, reference)
+}
+
+// Simplify reduces a trajectory with the chosen method and tolerance,
+// recording per-segment actual tolerances.
+func Simplify(tr *Trajectory, delta float64, m SimplifyMethod) *SimplifiedTrajectory {
+	return simplify.Simplify(tr, delta, m)
+}
+
+// ComputeDelta derives a simplification tolerance δ from the data
+// (Section 7.4 guideline).
+func ComputeDelta(db *DB, e float64) float64 { return core.ComputeDelta(db, e) }
+
+// Canonicalize deduplicates convoys and removes non-maximal answers.
+func Canonicalize(convoys []Convoy) Result { return core.Canonicalize(convoys) }
+
+// Flock discovery (the disc-based baseline the paper's introduction
+// contrasts with convoys; see the lossyflock example).
+type (
+	// FlockParams are the flock query parameters (m, k, disc radius r).
+	FlockParams = flock.Params
+	// Flock is one flock answer.
+	Flock = flock.Flock
+)
+
+// FindFlocks answers the disc-based flock query.
+func FindFlocks(db *DB, p FlockParams) ([]Flock, error) { return flock.Discover(db, p) }
+
+// DBSCAN clusters a point snapshot with radius eps and density threshold
+// minPts (neighborhoods include the point itself); the label slice is
+// parallel to pts with -1 marking noise.
+func DBSCAN(pts []Point, eps float64, minPts int) []int {
+	return dbscan.Cluster(pts, eps, minPts)
+}
+
+// Close-pair spatio-temporal join (Section 2.3's pairwise primitive).
+type (
+	// JoinPair is one close-pair join answer.
+	JoinPair = stjoin.Pair
+	// JoinWindow restricts a join to a tick interval.
+	JoinWindow = stjoin.Window
+)
+
+// JoinBetween returns the join window [lo, hi].
+func JoinBetween(lo, hi Tick) JoinWindow { return stjoin.Between(lo, hi) }
+
+// CloseJoin reports every pair (a ∈ left, b ∈ right) within distance e at
+// some tick of the window (zero window = whole common domain).
+func CloseJoin(left, right *DB, e float64, w JoinWindow) ([]JoinPair, error) {
+	return stjoin.CloseJoin(left, right, e, w)
+}
+
+// CloseSelfJoin reports every unordered object pair of db within e at some
+// tick of the window.
+func CloseSelfJoin(db *DB, e float64, w JoinWindow) ([]JoinPair, error) {
+	return stjoin.CloseSelfJoin(db, e, w)
+}
+
+// CSV I/O (format: "obj,t,x,y" with header).
+
+// ReadCSV parses a trajectory database from CSV.
+func ReadCSV(r io.Reader) (*DB, error) { return tsio.ReadCSV(r) }
+
+// WriteCSV writes a trajectory database as CSV.
+func WriteCSV(w io.Writer, db *DB) error { return tsio.WriteCSV(w, db) }
+
+// LoadCSV reads a database from a CSV file.
+func LoadCSV(path string) (*DB, error) { return tsio.LoadCSV(path) }
+
+// SaveCSV writes a database to a CSV file.
+func SaveCSV(path string, db *DB) error { return tsio.SaveCSV(path, db) }
+
+// Binary I/O (compact exact-precision "CTB" format for large databases).
+
+// ReadBinary parses a CTB stream into a database.
+func ReadBinary(r io.Reader) (*DB, error) { return tsio.ReadBinary(r) }
+
+// WriteBinary writes a database in CTB format.
+func WriteBinary(w io.Writer, db *DB) error { return tsio.WriteBinary(w, db) }
+
+// LoadBinary reads a database from a CTB file.
+func LoadBinary(path string) (*DB, error) { return tsio.LoadBinary(path) }
+
+// SaveBinary writes a database to a CTB file.
+func SaveBinary(path string, db *DB) error { return tsio.SaveBinary(path, db) }
+
+// Synthetic dataset generation (the paper's four datasets are proprietary;
+// these seeded profiles match their Table 3 shape — see DESIGN.md §3).
+type (
+	// Profile is a synthetic dataset profile with its query parameters.
+	Profile = datagen.Profile
+	// Scenario is a custom synthetic world description.
+	Scenario = datagen.Scenario
+	// GroupSpec plants one co-traveling group in a Scenario.
+	GroupSpec = datagen.GroupSpec
+)
+
+// TruckProfile emulates the Athens trucks dataset at the given time scale.
+func TruckProfile(scale float64, seed int64) Profile { return datagen.Truck(scale, seed) }
+
+// CattleProfile emulates the CSIRO cattle dataset at the given time scale.
+func CattleProfile(scale float64, seed int64) Profile { return datagen.Cattle(scale, seed) }
+
+// CarProfile emulates the Copenhagen cars dataset at the given time scale.
+func CarProfile(scale float64, seed int64) Profile { return datagen.Car(scale, seed) }
+
+// TaxiProfile emulates the Beijing taxis dataset at the given time scale.
+func TaxiProfile(scale float64, seed int64) Profile { return datagen.Taxi(scale, seed) }

@@ -1,0 +1,152 @@
+package convoys_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	convoys "repro"
+)
+
+// smallDB builds a database with one obvious convoy through the façade API.
+func smallDB(t *testing.T) *convoys.DB {
+	t.Helper()
+	db := convoys.NewDB()
+	for i, y := range []float64{0, 0.5, 50} {
+		var samples []convoys.Sample
+		for tick := convoys.Tick(0); tick < 10; tick++ {
+			samples = append(samples, convoys.S(tick, float64(tick), y))
+		}
+		tr, err := convoys.NewTrajectory("", samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id := db.Add(tr); id != i {
+			t.Fatalf("id = %d, want %d", id, i)
+		}
+	}
+	return db
+}
+
+func TestDiscoverFacade(t *testing.T) {
+	db := smallDB(t)
+	p := convoys.Params{M: 2, K: 5, Eps: 1}
+	res, err := convoys.Discover(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Size() != 2 || res[0].Lifetime() != 10 {
+		t.Fatalf("Discover = %v", res)
+	}
+	// All exposed algorithms agree.
+	ref, err := convoys.CMC(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []convoys.Variant{convoys.CuTSVariant, convoys.CuTSPlusVariant, convoys.CuTSStarVariant} {
+		got, st, err := convoys.DiscoverWith(db, p, convoys.Config{Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Errorf("%v disagrees with CMC: %v vs %v", variant, got, ref)
+		}
+		if st.TotalTime() <= 0 {
+			t.Errorf("%v reported no time", variant)
+		}
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	db := smallDB(t)
+	var buf bytes.Buffer
+	if err := convoys.WriteCSV(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := convoys.ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round trip lost objects: %d vs %d", back.Len(), db.Len())
+	}
+}
+
+func TestFacadeSimplifyAndDelta(t *testing.T) {
+	db := smallDB(t)
+	st := convoys.Simplify(db.Traj(0), 0.5, convoys.DP)
+	if st.Len() < 2 {
+		t.Errorf("simplified to %d points", st.Len())
+	}
+	if d := convoys.ComputeDelta(db, 1); d <= 0 || d >= 1 {
+		t.Errorf("ComputeDelta = %g", d)
+	}
+}
+
+func TestFacadeFlocks(t *testing.T) {
+	db := smallDB(t)
+	fs, err := convoys.FindFlocks(db, convoys.FlockParams{M: 2, K: 5, R: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("flocks = %v", fs)
+	}
+}
+
+func TestFacadeDBSCAN(t *testing.T) {
+	pts := []convoys.Point{convoys.Pt(0, 0), convoys.Pt(0.5, 0), convoys.Pt(10, 10)}
+	labels := convoys.DBSCAN(pts, 1, 2)
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != -1 {
+		t.Errorf("DBSCAN labels = %v", labels)
+	}
+}
+
+func TestFacadeProfilesAndMC2(t *testing.T) {
+	prof := convoys.TaxiProfile(0.01, 3)
+	db := prof.Generate()
+	if db.Len() == 0 {
+		t.Fatal("profile generated nothing")
+	}
+	p := convoys.Params{M: prof.M, K: prof.K, Eps: prof.Eps}
+	ref, err := convoys.CMC(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := convoys.MC2(db, p, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := convoys.CompareAnswers(mc, ref)
+	if rep.Reported != len(mc) || rep.Reference != len(ref) {
+		t.Errorf("accuracy counts wrong: %+v", rep)
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	sc := convoys.Scenario{
+		Seed: 1, T: 30, World: 100, Speed: 2,
+		Groups:   []convoys.GroupSpec{{Size: 3, Start: 0, End: 29, Spacing: 1}},
+		KeepProb: 1,
+	}
+	db := sc.Generate()
+	if db.Len() != 3 {
+		t.Fatalf("scenario objects = %d", db.Len())
+	}
+	res, err := convoys.Discover(db, convoys.Params{M: 3, K: 20, Eps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Size() != 3 {
+		t.Errorf("planted group not found: %v", res)
+	}
+}
+
+func TestFacadeCanonicalize(t *testing.T) {
+	c1 := convoys.Convoy{Objects: []convoys.ObjectID{0, 1}, Start: 0, End: 9}
+	c2 := convoys.Convoy{Objects: []convoys.ObjectID{0}, Start: 2, End: 7} // dominated
+	res := convoys.Canonicalize([]convoys.Convoy{c1, c2})
+	if len(res) != 1 || !res[0].Equal(c1) {
+		t.Errorf("Canonicalize = %v", res)
+	}
+}

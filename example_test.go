@@ -1,0 +1,82 @@
+package convoys_test
+
+import (
+	"fmt"
+
+	convoys "repro"
+)
+
+// Two scooters ride together for eight ticks, a third rides alone.
+func ExampleDiscover() {
+	db := convoys.NewDB()
+	for i, y := range []float64{0, 0.4, 99} {
+		var samples []convoys.Sample
+		for t := convoys.Tick(0); t < 8; t++ {
+			samples = append(samples, convoys.S(t, float64(t), y))
+		}
+		tr, _ := convoys.NewTrajectory(fmt.Sprintf("scooter-%d", i+1), samples)
+		db.Add(tr)
+	}
+	result, _ := convoys.Discover(db, convoys.Params{M: 2, K: 5, Eps: 1})
+	for _, c := range result {
+		fmt.Println(c)
+	}
+	// Output:
+	// ⟨o0,o1,[0,7]⟩
+}
+
+func ExampleCMC() {
+	db := convoys.NewDB()
+	a, _ := convoys.NewTrajectory("a", []convoys.Sample{
+		convoys.S(0, 0, 0), convoys.S(1, 1, 0), convoys.S(2, 2, 0),
+	})
+	b, _ := convoys.NewTrajectory("b", []convoys.Sample{
+		convoys.S(0, 0, 0.5), convoys.S(1, 1, 0.5), convoys.S(2, 2, 0.5),
+	})
+	db.Add(a)
+	db.Add(b)
+	result, _ := convoys.CMC(db, convoys.Params{M: 2, K: 3, Eps: 1})
+	fmt.Println(len(result), "convoy, lifetime", result[0].Lifetime())
+	// Output:
+	// 1 convoy, lifetime 3
+}
+
+func ExampleStreamer() {
+	monitor, _ := convoys.NewStreamer(convoys.Params{M: 2, K: 2, Eps: 1})
+	// Two objects together at ticks 0-2, apart at tick 3.
+	for t := convoys.Tick(0); t < 3; t++ {
+		monitor.Advance(t,
+			[]convoys.ObjectID{0, 1},
+			[]convoys.Point{convoys.Pt(float64(t), 0), convoys.Pt(float64(t), 0.5)})
+	}
+	closed, _ := monitor.Advance(3,
+		[]convoys.ObjectID{0, 1},
+		[]convoys.Point{convoys.Pt(3, 0), convoys.Pt(3, 50)})
+	for _, c := range closed {
+		fmt.Println("dissolved:", c)
+	}
+	// Output:
+	// dissolved: ⟨o0,o1,[0,2]⟩
+}
+
+func ExampleCloseSelfJoin() {
+	db := convoys.NewDB()
+	a, _ := convoys.NewTrajectory("a", []convoys.Sample{convoys.S(0, 0, 0), convoys.S(1, 5, 0)})
+	b, _ := convoys.NewTrajectory("b", []convoys.Sample{convoys.S(0, 9, 0), convoys.S(1, 5.4, 0)})
+	db.Add(a)
+	db.Add(b)
+	pairs, _ := convoys.CloseSelfJoin(db, 1, convoys.JoinWindow{})
+	fmt.Println(pairs)
+	// Output:
+	// [(o0,o1)@1]
+}
+
+func ExampleSimplify() {
+	tr, _ := convoys.NewTrajectory("t", []convoys.Sample{
+		convoys.S(0, 0, 0), convoys.S(1, 1, 0.05), convoys.S(2, 2, 0), convoys.S(3, 3, 2), convoys.S(4, 4, 0),
+	})
+	st := convoys.Simplify(tr, 2.5, convoys.DP)
+	fmt.Println("kept", st.Len(), "of", tr.Len(), "points")
+	// Output:
+	// kept 2 of 5 points
+}

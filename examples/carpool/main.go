@@ -1,0 +1,51 @@
+// Carpool scans a synthetic commuter-car dataset for ride-sharing
+// opportunities — the paper's carpooling motivation: cars that follow the
+// same route at the same time are candidates to share one vehicle.
+//
+// The example also shows how the distance threshold e shapes the answer
+// set: small e finds only tight platoons, larger e also groups cars on
+// parallel lanes.
+//
+//	go run ./examples/carpool
+package main
+
+import (
+	"fmt"
+	"log"
+
+	convoys "repro"
+)
+
+func main() {
+	// A Car-profile world at 1/20 of the paper's time scale: 183 commuter
+	// cars with staggered trips, a handful of them sharing routes.
+	prof := convoys.CarProfile(0.05, 42)
+	db := prof.Generate()
+	st := db.Stats()
+	fmt.Printf("dataset: %d cars, %d ticks, %d GPS points\n",
+		st.NumObjects, st.TimeDomainLength, st.TotalPoints)
+
+	// Commute window to qualify for a carpool suggestion: the profile's k.
+	k := prof.K
+	for _, e := range []float64{prof.Eps / 2, prof.Eps, prof.Eps * 2} {
+		result, stats, err := convoys.DiscoverWith(db,
+			convoys.Params{M: 2, K: k, Eps: e},
+			convoys.Config{Variant: convoys.CuTSStarVariant})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ne = %-5g → %d carpool group(s) (discovered in %v)\n",
+			e, len(result), stats.TotalTime().Round(100_000))
+		for i, c := range result {
+			if i == 5 {
+				fmt.Printf("  … and %d more\n", len(result)-5)
+				break
+			}
+			fmt.Printf("  group %v rides together for %d ticks [%d–%d] — %d seat(s) saved\n",
+				c.Objects, c.Lifetime(), c.Start, c.End, c.Size()-1)
+		}
+	}
+
+	fmt.Println("\nnote: growing e merges nearby groups (density connection has no fixed shape);")
+	fmt.Println("the convoy count is not monotone in e — exactly the sensitivity Figure 1 discusses for discs.")
+}

@@ -1,0 +1,55 @@
+// Livemonitor shows the online API: a dispatcher watches a live GPS feed
+// and is alerted the moment a convoy dissolves (e.g., a platoon of delivery
+// vans splits up). The Streamer consumes one snapshot per tick and emits a
+// convoy as soon as it closes — no batch re-computation.
+//
+//	go run ./examples/livemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	convoys "repro"
+)
+
+func main() {
+	// Simulated feed: vans 0 and 1 drive together from tick 0; van 2 joins
+	// them at tick 6; the whole platoon splits at tick 14.
+	feed := func(t convoys.Tick) ([]convoys.ObjectID, []convoys.Point) {
+		x := float64(t) * 2
+		switch {
+		case t < 6:
+			return []convoys.ObjectID{0, 1, 2},
+				[]convoys.Point{convoys.Pt(x, 0), convoys.Pt(x, 0.8), convoys.Pt(x-40, 30)}
+		case t < 14:
+			return []convoys.ObjectID{0, 1, 2},
+				[]convoys.Point{convoys.Pt(x, 0), convoys.Pt(x, 0.8), convoys.Pt(x, 1.6)}
+		default:
+			return []convoys.ObjectID{0, 1, 2},
+				[]convoys.Point{convoys.Pt(x, 0), convoys.Pt(x, 40), convoys.Pt(x, 80)}
+		}
+	}
+
+	monitor, err := convoys.NewStreamer(convoys.Params{M: 2, K: 5, Eps: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("monitoring feed (m=2, k=5, e=1)…")
+	for t := convoys.Tick(0); t < 20; t++ {
+		ids, pts := feed(t)
+		closed, err := monitor.Advance(t, ids, pts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range closed {
+			fmt.Printf("  tick %2d: ALERT — convoy %v dissolved after %d ticks together [%d–%d]\n",
+				t, c.Objects, c.Lifetime(), c.Start, c.End)
+		}
+	}
+	for _, c := range monitor.Close() {
+		fmt.Printf("  feed end: convoy %v still open, together since tick %d (%d ticks)\n",
+			c.Objects, c.Start, c.Lifetime())
+	}
+	fmt.Println("done — 0 batch recomputations, state carried tick to tick")
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The ablation switches (box pruning, CuTS* clipping, dominated-candidate
+// pruning) are pure performance levers: flipping any combination of them
+// must leave the answer set unchanged. Randomized equivalence test.
+func TestPropAblationSwitchesPreserveAnswers(t *testing.T) {
+	r := rand.New(rand.NewSource(512))
+	for iter := 0; iter < 15; iter++ {
+		db := randomDB(r, 4+r.Intn(4), 10+r.Intn(10))
+		p := Params{M: 2, K: int64(2 + r.Intn(3)), Eps: 1 + r.Float64()*2}
+		want, err := CMC(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := 0.2 + r.Float64()*2
+		lambda := int64(1 + r.Intn(5))
+		for _, variant := range []Variant{VariantCuTS, VariantCuTSStar} {
+			for _, cfg := range []Config{
+				{Variant: variant, Delta: delta, Lambda: lambda, NoBoxPrune: true},
+				{Variant: variant, Delta: delta, Lambda: lambda, NoClipTime: true},
+				{Variant: variant, Delta: delta, Lambda: lambda, NoCandidatePruning: true},
+				{Variant: variant, Delta: delta, Lambda: lambda,
+					NoBoxPrune: true, NoClipTime: true, NoCandidatePruning: true},
+			} {
+				got, _, err := Run(db, p, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("iter %d %v cfg %+v:\ngot  = %v\nwant = %v",
+						iter, variant, cfg, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Candidate pruning must only ever shrink the candidate set, and the kept
+// candidates must cover the dropped ones.
+func TestCandidatePruningCoversDropped(t *testing.T) {
+	r := rand.New(rand.NewSource(513))
+	for iter := 0; iter < 10; iter++ {
+		db := randomDB(r, 4+r.Intn(4), 12+r.Intn(8))
+		p := Params{M: 2, K: int64(2 + r.Intn(3)), Eps: 1 + r.Float64()*2}
+		cfgBase := Config{Variant: VariantCuTS, Delta: 0.5, Lambda: 2}
+
+		_, stPruned, err := Run(db, p, cfgBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgOff := cfgBase
+		cfgOff.NoCandidatePruning = true
+		_, stRaw, err := Run(db, p, cfgOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stPruned.NumCandidates > stRaw.NumCandidates {
+			t.Fatalf("pruning grew candidates: %d > %d", stPruned.NumCandidates, stRaw.NumCandidates)
+		}
+		if stPruned.RefineUnits > stRaw.RefineUnits {
+			t.Fatalf("pruning grew refinement units: %g > %g", stPruned.RefineUnits, stRaw.RefineUnits)
+		}
+	}
+}

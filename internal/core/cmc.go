@@ -1,0 +1,187 @@
+package core
+
+import (
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// CMC — the Coherent Moving Cluster algorithm (Section 4, Algorithm 1).
+//
+// At every tick the objects alive at that tick are clustered with DBSCAN
+// (missing samples are interpolated into virtual points, Section 4), and
+// convoy candidates are carried across consecutive ticks by intersecting
+// them with the snapshot clusters. A candidate dies when no snapshot
+// cluster fully contains its object set; if it lived at least k ticks it is
+// reported.
+//
+// Two bookkeeping refinements close gaps in the printed pseudocode so that
+// the output is exactly the answer set documented in the package comment
+// (both are noted in DESIGN.md):
+//
+//   - every snapshot cluster also opens a fresh candidate (otherwise a
+//     larger group forming around an existing convoy is never tracked), and
+//   - candidates still alive when the time domain ends are flushed.
+//
+// Candidates with identical object sets are merged, keeping the earliest
+// start time; reported convoys are finally canonicalized (deduplicated and
+// reduced to maximal answers).
+
+// candidate tracks one potential convoy during the scan.
+type candidate struct {
+	objs       []model.ObjectID // ascending; the identity set
+	support    []model.ObjectID // ascending; union of contributing clusters
+	start, end model.Tick
+}
+
+func (c *candidate) lifetime() int64 { return int64(c.end-c.start) + 1 }
+
+// candidateSet accumulates next-generation candidates with object-set
+// deduplication (keeping the earliest start and unioned support).
+type candidateSet struct {
+	index map[string]int
+	cands []*candidate
+}
+
+func newCandidateSet() *candidateSet {
+	return &candidateSet{index: make(map[string]int)}
+}
+
+func (s *candidateSet) add(objs, support []model.ObjectID, start, end model.Tick) {
+	key := setKey(objs)
+	if i, ok := s.index[key]; ok {
+		ex := s.cands[i]
+		if start < ex.start {
+			ex.start = start
+		}
+		if !equalSorted(support, ex.support) {
+			ex.support = unionSorted(ex.support, support)
+		}
+		return
+	}
+	s.index[key] = len(s.cands)
+	s.cands = append(s.cands, &candidate{objs: objs, support: support, start: start, end: end})
+}
+
+// snapshotClusters computes the maximal density-connected sets of the
+// objects alive at tick t, restricted to subset when non-nil (ascending
+// IDs). Cluster member lists are ascending object IDs.
+func snapshotClusters(db *model.DB, p Params, t model.Tick, subset []model.ObjectID) [][]model.ObjectID {
+	var ids []model.ObjectID
+	var pts []geom.Point
+	if subset == nil {
+		ids, pts = db.SnapshotAt(t)
+	} else {
+		for _, id := range subset {
+			if pt, ok := db.Traj(id).LocationAt(t); ok {
+				ids = append(ids, id)
+				pts = append(pts, pt)
+			}
+		}
+	}
+	if len(ids) < p.M {
+		return nil
+	}
+	idxClusters := dbscan.SnapshotClustersMaximal(pts, p.Eps, p.M)
+	clusters := make([][]model.ObjectID, len(idxClusters))
+	for ci, c := range idxClusters {
+		objs := make([]model.ObjectID, len(c))
+		for i, idx := range c {
+			objs[i] = ids[idx] // ids ascending ⇒ objs ascending
+		}
+		clusters[ci] = objs
+	}
+	return clusters
+}
+
+// chainStep advances the candidate generation by one clustering round:
+// intersect every live candidate with every cluster, report candidates that
+// die with sufficient lifetime, and open fresh candidates for the clusters.
+// endTick is the tick (or partition end) the new generation extends to;
+// freshStart is the start assigned to brand-new candidates.
+func chainStep(
+	live []*candidate,
+	clusters [][]model.ObjectID,
+	m int, k int64,
+	freshStart, endTick model.Tick,
+	trackSupport bool,
+	out *[]Convoy,
+	emit func(*candidate),
+) []*candidate {
+	next := newCandidateSet()
+	for _, v := range live {
+		survived := false
+		for _, c := range clusters {
+			inter := intersectSorted(v.objs, c)
+			if len(inter) < m {
+				continue
+			}
+			var support []model.ObjectID
+			if trackSupport {
+				support = unionSorted(v.support, c)
+			}
+			next.add(inter, support, v.start, endTick)
+			if len(inter) == len(v.objs) {
+				survived = true
+			}
+		}
+		if !survived && v.lifetime() >= k {
+			if out != nil {
+				*out = append(*out, Convoy{Objects: v.objs, Start: v.start, End: v.end})
+			}
+			if emit != nil {
+				emit(v)
+			}
+		}
+	}
+	for _, c := range clusters {
+		var support []model.ObjectID
+		if trackSupport {
+			support = c
+		}
+		next.add(c, support, freshStart, endTick)
+	}
+	return next.cands
+}
+
+// flushCandidates reports every remaining live candidate with sufficient
+// lifetime at the end of the scan.
+func flushCandidates(live []*candidate, k int64, out *[]Convoy, emit func(*candidate)) {
+	for _, v := range live {
+		if v.lifetime() >= k {
+			if out != nil {
+				*out = append(*out, Convoy{Objects: v.objs, Start: v.start, End: v.end})
+			}
+			if emit != nil {
+				emit(v)
+			}
+		}
+	}
+}
+
+// cmcWindow runs the CMC scan over ticks [lo, hi], optionally restricted to
+// the given ascending object subset, and returns the raw (uncanonicalized)
+// convoys found.
+func cmcWindow(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID) []Convoy {
+	var out []Convoy
+	var live []*candidate
+	for t := lo; t <= hi; t++ {
+		clusters := snapshotClusters(db, p, t, subset)
+		live = chainStep(live, clusters, p.M, p.K, t, t, false, &out, nil)
+	}
+	flushCandidates(live, p.K, &out, nil)
+	return out
+}
+
+// CMC answers the convoy query over the whole database with the Coherent
+// Moving Cluster algorithm and returns the canonical result.
+func CMC(db *model.DB, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		return nil, nil
+	}
+	return Canonicalize(cmcWindow(db, p, lo, hi, nil)), nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{M: 2, K: 3, Eps: 1}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := (Params{M: 1, K: 1, Eps: 0}).Validate(); err != nil {
+		t.Errorf("edge params rejected: %v", err)
+	}
+	for _, p := range []Params{
+		{M: 0, K: 3, Eps: 1},
+		{M: 2, K: 0, Eps: 1},
+		{M: 2, K: 3, Eps: -1},
+		{M: -1, K: -1, Eps: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid params %+v accepted", p)
+		}
+	}
+	// The error message mentions every problem.
+	err := (Params{M: 0, K: 0, Eps: -2}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "m must") ||
+		!strings.Contains(err.Error(), "k must") || !strings.Contains(err.Error(), "e must") {
+		t.Errorf("error message incomplete: %v", err)
+	}
+}
+
+func TestConvoyBasics(t *testing.T) {
+	c := Convoy{Objects: ids(1, 3, 5), Start: 10, End: 19}
+	if c.Lifetime() != 10 {
+		t.Errorf("Lifetime = %d", c.Lifetime())
+	}
+	if c.Size() != 3 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	if !c.Contains(3) || c.Contains(2) {
+		t.Error("Contains misbehaves")
+	}
+	if got := c.String(); got != "⟨o1,o3,o5,[10,19]⟩" {
+		t.Errorf("String = %q", got)
+	}
+	if !c.Equal(Convoy{Objects: ids(1, 3, 5), Start: 10, End: 19}) {
+		t.Error("Equal failed on identical convoys")
+	}
+	if c.Equal(Convoy{Objects: ids(1, 3), Start: 10, End: 19}) {
+		t.Error("Equal accepted different members")
+	}
+}
+
+func TestConvoyDomination(t *testing.T) {
+	big := Convoy{Objects: ids(1, 2, 3), Start: 0, End: 10}
+	cases := []struct {
+		c    Convoy
+		want bool
+	}{
+		{Convoy{Objects: ids(1, 2), Start: 2, End: 8}, true},     // subset both ways
+		{Convoy{Objects: ids(1, 2, 3), Start: 0, End: 10}, true}, // self
+		{Convoy{Objects: ids(1, 2), Start: 0, End: 11}, false},   // longer interval
+		{Convoy{Objects: ids(1, 4), Start: 2, End: 8}, false},    // extra member
+		{Convoy{Objects: ids(1, 2, 3, 4), Start: 2, End: 8}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.DominatedBy(big); got != tc.want {
+			t.Errorf("%v dominated by %v = %v, want %v", tc.c, big, got, tc.want)
+		}
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	in := []Convoy{
+		{Objects: ids(1, 2), Start: 0, End: 9},
+		{Objects: ids(1, 2), Start: 0, End: 9},    // duplicate
+		{Objects: ids(1, 2), Start: 2, End: 7},    // dominated (interval)
+		{Objects: ids(1), Start: 0, End: 9},       // dominated (subset)
+		{Objects: ids(1, 2, 3), Start: 3, End: 6}, // incomparable (superset objects, subinterval)
+		{Objects: ids(4, 5), Start: 20, End: 29},  // unrelated
+	}
+	got := Canonicalize(in)
+	want := Result{
+		{Objects: ids(1, 2), Start: 0, End: 9},
+		{Objects: ids(1, 2, 3), Start: 3, End: 6},
+		{Objects: ids(4, 5), Start: 20, End: 29},
+	}
+	if !got.Equal(want) {
+		t.Errorf("Canonicalize =\n%v\nwant\n%v", got, want)
+	}
+}
+
+func TestCanonicalizeEmpty(t *testing.T) {
+	if got := Canonicalize(nil); len(got) != 0 {
+		t.Errorf("Canonicalize(nil) = %v", got)
+	}
+}
+
+func TestResultEqualAndOrder(t *testing.T) {
+	a := Canonicalize([]Convoy{
+		{Objects: ids(3, 4), Start: 5, End: 9},
+		{Objects: ids(1, 2), Start: 0, End: 4},
+	})
+	// Canonical order: by start tick first.
+	if a[0].Start != 0 || a[1].Start != 5 {
+		t.Errorf("canonical order wrong: %v", a)
+	}
+	b := Canonicalize([]Convoy{
+		{Objects: ids(1, 2), Start: 0, End: 4},
+		{Objects: ids(3, 4), Start: 5, End: 9},
+	})
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	c := Canonicalize([]Convoy{{Objects: ids(1, 2), Start: 0, End: 4}})
+	if a.Equal(c) {
+		t.Error("different results reported equal")
+	}
+	// Same start/end, different members: ordered lexicographically.
+	d := Canonicalize([]Convoy{
+		{Objects: ids(2, 9), Start: 0, End: 4},
+		{Objects: ids(1, 3), Start: 0, End: 4},
+	})
+	if d[0].Objects[0] != 1 {
+		t.Errorf("lexicographic member order wrong: %v", d)
+	}
+}

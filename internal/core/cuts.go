@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dbscan"
+	"repro/internal/model"
+	"repro/internal/simplify"
+)
+
+// The CuTS family (Sections 5 and 6): filter-refinement convoy discovery
+// over simplified trajectories.
+//
+// Filter (Algorithm 2): simplify every trajectory (DP / DP+ / DP*), divide
+// the time domain into λ-length partitions, cluster each partition's
+// simplified sub-polylines under the inflated distance bound of Lemma 1
+// (or Lemma 3 for CuTS*), and chain the partition clusters into candidates
+// exactly like CMC chains snapshot clusters. Overlapping segment-level
+// clusters are merged into disjoint components and each candidate carries a
+// *support set* (the union of every component it passed through); both
+// measures make the refinement provably lossless (see DESIGN.md §6).
+//
+// Refinement (Algorithm 3): for every candidate, run CMC restricted to the
+// candidate's support objects over the candidate's partition-aligned time
+// window, then canonicalize the union of all discovered convoys.
+
+// Variant names the member of the CuTS family.
+type Variant int
+
+const (
+	// VariantCuTS uses DP simplification and the Lemma 1 (DLL) bound.
+	VariantCuTS Variant = iota
+	// VariantCuTSPlus uses DP+ simplification and the Lemma 1 (DLL) bound.
+	VariantCuTSPlus
+	// VariantCuTSStar uses DP* simplification and the Lemma 3 (D*) bound.
+	VariantCuTSStar
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantCuTS:
+		return "CuTS"
+	case VariantCuTSPlus:
+		return "CuTS+"
+	case VariantCuTSStar:
+		return "CuTS*"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// SimplifyMethod returns the trajectory-simplification algorithm the
+// variant uses (the table at the end of Section 6).
+func (v Variant) SimplifyMethod() simplify.Method {
+	switch v {
+	case VariantCuTSPlus:
+		return simplify.DPPlus
+	case VariantCuTSStar:
+		return simplify.DPStar
+	default:
+		return simplify.DP
+	}
+}
+
+// Bound returns the filter distance bound the variant uses.
+func (v Variant) Bound() dbscan.BoundKind {
+	if v == VariantCuTSStar {
+		return dbscan.BoundDStar
+	}
+	return dbscan.BoundDLL
+}
+
+// Config carries the internal parameters of the CuTS family. The zero value
+// of Delta/Lambda requests the automatic guidelines of Section 7.4.
+type Config struct {
+	// Variant selects CuTS, CuTS+ or CuTS*.
+	Variant Variant
+	// Delta is the simplification tolerance δ; ≤ 0 means "use the
+	// ComputeDelta guideline".
+	Delta float64
+	// Lambda is the time-partition length λ in ticks; ≤ 0 means "use the
+	// ComputeLambda guideline".
+	Lambda int64
+	// Tolerance selects actual (default, tighter — Figure 14) or global
+	// per-segment tolerances in the filter bounds.
+	Tolerance dbscan.ToleranceMode
+
+	// Ablation switches. None of them affects the answer set (tests
+	// enforce this); they exist so benchmarks can isolate the cost/benefit
+	// of individual design choices.
+
+	// NoBoxPrune disables the Lemma 2 box-distance pruning.
+	NoBoxPrune bool
+	// NoClipTime disables the CuTS*-only clipping of segments to the
+	// partition window.
+	NoClipTime bool
+	// NoCandidatePruning disables the dominated-candidate elimination
+	// before refinement.
+	NoCandidatePruning bool
+
+	// Workers sets the number of goroutines refining candidates
+	// concurrently; 0 or 1 refines serially. The answer set is identical
+	// either way (candidates are independent and the union is
+	// canonicalized).
+	Workers int
+}
+
+// FilterConfig bundles the resolved filter-step inputs.
+type FilterConfig struct {
+	Lambda             int64
+	Bound              dbscan.BoundKind
+	Tolerance          dbscan.ToleranceMode
+	Delta              float64
+	NoBoxPrune         bool
+	NoClipTime         bool
+	NoCandidatePruning bool
+}
+
+// Candidate is one convoy candidate produced by the filter step.
+type Candidate struct {
+	// Objects is the candidate's identity: the intersection of the
+	// partition clusters it chained through (ascending IDs).
+	Objects []model.ObjectID
+	// Support is the union of those clusters — the object set the
+	// refinement step clusters (ascending IDs).
+	Support []model.ObjectID
+	// Start and End delimit the candidate's partition-aligned tick window.
+	Start, End model.Tick
+}
+
+// Window returns the candidate's window length in ticks.
+func (c Candidate) Window() int64 { return int64(c.End-c.Start) + 1 }
+
+// RefinementUnits returns the candidate's contribution to the paper's
+// refinement-unit metric (Section 7.3): the quadratic clustering cost of
+// the objects the refinement must process, times the candidate's lifetime.
+func (c Candidate) RefinementUnits() float64 {
+	n := float64(len(c.Support))
+	return n * n * float64(c.Window())
+}
+
+// Stats reports what a CuTS run did, for the experiment harness.
+type Stats struct {
+	Variant       Variant
+	Delta         float64       // the δ actually used
+	Lambda        int64         // the λ actually used
+	NumPartitions int           // partitions scanned
+	NumCandidates int           // candidates handed to refinement
+	RefineUnits   float64       // Σ candidate refinement units
+	VertexKept    int           // Σ |o'| over all simplified trajectories
+	VertexTotal   int           // Σ |o| over all original trajectories
+	SimplifyTime  time.Duration // phase timings (Figure 13)
+	FilterTime    time.Duration
+	RefineTime    time.Duration
+}
+
+// TotalTime returns the end-to-end discovery time.
+func (s Stats) TotalTime() time.Duration { return s.SimplifyTime + s.FilterTime + s.RefineTime }
+
+// VertexReduction returns the overall reduction ratio 1 − Σ|o'|/Σ|o|.
+func (s Stats) VertexReduction() float64 {
+	if s.VertexTotal == 0 {
+		return 0
+	}
+	return 1 - float64(s.VertexKept)/float64(s.VertexTotal)
+}
+
+// Filter runs the CuTS filter step over already-simplified trajectories and
+// returns the candidate set. Exposed separately so the experiment harness
+// can time and instrument the phases; most callers use Run.
+func Filter(db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig) []Candidate {
+	lambda, bound := fc.Lambda, fc.Bound
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		return nil
+	}
+	distParams := dbscan.PolylineDistanceParams{
+		Eps:         p.Eps,
+		Bound:       bound,
+		Tolerance:   fc.Tolerance,
+		GlobalDelta: fc.Delta,
+		NoBoxPrune:  fc.NoBoxPrune,
+	}
+	if lambda < 1 {
+		lambda = 1
+	}
+
+	var out []Candidate
+	collect := func(v *candidate) {
+		out = append(out, Candidate{
+			Objects: v.objs,
+			Support: v.support,
+			Start:   v.start,
+			End:     v.end,
+		})
+	}
+
+	var live []*candidate
+	for w0 := lo; w0 <= hi; w0 += model.Tick(lambda) {
+		w1 := w0 + model.Tick(lambda) - 1
+		if w1 > hi {
+			w1 = hi
+		}
+		// Assemble the partition's sub-polylines (the structure G of
+		// Algorithm 2): for each object, the run of simplified segments
+		// whose time intervals intersect [w0, w1]. Under the D* bound the
+		// segments are clipped to the partition window — the synchronous
+		// DP* tolerance licenses that (see simplify.Segment.ClipTime),
+		// shrinking both the bounding boxes and the CPA distances; the
+		// free-space DLL bound must keep whole segments, which is exactly
+		// why the paper calls the CuTS* filter tighter (Section 6.2).
+		var polys []dbscan.Polyline
+		var polyObj []model.ObjectID
+		for _, st := range sts {
+			sLo, sHi := st.SegmentsOverlapping(w0, w1)
+			if sLo >= sHi {
+				continue
+			}
+			segs := st.Segments[sLo:sHi]
+			if bound == dbscan.BoundDStar && !fc.NoClipTime {
+				clipped := make([]simplify.Segment, len(segs))
+				for i, sg := range segs {
+					clipped[i] = sg.ClipTime(w0, w1)
+				}
+				segs = clipped
+			}
+			polys = append(polys, dbscan.NewPolyline(st.Object, segs))
+			polyObj = append(polyObj, st.Object)
+		}
+		var clusters [][]model.ObjectID
+		if len(polys) >= p.M {
+			comps := dbscan.PolylineComponents(polys, p.M, distParams)
+			clusters = make([][]model.ObjectID, len(comps))
+			for ci, comp := range comps {
+				objs := make([]model.ObjectID, len(comp))
+				for i, pi := range comp {
+					objs[i] = polyObj[pi] // polyObj ascending ⇒ objs ascending
+				}
+				clusters[ci] = objs
+			}
+		}
+		live = chainStep(live, clusters, p.M, p.K, w0, w1, true, nil, collect)
+	}
+	flushCandidates(live, p.K, nil, collect)
+	return dedupCandidates(out, fc.NoCandidatePruning)
+}
+
+// dedupCandidates drops candidates whose refinement is covered by another
+// candidate's refinement: identical (support, window) duplicates and
+// candidates dominated in both dimensions (support subset, window inside).
+// Domination arises constantly by construction — when a candidate dies, its
+// surviving intersection children inherit its start time and a superset
+// support, so refining the child subsumes refining the parent. Pruning them
+// is what keeps the refinement step cheap (Section 7.3's refinement units).
+func dedupCandidates(cands []Candidate, noPruning bool) []Candidate {
+	seen := make(map[string]struct{}, len(cands))
+	uniq := cands[:0]
+	for _, c := range cands {
+		key := fmt.Sprintf("%d|%d|%s", c.Start, c.End, setKey(c.Support))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		uniq = append(uniq, c)
+	}
+	if noPruning {
+		return uniq
+	}
+	// Big supports and wide windows first, so the keep-list check hits the
+	// likely dominator early.
+	sort.Slice(uniq, func(i, j int) bool {
+		if len(uniq[i].Support) != len(uniq[j].Support) {
+			return len(uniq[i].Support) > len(uniq[j].Support)
+		}
+		return uniq[i].Window() > uniq[j].Window()
+	})
+	var keep []Candidate
+	for _, c := range uniq {
+		dominated := false
+		for _, k := range keep {
+			if k.Start <= c.Start && c.End <= k.End && subsetSorted(c.Support, k.Support) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, c)
+		}
+	}
+	return keep
+}
+
+// Refine runs the refinement step (Algorithm 3): CMC restricted to each
+// candidate's support objects and time window, returning the canonical
+// union of the discovered convoys.
+func Refine(db *model.DB, p Params, cands []Candidate) Result {
+	return RefineParallel(db, p, cands, 1)
+}
+
+// RefineParallel is Refine with a worker pool: candidates are independent,
+// so their window-restricted CMC runs execute concurrently; the union is
+// canonicalized, making the answer identical to the serial run.
+func RefineParallel(db *model.DB, p Params, cands []Candidate, workers int) Result {
+	if workers <= 1 || len(cands) < 2 {
+		var all []Convoy
+		for _, c := range cands {
+			all = append(all, cmcWindow(db, p, c.Start, c.End, c.Support)...)
+		}
+		return Canonicalize(all)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	perCand := make([][]Convoy, len(cands))
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				c := cands[i]
+				perCand[i] = cmcWindow(db, p, c.Start, c.End, c.Support)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range cands {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	var all []Convoy
+	for _, cs := range perCand {
+		all = append(all, cs...)
+	}
+	return Canonicalize(all)
+}
+
+// Run executes the chosen CuTS variant end to end and returns the canonical
+// convoy result plus run statistics. Delta/Lambda ≤ 0 in cfg invoke the
+// Section 7.4 guidelines.
+func Run(db *model.DB, p Params, cfg Config) (Result, Stats, error) {
+	st := Stats{Variant: cfg.Variant}
+	if err := p.Validate(); err != nil {
+		return nil, st, err
+	}
+	method := cfg.Variant.SimplifyMethod()
+
+	delta := cfg.Delta
+	if delta <= 0 {
+		delta = ComputeDelta(db, p.Eps)
+	}
+	st.Delta = delta
+
+	t0 := time.Now()
+	sts := simplify.SimplifyAll(db, delta, method)
+	st.SimplifyTime = time.Since(t0)
+	for _, s := range sts {
+		st.VertexKept += s.Len()
+		st.VertexTotal += s.Orig.Len()
+	}
+
+	lambda := cfg.Lambda
+	if lambda <= 0 {
+		lambda = ComputeLambda(db, sts, p.K)
+	}
+	st.Lambda = lambda
+	if lo, hi, ok := db.TimeRange(); ok {
+		span := int64(hi-lo) + 1
+		st.NumPartitions = int((span + lambda - 1) / lambda)
+	}
+
+	t1 := time.Now()
+	cands := Filter(db, p, sts, FilterConfig{
+		Lambda:             lambda,
+		Bound:              cfg.Variant.Bound(),
+		Tolerance:          cfg.Tolerance,
+		Delta:              delta,
+		NoBoxPrune:         cfg.NoBoxPrune,
+		NoClipTime:         cfg.NoClipTime,
+		NoCandidatePruning: cfg.NoCandidatePruning,
+	})
+	st.FilterTime = time.Since(t1)
+	st.NumCandidates = len(cands)
+	for _, c := range cands {
+		st.RefineUnits += c.RefinementUnits()
+	}
+
+	t2 := time.Now()
+	res := RefineParallel(db, p, cands, cfg.Workers)
+	st.RefineTime = time.Since(t2)
+	return res, st, nil
+}
+
+// CuTS answers the convoy query with the base CuTS algorithm (DP + DLL).
+func CuTS(db *model.DB, p Params, delta float64, lambda int64) (Result, error) {
+	res, _, err := Run(db, p, Config{Variant: VariantCuTS, Delta: delta, Lambda: lambda})
+	return res, err
+}
+
+// CuTSPlus answers the convoy query with CuTS+ (DP+ + DLL).
+func CuTSPlus(db *model.DB, p Params, delta float64, lambda int64) (Result, error) {
+	res, _, err := Run(db, p, Config{Variant: VariantCuTSPlus, Delta: delta, Lambda: lambda})
+	return res, err
+}
+
+// CuTSStar answers the convoy query with CuTS* (DP* + D*).
+func CuTSStar(db *model.DB, p Params, delta float64, lambda int64) (Result, error) {
+	res, _, err := Run(db, p, Config{Variant: VariantCuTSStar, Delta: delta, Lambda: lambda})
+	return res, err
+}

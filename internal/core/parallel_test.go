@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Parallel refinement must return exactly the serial answer.
+func TestPropParallelRefineEqualsSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(909))
+	for iter := 0; iter < 15; iter++ {
+		db := randomDB(r, 4+r.Intn(4), 10+r.Intn(10))
+		p := Params{M: 2, K: int64(2 + r.Intn(3)), Eps: 1 + r.Float64()*2}
+		serial, _, err := Run(db, p, Config{Variant: VariantCuTSStar, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, runtime.NumCPU()} {
+			parallel, _, err := Run(db, p, Config{Variant: VariantCuTSStar, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !parallel.Equal(serial) {
+				t.Fatalf("workers=%d:\nparallel = %v\nserial   = %v", workers, parallel, serial)
+			}
+		}
+	}
+}
+
+func TestRefineParallelEdgeCases(t *testing.T) {
+	db := buildDB(t, 0,
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)},
+		[]geom.Point{geom.Pt(0, 0.5), geom.Pt(1, 0.5), geom.Pt(2, 0.5), geom.Pt(3, 0.5)},
+	)
+	p := Params{M: 2, K: 3, Eps: 1}
+	// No candidates.
+	if got := RefineParallel(db, p, nil, 8); len(got) != 0 {
+		t.Errorf("no candidates produced %v", got)
+	}
+	// One candidate with more workers than work.
+	c := Candidate{Objects: ids(0, 1), Support: ids(0, 1), Start: 0, End: 3}
+	got := RefineParallel(db, p, []Candidate{c}, 16)
+	if len(got) != 1 || got[0].Lifetime() != 4 {
+		t.Errorf("single candidate refine = %v", got)
+	}
+	// Duplicated candidates across many workers still canonicalize.
+	got = RefineParallel(db, p, []Candidate{c, c, c, c, c}, 3)
+	if len(got) != 1 {
+		t.Errorf("duplicate candidates refine = %v", got)
+	}
+}

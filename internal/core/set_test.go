@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func ids(xs ...int) []model.ObjectID { return xs }
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct{ a, b, want []model.ObjectID }{
+		{ids(1, 2, 3), ids(2, 3, 4), ids(2, 3)},
+		{ids(1, 2), ids(3, 4), nil},
+		{ids(), ids(1), nil},
+		{ids(1, 5, 9), ids(1, 5, 9), ids(1, 5, 9)},
+		{ids(1, 3, 5, 7), ids(2, 3, 6, 7), ids(3, 7)},
+	}
+	for _, c := range cases {
+		got := intersectSorted(c.a, c.b)
+		if !equalSorted(got, c.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnionSorted(t *testing.T) {
+	cases := []struct{ a, b, want []model.ObjectID }{
+		{ids(1, 3), ids(2, 4), ids(1, 2, 3, 4)},
+		{ids(), ids(1), ids(1)},
+		{ids(1, 2), ids(1, 2), ids(1, 2)},
+		{ids(5), ids(1, 9), ids(1, 5, 9)},
+	}
+	for _, c := range cases {
+		got := unionSorted(c.a, c.b)
+		if !equalSorted(got, c.want) {
+			t.Errorf("union(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubsetAndContains(t *testing.T) {
+	if !subsetSorted(ids(2, 4), ids(1, 2, 3, 4)) {
+		t.Error("subset failed")
+	}
+	if subsetSorted(ids(2, 5), ids(1, 2, 3, 4)) {
+		t.Error("non-subset accepted")
+	}
+	if !subsetSorted(nil, ids(1)) {
+		t.Error("empty set must be subset")
+	}
+	if subsetSorted(ids(1, 2, 3), ids(1, 2)) {
+		t.Error("bigger set accepted as subset")
+	}
+	if !containsSorted(ids(1, 4, 9), 4) || containsSorted(ids(1, 4, 9), 5) {
+		t.Error("containsSorted misbehaves")
+	}
+	if containsSorted(nil, 1) {
+		t.Error("empty contains")
+	}
+}
+
+func TestSetKeyDistinguishes(t *testing.T) {
+	a, b := ids(1, 2, 3), ids(1, 2, 4)
+	if setKey(a) == setKey(b) {
+		t.Error("different sets share a key")
+	}
+	if setKey(a) != setKey(ids(1, 2, 3)) {
+		t.Error("identical sets have different keys")
+	}
+	if setKey(nil) != setKey(ids()) {
+		t.Error("empty set keys differ")
+	}
+	// Delta encoding must not confuse {1,2} with {1,12} etc.
+	if setKey(ids(1, 2)) == setKey(ids(1, 12)) {
+		t.Error("key collision on delta encoding")
+	}
+	if setKey(ids(3)) == setKey(ids(1, 2)) {
+		t.Error("key collision across lengths")
+	}
+}
+
+func randomSortedSet(r *rand.Rand, maxLen, maxVal int) []model.ObjectID {
+	n := r.Intn(maxLen + 1)
+	seen := map[int]bool{}
+	var out []model.ObjectID
+	for len(out) < n {
+		v := r.Intn(maxVal)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestPropSetAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		a := randomSortedSet(r, 12, 40)
+		b := randomSortedSet(r, 12, 40)
+		inter := intersectSorted(a, b)
+		uni := unionSorted(a, b)
+		if !subsetSorted(inter, a) || !subsetSorted(inter, b) {
+			t.Fatalf("intersection not subset: %v %v -> %v", a, b, inter)
+		}
+		if !subsetSorted(a, uni) || !subsetSorted(b, uni) {
+			t.Fatalf("union not superset: %v %v -> %v", a, b, uni)
+		}
+		if len(inter)+len(uni) != len(a)+len(b) {
+			t.Fatalf("inclusion-exclusion broken: %v %v", a, b)
+		}
+		for _, x := range inter {
+			if !containsSorted(a, x) || !containsSorted(b, x) {
+				t.Fatalf("intersection member %d missing", x)
+			}
+		}
+		// Keys are injective over these sets.
+		if setKey(a) == setKey(b) && !equalSorted(a, b) {
+			t.Fatalf("key collision: %v %v", a, b)
+		}
+	}
+}
+
+func TestPropSetKeyRoundtrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seen := map[int]bool{}
+		var s []model.ObjectID
+		for _, v := range raw {
+			if !seen[int(v)] {
+				seen[int(v)] = true
+				s = append(s, int(v))
+			}
+		}
+		sort.Ints(s)
+		return setKey(s) == setKey(append([]model.ObjectID(nil), s...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

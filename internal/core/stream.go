@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// Streamer discovers convoys incrementally over a live position feed — the
+// online counterpart of CMC for the monitoring applications the paper's
+// introduction motivates (fleet tracking, ride-sharing alerts). Snapshots
+// are pushed tick by tick; a convoy is emitted the moment it closes (its
+// group stops being density-connected), so downstream consumers learn about
+// a dissolved convoy one tick after it ends. Convoys still open when the
+// feed stops are emitted by Close.
+//
+// The stream emission is *raw*: emitted convoys are exact answers but may
+// include non-maximal duplicates across emissions (a batch run
+// canonicalizes at the end; a stream cannot retract). Feeding every tick of
+// a database through a Streamer and canonicalizing the emissions yields
+// exactly the CMC batch result — a property the tests enforce.
+type Streamer struct {
+	p        Params
+	live     []*candidate
+	lastTick model.Tick
+	started  bool
+	closed   bool
+}
+
+// NewStreamer validates the parameters and returns an empty stream state.
+func NewStreamer(p Params) (*Streamer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Streamer{p: p}, nil
+}
+
+// Live returns the number of open convoy candidates.
+func (s *Streamer) Live() int { return len(s.live) }
+
+// LastTick returns the most recently advanced tick; valid after the first
+// Advance.
+func (s *Streamer) LastTick() (model.Tick, bool) { return s.lastTick, s.started }
+
+// Advance pushes the snapshot for tick t: the object IDs alive at t and
+// their positions (parallel slices). Ticks must advance strictly; gaps are
+// allowed and are treated as empty snapshots (they break convoy
+// consecutiveness, like a tick with no clusters). It returns the convoys
+// that closed at this tick, i.e., groups whose togetherness ended at t−1
+// (or earlier, for a tick gap) with lifetime ≥ k.
+func (s *Streamer) Advance(t model.Tick, ids []model.ObjectID, pts []geom.Point) ([]Convoy, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: Advance on closed Streamer")
+	}
+	if len(ids) != len(pts) {
+		return nil, fmt.Errorf("core: Advance: %d ids vs %d points", len(ids), len(pts))
+	}
+	if s.started && t <= s.lastTick {
+		return nil, fmt.Errorf("core: Advance: tick %d not after %d", t, s.lastTick)
+	}
+	var out []Convoy
+	if s.started && t > s.lastTick+1 {
+		// Tick gap: every live candidate dies at lastTick.
+		s.live = chainStep(s.live, nil, s.p.M, s.p.K, t, t, false, &out, nil)
+	}
+	s.lastTick, s.started = t, true
+
+	clusters := s.snapshot(ids, pts)
+	s.live = chainStep(s.live, clusters, s.p.M, s.p.K, t, t, false, &out, nil)
+	sortResult(out)
+	return out, nil
+}
+
+// snapshot clusters one pushed tick. IDs need not be sorted; cluster member
+// lists come out ascending.
+func (s *Streamer) snapshot(ids []model.ObjectID, pts []geom.Point) [][]model.ObjectID {
+	if len(ids) < s.p.M {
+		return nil
+	}
+	idxClusters := dbscan.SnapshotClustersMaximal(pts, s.p.Eps, s.p.M)
+	clusters := make([][]model.ObjectID, len(idxClusters))
+	for ci, c := range idxClusters {
+		objs := make([]model.ObjectID, len(c))
+		for i, idx := range c {
+			objs[i] = ids[idx]
+		}
+		sort.Ints(objs)
+		clusters[ci] = objs
+	}
+	return clusters
+}
+
+// Close ends the stream and returns the convoys still open at the last
+// advanced tick (lifetime ≥ k). Further Advance calls fail.
+func (s *Streamer) Close() []Convoy {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var out []Convoy
+	flushCandidates(s.live, s.p.K, &out, nil)
+	s.live = nil
+	sortResult(out)
+	return out
+}
+
+// StreamDB replays a stored database through a Streamer tick by tick
+// (interpolating gaps exactly like CMC) and returns the canonicalized
+// emissions — by construction equal to CMC(db, p). Exists mostly for tests
+// and as executable documentation of the Streamer contract.
+func StreamDB(db *model.DB, p Params) (Result, error) {
+	s, err := NewStreamer(p)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		return nil, nil
+	}
+	var all []Convoy
+	for t := lo; t <= hi; t++ {
+		ids, pts := db.SnapshotAt(t)
+		got, err := s.Advance(t, ids, pts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, got...)
+	}
+	all = append(all, s.Close()...)
+	return Canonicalize(all), nil
+}

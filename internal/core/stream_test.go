@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+func TestStreamerBasicLifecycle(t *testing.T) {
+	s, err := NewStreamer(Params{M: 2, K: 3, Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LastTick(); ok {
+		t.Error("LastTick before first Advance should be invalid")
+	}
+	// Two objects together for ticks 0..4, apart at 5.
+	for tick := model.Tick(0); tick < 5; tick++ {
+		got, err := s.Advance(tick,
+			[]model.ObjectID{0, 1},
+			[]geom.Point{geom.Pt(float64(tick), 0), geom.Pt(float64(tick), 0.5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("tick %d: unexpected emission %v", tick, got)
+		}
+		if s.Live() == 0 {
+			t.Fatalf("tick %d: no live candidates", tick)
+		}
+	}
+	got, err := s.Advance(5,
+		[]model.ObjectID{0, 1},
+		[]geom.Point{geom.Pt(5, 0), geom.Pt(5, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(Convoy{Objects: ids(0, 1), Start: 0, End: 4}) {
+		t.Fatalf("emission = %v, want ⟨o0,o1,[0,4]⟩", got)
+	}
+	if rest := s.Close(); len(rest) != 0 {
+		t.Errorf("Close emitted %v", rest)
+	}
+	if _, err := s.Advance(6, nil, nil); err == nil {
+		t.Error("Advance after Close should fail")
+	}
+	if again := s.Close(); again != nil {
+		t.Errorf("second Close emitted %v", again)
+	}
+}
+
+func TestStreamerFlushOnClose(t *testing.T) {
+	s, _ := NewStreamer(Params{M: 2, K: 2, Eps: 1})
+	for tick := model.Tick(10); tick < 13; tick++ {
+		if _, err := s.Advance(tick,
+			[]model.ObjectID{3, 7},
+			[]geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Close()
+	if len(got) != 1 || !got[0].Equal(Convoy{Objects: ids(3, 7), Start: 10, End: 12}) {
+		t.Fatalf("Close = %v", got)
+	}
+}
+
+func TestStreamerTickGapBreaksConvoy(t *testing.T) {
+	s, _ := NewStreamer(Params{M: 2, K: 2, Eps: 1})
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	objs := []model.ObjectID{0, 1}
+	if _, err := s.Advance(0, objs, pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Advance(1, objs, pts); err != nil {
+		t.Fatal(err)
+	}
+	// Jump to tick 5: the [0,1] convoy must be emitted by the gap.
+	got, err := s.Advance(5, objs, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Start != 0 || got[0].End != 1 {
+		t.Fatalf("gap emission = %v", got)
+	}
+	// And the post-gap run starts fresh.
+	if _, err := s.Advance(6, objs, pts); err != nil {
+		t.Fatal(err)
+	}
+	rest := s.Close()
+	if len(rest) != 1 || rest[0].Start != 5 || rest[0].End != 6 {
+		t.Fatalf("post-gap convoy = %v", rest)
+	}
+}
+
+func TestStreamerErrors(t *testing.T) {
+	if _, err := NewStreamer(Params{M: 0, K: 1, Eps: 1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	s, _ := NewStreamer(Params{M: 2, K: 2, Eps: 1})
+	if _, err := s.Advance(0, []model.ObjectID{1}, nil); err == nil {
+		t.Error("mismatched slices accepted")
+	}
+	if _, err := s.Advance(3, nil, nil); err != nil {
+		t.Errorf("empty snapshot rejected: %v", err)
+	}
+	if _, err := s.Advance(3, nil, nil); err == nil {
+		t.Error("non-advancing tick accepted")
+	}
+	if _, err := s.Advance(2, nil, nil); err == nil {
+		t.Error("backwards tick accepted")
+	}
+}
+
+func TestStreamerUnsortedIDs(t *testing.T) {
+	// Pushed IDs need not be sorted; clusters still come out canonical.
+	s, _ := NewStreamer(Params{M: 2, K: 1, Eps: 1})
+	if _, err := s.Advance(0,
+		[]model.ObjectID{9, 2},
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Close()
+	if len(got) != 1 || !equalSorted(got[0].Objects, ids(2, 9)) {
+		t.Fatalf("Close = %v", got)
+	}
+}
+
+// The equivalence contract: replaying any database through the Streamer and
+// canonicalizing equals the batch CMC answer.
+func TestPropStreamEqualsCMC(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	for iter := 0; iter < 25; iter++ {
+		db := randomDB(r, 3+r.Intn(5), 8+r.Intn(12))
+		p := Params{
+			M:   1 + r.Intn(3),
+			K:   int64(1 + r.Intn(4)),
+			Eps: 0.5 + r.Float64()*2.5,
+		}
+		want, err := CMC(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := StreamDB(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("iter %d (m=%d k=%d e=%.3f):\nstream = %v\nbatch  = %v",
+				iter, p.M, p.K, p.Eps, got, want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package dbscan
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// This file provides the two clustering views the convoy pipeline needs on
+// top of plain DBSCAN labels:
+//
+//   - ClusterMaximal: the paper's Definition 2/3 semantics. A cluster is a
+//     maximal set of density-connected points: the reach set of one
+//     *core component* (cores connected through core–core neighborhood
+//     links) plus every border point adjacent to it. Border points adjacent
+//     to several core components belong to SEVERAL clusters — maximal sets
+//     may overlap on borders. CMC evaluates convoy co-clustering against
+//     these maximal sets at every tick.
+//
+//   - ClusterComponents: the coarsened, disjoint view used by the CuTS
+//     filter step. Overlapping maximal sets are merged (connected
+//     components of the graph whose edges require at least one core
+//     endpoint). Every maximal set lies inside exactly one component, so
+//     filtering with components can never dismiss a true convoy, and the
+//     disjointness keeps candidate chaining unambiguous.
+
+// Adjacency holds the ε-neighborhood lists and core flags of a point set.
+type Adjacency struct {
+	// NH[i] lists the in-range items of item i, including i itself,
+	// in ascending index order.
+	NH [][]int
+	// Core[i] reports |NH[i]| ≥ minPts.
+	Core []bool
+}
+
+// BuildAdjacency materializes the neighborhood graph for n items using the
+// neighbors callback (same contract as Generic: include self). Neighbor
+// lists are sorted for deterministic downstream iteration.
+func BuildAdjacency(n, minPts int, neighbors func(i int, buf []int) []int) Adjacency {
+	adj := Adjacency{NH: make([][]int, n), Core: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		nh := neighbors(i, nil)
+		sort.Ints(nh)
+		adj.NH[i] = nh
+		adj.Core[i] = len(nh) >= minPts
+	}
+	return adj
+}
+
+// ClusterMaximal returns the maximal density-connected sets of the
+// neighborhood graph: one cluster per core component, each containing its
+// cores and all adjacent borders, members sorted ascending. Border points
+// may appear in multiple clusters; pure noise appears in none. Clusters are
+// ordered by their smallest core index.
+func ClusterMaximal(adj Adjacency) [][]int {
+	n := len(adj.NH)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var clusters [][]int
+	var queue []int
+	for i := 0; i < n; i++ {
+		if !adj.Core[i] || comp[i] >= 0 {
+			continue
+		}
+		cid := len(clusters)
+		comp[i] = cid
+		queue = append(queue[:0], i)
+		members := map[int]struct{}{}
+		for head := 0; head < len(queue); head++ {
+			c := queue[head]
+			members[c] = struct{}{}
+			for _, q := range adj.NH[c] {
+				if adj.Core[q] {
+					if comp[q] < 0 {
+						comp[q] = cid
+						queue = append(queue, q)
+					}
+					continue
+				}
+				members[q] = struct{}{} // border: joins, never expands
+			}
+		}
+		cluster := make([]int, 0, len(members))
+		for m := range members {
+			cluster = append(cluster, m)
+		}
+		sort.Ints(cluster)
+		clusters = append(clusters, cluster)
+	}
+	return clusters
+}
+
+// ClusterComponents returns the merged disjoint components: connected
+// components of the graph with an edge p–q whenever q ∈ NH(p) and at least
+// one of p, q is core. Overlapping maximal sets (sharing borders) collapse
+// into one component. Members sorted ascending; components ordered by their
+// smallest core index; noise omitted.
+func ClusterComponents(adj Adjacency) [][]int {
+	n := len(adj.NH)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	var queue []int
+	for i := 0; i < n; i++ {
+		if !adj.Core[i] || comp[i] >= 0 {
+			continue
+		}
+		cid := len(comps)
+		comp[i] = cid
+		queue = append(queue[:0], i)
+		var members []int
+		for head := 0; head < len(queue); head++ {
+			c := queue[head]
+			members = append(members, c)
+			// c is in the component; expand through its neighborhood. A
+			// border expands only toward cores (border–border pairs are not
+			// edges), a core expands toward everyone.
+			for _, q := range adj.NH[c] {
+				if comp[q] >= 0 {
+					continue
+				}
+				if adj.Core[c] || adj.Core[q] {
+					comp[q] = cid
+					queue = append(queue, q)
+				}
+			}
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// SnapshotAdjacency builds the tick-level neighborhood graph of a point
+// snapshot with radius eps (grid-accelerated).
+func SnapshotAdjacency(pts []geom.Point, eps float64, minPts int) Adjacency {
+	if len(pts) == 0 {
+		return Adjacency{}
+	}
+	cell := eps
+	if cell <= 0 {
+		cell = 1
+	}
+	idx := grid.NewPointIndex(pts, cell)
+	return BuildAdjacency(len(pts), minPts, func(i int, buf []int) []int {
+		return idx.Within(pts[i], eps, buf)
+	})
+}
+
+// SnapshotClustersMaximal returns the maximal density-connected sets of a
+// point snapshot — the per-tick clusters CMC consumes.
+func SnapshotClustersMaximal(pts []geom.Point, eps float64, minPts int) [][]int {
+	return ClusterMaximal(SnapshotAdjacency(pts, eps, minPts))
+}
+
+// PolylineAdjacency builds the segment-level neighborhood graph over the
+// partition's sub-polylines under the configured distance bound, with
+// Lemma 2 box pruning and grid candidate enumeration.
+func PolylineAdjacency(polys []Polyline, minPts int, p PolylineDistanceParams) Adjacency {
+	if len(polys) == 0 {
+		return Adjacency{}
+	}
+	maxTolAll := 0.0
+	for i := range polys {
+		if t := p.maxTol(polys[i]); t > maxTolAll {
+			maxTolAll = t
+		}
+	}
+	cell := p.Eps + 2*maxTolAll
+	if cell <= 0 {
+		cell = 1
+	}
+	rects := make([]geom.Rect, len(polys))
+	for i := range polys {
+		rects[i] = polys[i].Bounds
+	}
+	idx := grid.NewRectIndex(rects, cell)
+	var cand []int
+	return BuildAdjacency(len(polys), minPts, func(i int, buf []int) []int {
+		q := &polys[i]
+		qTol := p.maxTol(*q)
+		cand = idx.Intersecting(q.Bounds.Inflate(p.Eps+qTol+maxTolAll), cand[:0])
+		for _, j := range cand {
+			if j == i {
+				buf = append(buf, j)
+				continue
+			}
+			o := &polys[j]
+			if o.T1 < q.T0 || q.T1 < o.T0 {
+				continue
+			}
+			if !p.NoBoxPrune && geom.Dmin(q.Bounds, o.Bounds) > p.Eps+qTol+p.maxTol(*o) {
+				continue
+			}
+			if withinBound(*q, *o, p) {
+				buf = append(buf, j)
+			}
+		}
+		return buf
+	})
+}
+
+// PolylineComponents returns the merged disjoint segment-level components
+// used by the CuTS filter step (Algorithm 2, line 11).
+func PolylineComponents(polys []Polyline, minPts int, p PolylineDistanceParams) [][]int {
+	return ClusterComponents(PolylineAdjacency(polys, minPts, p))
+}

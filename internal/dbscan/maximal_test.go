@@ -1,0 +1,236 @@
+package dbscan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func adjOf(pts []geom.Point, eps float64, minPts int) Adjacency {
+	return SnapshotAdjacency(pts, eps, minPts)
+}
+
+func TestClusterMaximalSharedBorder(t *testing.T) {
+	// Two 3-core groups with one border point reachable from both. With
+	// minPts=4 the border belongs to BOTH maximal sets, while
+	// ClusterComponents merges everything into one component.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.2, 0), geom.Pt(0.4, 0), // cores of A
+		geom.Pt(2.4, 0), geom.Pt(2.6, 0), geom.Pt(2.8, 0), // cores of B
+		geom.Pt(1.4, 0), // border of both (within 1.0 of 0.4 and 2.4)
+	}
+	adj := adjOf(pts, 1.0, 4)
+	// Sanity: 6 is not core (neighbors {2,3,6} only).
+	if adj.Core[6] {
+		t.Fatalf("point 6 should be border, NH=%v", adj.NH[6])
+	}
+	clusters := ClusterMaximal(adj)
+	if len(clusters) != 2 {
+		t.Fatalf("maximal clusters = %v, want 2", clusters)
+	}
+	for i, c := range clusters {
+		found := false
+		for _, m := range c {
+			if m == 6 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cluster %d misses the shared border: %v", i, c)
+		}
+	}
+	comps := ClusterComponents(adj)
+	if len(comps) != 1 {
+		t.Fatalf("components = %v, want single merged component", comps)
+	}
+	if len(comps[0]) != 7 {
+		t.Errorf("merged component = %v, want all 7 points", comps[0])
+	}
+}
+
+func TestClusterMaximalDisjointGroupsMatchExclusive(t *testing.T) {
+	// Without shared borders, maximal sets, components and exclusive DBSCAN
+	// all agree.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(1, 0),
+		geom.Pt(10, 0), geom.Pt(10.5, 0),
+		geom.Pt(50, 50), // noise
+	}
+	adj := adjOf(pts, 1.0, 2)
+	maximal := ClusterMaximal(adj)
+	comps := ClusterComponents(adj)
+	labels := Cluster(pts, 1.0, 2)
+	groups := GroupsByLabel(labels)
+	if len(maximal) != 2 || len(comps) != 2 || len(groups) != 2 {
+		t.Fatalf("cluster counts differ: maximal=%d comps=%d exclusive=%d",
+			len(maximal), len(comps), len(groups))
+	}
+	for i := range maximal {
+		if !equalSlices(maximal[i], comps[i]) || !equalSlices(maximal[i], groups[i]) {
+			t.Errorf("cluster %d differs: maximal=%v comps=%v exclusive=%v",
+				i, maximal[i], comps[i], groups[i])
+		}
+	}
+	// Noise point 5 appears nowhere.
+	for _, c := range maximal {
+		for _, m := range c {
+			if m == 5 {
+				t.Error("noise point clustered")
+			}
+		}
+	}
+}
+
+func equalSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterMaximalMinPtsOne(t *testing.T) {
+	// minPts=1: every point is core; clusters are plain distance components.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(10, 0)}
+	clusters := SnapshotClustersMaximal(pts, 1, 1)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if !equalSlices(clusters[0], []int{0, 1}) || !equalSlices(clusters[1], []int{2}) {
+		t.Errorf("clusters = %v", clusters)
+	}
+}
+
+func TestClusterMaximalEmpty(t *testing.T) {
+	if got := SnapshotClustersMaximal(nil, 1, 2); len(got) != 0 {
+		t.Errorf("empty input produced %v", got)
+	}
+}
+
+// Reference implementation of maximal density-connected sets, straight from
+// Definitions 1–2: compute density-reachability closures of each core.
+func maximalBrute(adj Adjacency) [][]int {
+	n := len(adj.NH)
+	inNH := func(p, q int) bool {
+		for _, x := range adj.NH[p] {
+			if x == q {
+				return true
+			}
+		}
+		return false
+	}
+	// reach[x] = set of points density-reachable from core x.
+	seen := map[string]bool{}
+	var out [][]int
+	for x := 0; x < n; x++ {
+		if !adj.Core[x] {
+			continue
+		}
+		reach := map[int]struct{}{x: {}}
+		queue := []int{x}
+		for head := 0; head < len(queue); head++ {
+			c := queue[head]
+			if !adj.Core[c] {
+				continue // only cores extend chains
+			}
+			for q := 0; q < n; q++ {
+				if _, ok := reach[q]; ok {
+					continue
+				}
+				if inNH(c, q) {
+					reach[q] = struct{}{}
+					queue = append(queue, q)
+				}
+			}
+		}
+		members := make([]int, 0, len(reach))
+		for m := range reach {
+			members = append(members, m)
+		}
+		sort.Ints(members)
+		key := ""
+		for _, m := range members {
+			key += string(rune(m)) + ","
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, members)
+		}
+	}
+	return out
+}
+
+func TestPropMaximalMatchesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for iter := 0; iter < 120; iter++ {
+		n := r.Intn(30)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*12, r.Float64()*12)
+		}
+		eps := 0.5 + r.Float64()*2.5
+		minPts := 1 + r.Intn(4)
+		adj := adjOf(pts, eps, minPts)
+		got := ClusterMaximal(adj)
+		want := maximalBrute(adj)
+		if len(got) != len(want) {
+			t.Fatalf("cluster count: got %d want %d (n=%d eps=%g minPts=%d)\ngot=%v\nwant=%v",
+				len(got), len(want), n, eps, minPts, got, want)
+		}
+		// Compare as sets of member lists.
+		match := func(c []int, list [][]int) bool {
+			for _, w := range list {
+				if equalSlices(c, w) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range got {
+			if !match(c, want) {
+				t.Fatalf("cluster %v not in reference %v", c, want)
+			}
+		}
+	}
+}
+
+// Property: every maximal set is fully contained in exactly one component.
+func TestPropMaximalWithinComponents(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for iter := 0; iter < 100; iter++ {
+		n := r.Intn(40)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*15, r.Float64()*15)
+		}
+		adj := adjOf(pts, 1.0+r.Float64(), 1+r.Intn(4))
+		maximal := ClusterMaximal(adj)
+		comps := ClusterComponents(adj)
+		compOf := map[int]int{}
+		for ci, c := range comps {
+			for _, m := range c {
+				if prev, dup := compOf[m]; dup && prev != ci {
+					t.Fatalf("point %d in two components", m)
+				}
+				compOf[m] = ci
+			}
+		}
+		for _, c := range maximal {
+			ref, ok := compOf[c[0]]
+			if !ok {
+				t.Fatalf("cluster member %d not in any component", c[0])
+			}
+			for _, m := range c[1:] {
+				if compOf[m] != ref {
+					t.Fatalf("maximal set %v spans components", c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package expr is the experiment harness: one runner per evaluation table
+// and figure of the paper (Table 3, Figures 12–17, Figure 19). Each runner
+// regenerates the corresponding rows/series on the synthetic dataset
+// profiles and prints a paper-style text table.
+//
+// Absolute numbers differ from the paper (different hardware, language and
+// — necessarily — synthetic data); the point of the harness is the *shape*
+// of each result: which method wins, by roughly what factor, and how the
+// curves move with δ, λ and θ. EXPERIMENTS.md records the paper-vs-measured
+// comparison produced by these runners.
+package expr
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+// Options configure a harness run.
+type Options struct {
+	// Scale multiplies the time-domain length of every dataset profile
+	// (1 = the paper's full size; benchmarks use ~0.02–0.1).
+	Scale float64
+	// Seed drives the deterministic data generation.
+	Seed int64
+	// Out receives the printed tables.
+	Out io.Writer
+	// Profiles overrides the default four Table 3 profiles when non-nil.
+	Profiles []datagen.Profile
+}
+
+func (o Options) profiles() []datagen.Profile {
+	if o.Profiles != nil {
+		return o.Profiles
+	}
+	return datagen.AllProfiles(o.Scale, o.Seed)
+}
+
+func (o Options) out() io.Writer {
+	if o.Out != nil {
+		return o.Out
+	}
+	return io.Discard
+}
+
+// params extracts the convoy query parameters of a profile.
+func params(p datagen.Profile) core.Params {
+	return core.Params{M: p.M, K: p.K, Eps: p.Eps}
+}
+
+// tab starts a tabwriter over the options' output.
+func tab(o Options) *tabwriter.Writer {
+	return tabwriter.NewWriter(o.out(), 2, 4, 2, ' ', 0)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+// timedCMC runs CMC and reports the result with its wall time.
+func timedCMC(db *model.DB, p core.Params) (core.Result, time.Duration, error) {
+	t0 := time.Now()
+	res, err := core.CMC(db, p)
+	return res, time.Since(t0), err
+}
+
+// Table3 prints the dataset statistics, the parameter settings (paper
+// values rescaled next to the guideline-derived values), and the number of
+// convoys CuTS* discovers — the reproduction of Table 3.
+func Table3(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Table 3: dataset statistics and experiment settings")
+	fmt.Fprintln(w, "dataset\tN\tT\tavg len\tpoints\tmissing%\tm\tk\te\tδ(table)\tδ(auto)\tλ(table)\tλ(auto)\tconvoys")
+	for _, prof := range o.profiles() {
+		db := prof.Generate()
+		st := db.Stats()
+		p := params(prof)
+		res, runStats, err := core.Run(db, p, core.Config{Variant: core.VariantCuTSStar})
+		if err != nil {
+			return fmt.Errorf("expr: Table3 %s: %w", prof.Name, err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%d\t%.0f\t%d\t%d\t%g\t%.1f\t%.2f\t%d\t%d\t%d\n",
+			prof.Name, st.NumObjects, st.TimeDomainLength, st.AvgTrajLen, st.TotalPoints,
+			st.MissingFraction*100, p.M, p.K, p.Eps,
+			prof.Delta, runStats.Delta, prof.Lambda, runStats.Lambda, len(res))
+	}
+	return w.Flush()
+}
+
+// Figure12 prints total query-processing time of CMC versus the CuTS
+// family on every dataset.
+func Figure12(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Figure 12: query processing time (ms)")
+	fmt.Fprintln(w, "dataset\tCMC\tCuTS\tCuTS+\tCuTS*\tbest speedup")
+	for _, prof := range o.profiles() {
+		db := prof.Generate()
+		p := params(prof)
+		ref, cmcTime, err := timedCMC(db, p)
+		if err != nil {
+			return fmt.Errorf("expr: Figure12 %s: %w", prof.Name, err)
+		}
+		var times [3]time.Duration
+		for i, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
+			res, st, err := core.Run(db, p, core.Config{Variant: variant})
+			if err != nil {
+				return fmt.Errorf("expr: Figure12 %s %v: %w", prof.Name, variant, err)
+			}
+			if !res.Equal(ref) {
+				return fmt.Errorf("expr: Figure12 %s: %v answer differs from CMC", prof.Name, variant)
+			}
+			times[i] = st.TotalTime()
+		}
+		best := times[0]
+		for _, t := range times[1:] {
+			if t < best {
+				best = t
+			}
+		}
+		speedup := float64(cmcTime) / float64(best)
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%.1fx\n",
+			prof.Name, ms(cmcTime), ms(times[0]), ms(times[1]), ms(times[2]), speedup)
+	}
+	return w.Flush()
+}
+
+// Figure13 prints the per-phase cost breakdown (simplification / filter /
+// refinement) of the CuTS family on every dataset (the paper magnifies
+// Cattle and Taxi).
+func Figure13(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Figure 13: query processing cost breakdown (ms)")
+	fmt.Fprintln(w, "dataset\tmethod\tsimplify\tfilter\trefine\ttotal")
+	for _, prof := range o.profiles() {
+		db := prof.Generate()
+		p := params(prof)
+		for _, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
+			_, st, err := core.Run(db, p, core.Config{Variant: variant})
+			if err != nil {
+				return fmt.Errorf("expr: Figure13 %s %v: %w", prof.Name, variant, err)
+			}
+			fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%s\n",
+				prof.Name, variant, ms(st.SimplifyTime), ms(st.FilterTime), ms(st.RefineTime), ms(st.TotalTime()))
+		}
+	}
+	return w.Flush()
+}
+
+// Figure14 compares the filter under global versus actual tolerances for
+// CuTS*: candidate counts (a) and elapsed time (b).
+func Figure14(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Figure 14: effect of actual tolerance (CuTS*)")
+	fmt.Fprintln(w, "dataset\tcand(global)\tcand(actual)\ttime global (ms)\ttime actual (ms)")
+	for _, prof := range o.profiles() {
+		db := prof.Generate()
+		p := params(prof)
+		var cands [2]int
+		var times [2]time.Duration
+		for i, tol := range []int{1, 0} { // GlobalTolerance = 1, ActualTolerance = 0
+			_, st, err := core.Run(db, p, core.Config{
+				Variant:   core.VariantCuTSStar,
+				Tolerance: toleranceMode(tol),
+			})
+			if err != nil {
+				return fmt.Errorf("expr: Figure14 %s: %w", prof.Name, err)
+			}
+			cands[i] = st.NumCandidates
+			times[i] = st.TotalTime()
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\n", prof.Name, cands[0], cands[1], ms(times[0]), ms(times[1]))
+	}
+	return w.Flush()
+}

@@ -1,0 +1,100 @@
+package geom
+
+import "math"
+
+// TimedSegment is a line segment whose endpoints carry timestamps: the
+// moving point is at A at time T0 and at B at time T1, moving linearly in
+// between. Simplified trajectory segments produced by DP* are interpreted
+// this way (Section 6.2). T0 ≤ T1 is required; T0 == T1 denotes a stationary
+// single-instant segment positioned at A.
+type TimedSegment struct {
+	Segment
+	T0, T1 float64
+}
+
+// TimedSeg constructs a TimedSegment.
+func TimedSeg(a, b Point, t0, t1 float64) TimedSegment {
+	return TimedSegment{Segment: Segment{A: a, B: b}, T0: t0, T1: t1}
+}
+
+// PosAt returns the interpolated position of the moving point at time t:
+//
+//	l'(t) = p_u + (t−u)/(v−u) · (p_v − p_u)
+//
+// t is not clamped to [T0,T1]; callers restrict t to the segment's interval.
+// A zero-duration segment is stationary at A.
+func (ts TimedSegment) PosAt(t float64) Point {
+	if ts.T1 == ts.T0 {
+		return ts.A
+	}
+	f := (t - ts.T0) / (ts.T1 - ts.T0)
+	return ts.A.Lerp(ts.B, f)
+}
+
+// Velocity returns the constant velocity vector of the moving point in
+// spatial units per time unit. Zero-duration segments have zero velocity.
+func (ts TimedSegment) Velocity() Point {
+	if ts.T1 == ts.T0 {
+		return Point{}
+	}
+	return ts.B.Sub(ts.A).Scale(1 / (ts.T1 - ts.T0))
+}
+
+// OverlapInterval returns the intersection of the two segments' time
+// intervals and whether it is non-empty.
+func (ts TimedSegment) OverlapInterval(other TimedSegment) (lo, hi float64, ok bool) {
+	lo = math.Max(ts.T0, other.T0)
+	hi = math.Min(ts.T1, other.T1)
+	return lo, hi, lo <= hi
+}
+
+// CPATime returns the Closest-Point-of-Approach time of the two moving
+// points, clamped to the common time interval of the segments. The second
+// return value is false when the time intervals do not intersect (the paper
+// defines D* = ∞ in that case).
+//
+// Within the common interval the squared distance between the two moving
+// points is a quadratic in t, so the unconstrained minimiser is
+//
+//	tCPA = −(w0 · dv) / |dv|²
+//
+// where w0 is the relative position at t = 0 and dv the relative velocity;
+// with dv = 0 the distance is constant and any time in the interval attains
+// the minimum (lo is returned).
+func CPATime(u, v TimedSegment) (t float64, ok bool) {
+	lo, hi, ok := u.OverlapInterval(v)
+	if !ok {
+		return 0, false
+	}
+	vu, vv := u.Velocity(), v.Velocity()
+	dv := vu.Sub(vv)
+	den := dv.Norm2()
+	if den == 0 {
+		return lo, true
+	}
+	// Relative position at absolute time 0.
+	w0 := u.A.Sub(vu.Scale(u.T0)).Sub(v.A.Sub(vv.Scale(v.T0)))
+	t = -w0.Dot(dv) / den
+	if t < lo {
+		t = lo
+	} else if t > hi {
+		t = hi
+	}
+	return t, true
+}
+
+// DStar returns the tightened synchronous distance between two timed
+// segments (Section 6.2):
+//
+//	D*(l'1, l'2) = D(l'1(tCPA), l'2(tCPA)),  tCPA ∈ l'1.τ ∩ l'2.τ
+//
+// and +Inf when the time intervals do not intersect. DStar is always ≥ DLL
+// of the underlying spatial segments because it compares positions at the
+// same instant rather than the closest pair across all of space.
+func DStar(u, v TimedSegment) float64 {
+	t, ok := CPATime(u, v)
+	if !ok {
+		return math.Inf(1)
+	}
+	return D(u.PosAt(t), v.PosAt(t))
+}

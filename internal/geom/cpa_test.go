@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTimedSegmentPosAt(t *testing.T) {
+	ts := TimedSeg(Pt(0, 0), Pt(10, 20), 2, 12)
+	if got := ts.PosAt(2); got != Pt(0, 0) {
+		t.Errorf("PosAt(start) = %v", got)
+	}
+	if got := ts.PosAt(12); got != Pt(10, 20) {
+		t.Errorf("PosAt(end) = %v", got)
+	}
+	if got := ts.PosAt(7); got != Pt(5, 10) {
+		t.Errorf("PosAt(mid) = %v", got)
+	}
+	if got := ts.Velocity(); got != Pt(1, 2) {
+		t.Errorf("Velocity = %v", got)
+	}
+}
+
+func TestTimedSegmentZeroDuration(t *testing.T) {
+	ts := TimedSeg(Pt(3, 4), Pt(9, 9), 5, 5)
+	if got := ts.PosAt(5); got != Pt(3, 4) {
+		t.Errorf("PosAt on zero-duration = %v, want A", got)
+	}
+	if got := ts.Velocity(); got != (Point{}) {
+		t.Errorf("Velocity on zero-duration = %v", got)
+	}
+}
+
+func TestOverlapInterval(t *testing.T) {
+	a := TimedSeg(Pt(0, 0), Pt(1, 0), 0, 10)
+	b := TimedSeg(Pt(0, 0), Pt(1, 0), 5, 15)
+	lo, hi, ok := a.OverlapInterval(b)
+	if !ok || lo != 5 || hi != 10 {
+		t.Errorf("OverlapInterval = %g,%g,%v", lo, hi, ok)
+	}
+	c := TimedSeg(Pt(0, 0), Pt(1, 0), 11, 15)
+	if _, _, ok := a.OverlapInterval(c); ok {
+		t.Error("disjoint intervals reported overlapping")
+	}
+	// Touching at a single instant counts as overlapping.
+	d := TimedSeg(Pt(0, 0), Pt(1, 0), 10, 15)
+	if lo, hi, ok := a.OverlapInterval(d); !ok || lo != 10 || hi != 10 {
+		t.Errorf("touching OverlapInterval = %g,%g,%v", lo, hi, ok)
+	}
+}
+
+func TestDStarDisjointIntervalsIsInf(t *testing.T) {
+	a := TimedSeg(Pt(0, 0), Pt(1, 0), 0, 5)
+	b := TimedSeg(Pt(0, 0), Pt(1, 0), 6, 10)
+	if got := DStar(a, b); !math.IsInf(got, 1) {
+		t.Errorf("DStar on disjoint intervals = %g, want +Inf", got)
+	}
+}
+
+func TestDStarHeadOnPass(t *testing.T) {
+	// Two objects on the x-axis moving toward each other; they meet at t=5,
+	// x=5. DStar must be 0 while DLL is also 0 (the spatial segments overlap).
+	a := TimedSeg(Pt(0, 0), Pt(10, 0), 0, 10)
+	b := TimedSeg(Pt(10, 0), Pt(0, 0), 0, 10)
+	if got := DStar(a, b); !almostEqual(got, 0) {
+		t.Errorf("DStar head-on = %g, want 0", got)
+	}
+	tc, ok := CPATime(a, b)
+	if !ok || !almostEqual(tc, 5) {
+		t.Errorf("CPATime = %g,%v want 5", tc, ok)
+	}
+}
+
+func TestDStarFollowerNeverMeets(t *testing.T) {
+	// Object b follows a along the same path, two time units behind. The
+	// spatial segments overlap (DLL = 0) but synchronously they are always
+	// 2 units apart: D* captures that.
+	a := TimedSeg(Pt(0, 0), Pt(10, 0), 0, 10)
+	b := TimedSeg(Pt(-2, 0), Pt(8, 0), 0, 10)
+	if dll := DLL(a.Segment, b.Segment); !almostEqual(dll, 0) {
+		t.Fatalf("setup: DLL = %g, want 0", dll)
+	}
+	if got := DStar(a, b); !almostEqual(got, 2) {
+		t.Errorf("DStar follower = %g, want 2", got)
+	}
+}
+
+func TestDStarParallelConstantGap(t *testing.T) {
+	a := TimedSeg(Pt(0, 0), Pt(10, 0), 0, 10)
+	b := TimedSeg(Pt(0, 3), Pt(10, 3), 0, 10)
+	if got := DStar(a, b); !almostEqual(got, 3) {
+		t.Errorf("DStar parallel = %g, want 3", got)
+	}
+}
+
+func TestDStarClampsToCommonInterval(t *testing.T) {
+	// The unconstrained CPA time would be t=10 (where the tracks converge),
+	// but the common interval ends at t=4, so the minimum is at t=4.
+	a := TimedSeg(Pt(0, 10), Pt(10, 0), 0, 10) // converging toward y=0
+	b := TimedSeg(Pt(0, -10), Pt(4, -6), 0, 4) // moving up, ends early
+	tc, ok := CPATime(a, b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	if tc != 4 {
+		t.Errorf("CPATime = %g, want clamp at 4", tc)
+	}
+	want := D(a.PosAt(4), b.PosAt(4))
+	if got := DStar(a, b); !almostEqual(got, want) {
+		t.Errorf("DStar = %g, want %g", got, want)
+	}
+}
+
+func TestDStarStationaryPair(t *testing.T) {
+	a := TimedSeg(Pt(0, 0), Pt(0, 0), 0, 10)
+	b := TimedSeg(Pt(3, 4), Pt(3, 4), 2, 8)
+	if got := DStar(a, b); !almostEqual(got, 5) {
+		t.Errorf("DStar stationary = %g, want 5", got)
+	}
+}
+
+// Property: D* is always ≥ DLL on the underlying spatial segments whenever
+// the time intervals overlap (Section 6.2's tightening claim), and both are
+// lower bounds on the synchronous distance at any shared time.
+func TestPropDStarTightensDLL(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		t0 := r.Float64() * 100
+		d0 := r.Float64()*20 + 0.1
+		t1 := r.Float64() * 100
+		d1 := r.Float64()*20 + 0.1
+		a := TimedSeg(boundedPoint(r), boundedPoint(r), t0, t0+d0)
+		b := TimedSeg(boundedPoint(r), boundedPoint(r), t1, t1+d1)
+		ds := DStar(a, b)
+		lo, hi, ok := a.OverlapInterval(b)
+		if !ok {
+			if !math.IsInf(ds, 1) {
+				t.Fatalf("disjoint intervals but DStar=%g", ds)
+			}
+			continue
+		}
+		dll := DLL(a.Segment, b.Segment)
+		if ds < dll-1e-6 {
+			t.Fatalf("DStar=%g below DLL=%g (a=%+v b=%+v)", ds, dll, a, b)
+		}
+		// DStar is the min over shared times: no sampled time beats it.
+		for j := 0; j <= 32; j++ {
+			tt := lo + (hi-lo)*float64(j)/32
+			if d := D(a.PosAt(tt), b.PosAt(tt)); d < ds-1e-6 {
+				t.Fatalf("DStar=%g exceeds synchronous distance %g at t=%g", ds, d, tt)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package grid provides uniform hash-grid spatial indexes used to accelerate
+// the ε-neighborhood searches at the heart of DBSCAN (snapshot clustering)
+// and of the CuTS filter step (range search over simplified sub-polylines).
+//
+// Two indexes are provided: PointIndex for point sets and RectIndex for
+// rectangle (bounding-box) sets. Both bucket geometry into square cells of a
+// caller-chosen size — for DBSCAN the natural cell size is the query radius
+// e, which confines every radius-e search to a 3×3 cell block.
+//
+// Candidate enumeration is deterministic: cells are scanned in row-major
+// order and entries within a cell preserve insertion order, so identical
+// inputs yield identical candidate orders (which keeps the clustering — and
+// therefore the whole discovery pipeline — reproducible).
+package grid
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// maxPointCells caps the dense point-grid resolution; when the data extent
+// divided by the requested cell size would exceed it, the cell size is
+// grown.
+const maxPointCells = 1 << 20
+
+// PointIndex is a uniform grid over points, stored as a dense array sized
+// to the points' bounding box (hash-map grids dominated the clustering
+// profile). The zero value is not usable; construct with NewPointIndex.
+type PointIndex struct {
+	cell   float64
+	origin geom.Point
+	nx, ny int
+	cells  [][]int
+	pts    []geom.Point
+}
+
+// NewPointIndex builds an index over pts with the given cell size (possibly
+// grown to respect the resolution cap). The caller keeps ownership of pts;
+// the index stores a copy of the slice header only. cell must be > 0.
+func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
+	if cell <= 0 {
+		panic("grid: cell size must be positive")
+	}
+	idx := &PointIndex{cell: cell, pts: pts}
+	if len(pts) == 0 {
+		return idx
+	}
+	bounds := geom.RectOf(pts...)
+	idx.origin = geom.Pt(bounds.MinX, bounds.MinY)
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	for {
+		nx := int(w/idx.cell) + 1
+		ny := int(h/idx.cell) + 1
+		if nx*ny <= maxPointCells {
+			idx.nx, idx.ny = nx, ny
+			break
+		}
+		idx.cell *= 2
+	}
+	idx.cells = make([][]int, idx.nx*idx.ny)
+	for i, p := range pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], i)
+	}
+	return idx
+}
+
+func (idx *PointIndex) cellOf(p geom.Point) int {
+	cx := clampCell(int(math.Floor((p.X-idx.origin.X)/idx.cell)), idx.nx)
+	cy := clampCell(int(math.Floor((p.Y-idx.origin.Y)/idx.cell)), idx.ny)
+	return cx*idx.ny + cy
+}
+
+// Within appends to dst the indices of all points within distance r of p
+// (inclusive) and returns the extended slice. Results appear in cell
+// row-major order, insertion order within a cell.
+func (idx *PointIndex) Within(p geom.Point, r float64, dst []int) []int {
+	if len(idx.pts) == 0 {
+		return dst
+	}
+	lox := clampCell(int(math.Floor((p.X-r-idx.origin.X)/idx.cell)), idx.nx)
+	hix := clampCell(int(math.Floor((p.X+r-idx.origin.X)/idx.cell)), idx.nx)
+	loy := clampCell(int(math.Floor((p.Y-r-idx.origin.Y)/idx.cell)), idx.ny)
+	hiy := clampCell(int(math.Floor((p.Y+r-idx.origin.Y)/idx.cell)), idx.ny)
+	r2 := r * r
+	for cx := lox; cx <= hix; cx++ {
+		row := cx * idx.ny
+		for cy := loy; cy <= hiy; cy++ {
+			for _, i := range idx.cells[row+cy] {
+				if geom.D2(p, idx.pts[i]) <= r2 {
+					dst = append(dst, i)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Len returns the number of indexed points.
+func (idx *PointIndex) Len() int { return len(idx.pts) }
+
+// maxRectCells caps the dense rect-grid resolution; when the data extent
+// divided by the requested cell size would exceed it, the cell size is
+// grown. 1<<20 cells ≈ 8 MB of slice headers at most.
+const maxRectCells = 1 << 20
+
+// RectIndex is a uniform grid over rectangles; each rectangle is registered
+// in every cell it overlaps. The grid is a dense array sized to the bounding
+// box of the indexed rectangles (hash maps proved to dominate the filter
+// step's profile), so construction cost is O(rects + cells) and queries
+// touch only slice memory. Construct with NewRectIndex.
+type RectIndex struct {
+	cell       float64
+	origin     geom.Point
+	nx, ny     int
+	cells      [][]int
+	rects      []geom.Rect
+	visited    []int // query generation stamps for deduplication
+	gen        int
+	everything geom.Rect
+}
+
+// NewRectIndex builds an index over rects with the given cell size. The
+// effective cell size may be larger when the data extent is huge relative
+// to it (resolution cap). Empty rectangles are skipped (they can never
+// match a query).
+func NewRectIndex(rects []geom.Rect, cell float64) *RectIndex {
+	if cell <= 0 {
+		panic("grid: cell size must be positive")
+	}
+	bounds := geom.EmptyRect()
+	for _, r := range rects {
+		bounds = bounds.Union(r)
+	}
+	idx := &RectIndex{
+		cell:       cell,
+		rects:      rects,
+		visited:    make([]int, len(rects)),
+		everything: bounds,
+	}
+	if bounds.IsEmpty() {
+		return idx
+	}
+	idx.origin = geom.Pt(bounds.MinX, bounds.MinY)
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	// Grow the cell until the grid fits the resolution cap.
+	for {
+		nx := int(w/idx.cell) + 1
+		ny := int(h/idx.cell) + 1
+		if nx*ny <= maxRectCells {
+			idx.nx, idx.ny = nx, ny
+			break
+		}
+		idx.cell *= 2
+	}
+	idx.cells = make([][]int, idx.nx*idx.ny)
+	for i, r := range rects {
+		if r.IsEmpty() {
+			continue
+		}
+		lox, loy, hix, hiy := idx.cellRange(r)
+		for cx := lox; cx <= hix; cx++ {
+			row := cx * idx.ny
+			for cy := loy; cy <= hiy; cy++ {
+				idx.cells[row+cy] = append(idx.cells[row+cy], i)
+			}
+		}
+	}
+	return idx
+}
+
+// cellRange returns the clamped cell-coordinate range covered by r. Queries
+// extending beyond the data bounds clamp to the border cells, which is
+// correct because no rectangle lives outside the bounds.
+func (idx *RectIndex) cellRange(r geom.Rect) (lox, loy, hix, hiy int) {
+	lox = clampCell(int(math.Floor((r.MinX-idx.origin.X)/idx.cell)), idx.nx)
+	hix = clampCell(int(math.Floor((r.MaxX-idx.origin.X)/idx.cell)), idx.nx)
+	loy = clampCell(int(math.Floor((r.MinY-idx.origin.Y)/idx.cell)), idx.ny)
+	hiy = clampCell(int(math.Floor((r.MaxY-idx.origin.Y)/idx.cell)), idx.ny)
+	return lox, loy, hix, hiy
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// Intersecting appends to dst the indices of all rectangles that intersect
+// query, deduplicated, and returns the extended slice. Not safe for
+// concurrent use (the dedup stamps are shared state).
+func (idx *RectIndex) Intersecting(query geom.Rect, dst []int) []int {
+	if query.IsEmpty() || idx.cells == nil || !query.Intersects(idx.everything) {
+		return dst
+	}
+	idx.gen++
+	g := idx.gen
+	lox, loy, hix, hiy := idx.cellRange(query)
+	for cx := lox; cx <= hix; cx++ {
+		row := cx * idx.ny
+		for cy := loy; cy <= hiy; cy++ {
+			for _, i := range idx.cells[row+cy] {
+				if idx.visited[i] == g {
+					continue
+				}
+				idx.visited[i] = g
+				if idx.rects[i].Intersects(query) {
+					dst = append(dst, i)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Len returns the number of indexed rectangles (including empty ones, which
+// are never returned by queries).
+func (idx *RectIndex) Len() int { return len(idx.rects) }

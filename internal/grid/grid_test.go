@@ -1,0 +1,166 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPointIndexSmall(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 0.5), geom.Pt(10, 10), geom.Pt(-3, 0),
+	}
+	idx := NewPointIndex(pts, 1.0)
+	if idx.Len() != 5 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	got := idx.Within(geom.Pt(0, 0), 1.0, nil)
+	sort.Ints(got)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Within = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Within = %v, want %v", got, want)
+		}
+	}
+	if got := idx.Within(geom.Pt(100, 100), 5, nil); len(got) != 0 {
+		t.Errorf("far query returned %v", got)
+	}
+}
+
+func TestPointIndexBoundaryInclusive(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}
+	idx := NewPointIndex(pts, 2.5)
+	got := idx.Within(geom.Pt(0, 0), 5, nil) // distance exactly 5
+	if len(got) != 2 {
+		t.Errorf("boundary distance should be inclusive, got %v", got)
+	}
+	got = idx.Within(geom.Pt(0, 0), 4.999, nil)
+	if len(got) != 1 {
+		t.Errorf("just-under distance should exclude, got %v", got)
+	}
+}
+
+func TestPointIndexNegativeCoords(t *testing.T) {
+	pts := []geom.Point{geom.Pt(-0.5, -0.5), geom.Pt(-1.5, -1.5), geom.Pt(0.5, 0.5)}
+	idx := NewPointIndex(pts, 1.0)
+	got := idx.Within(geom.Pt(-1, -1), 1.0, nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("negative-coordinate query = %v", got)
+	}
+}
+
+func TestPointIndexMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + r.Intn(300)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*100-50, r.Float64()*100-50)
+		}
+		cell := 0.5 + r.Float64()*10
+		idx := NewPointIndex(pts, cell)
+		for q := 0; q < 10; q++ {
+			p := geom.Pt(r.Float64()*120-60, r.Float64()*120-60)
+			radius := r.Float64() * 15
+			got := idx.Within(p, radius, nil)
+			sort.Ints(got)
+			var want []int
+			for i, pt := range pts {
+				if geom.D(p, pt) <= radius {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Within mismatch: got %d, want %d (cell=%g r=%g)", len(got), len(want), cell, radius)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Within mismatch at %d: %v vs %v", i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRectIndexSmall(t *testing.T) {
+	rects := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2},
+		{MinX: 5, MinY: 5, MaxX: 7, MaxY: 7},
+		{MinX: 1, MinY: 1, MaxX: 6, MaxY: 6}, // spans several cells
+		geom.EmptyRect(),                     // must never be returned
+	}
+	idx := NewRectIndex(rects, 2.0)
+	got := idx.Intersecting(geom.Rect{MinX: 1.5, MinY: 1.5, MaxX: 1.6, MaxY: 1.6}, nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Intersecting = %v, want [0 2]", got)
+	}
+	// Dedup: rect 2 overlaps many cells but must appear once.
+	got = idx.Intersecting(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, nil)
+	sort.Ints(got)
+	if len(got) != 3 {
+		t.Errorf("dedup failed: %v", got)
+	}
+	if got := idx.Intersecting(geom.EmptyRect(), nil); len(got) != 0 {
+		t.Errorf("empty query returned %v", got)
+	}
+}
+
+func TestRectIndexMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + r.Intn(200)
+		rects := make([]geom.Rect, n)
+		for i := range rects {
+			x, y := r.Float64()*100-50, r.Float64()*100-50
+			rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + r.Float64()*10, MaxY: y + r.Float64()*10}
+		}
+		idx := NewRectIndex(rects, 1+r.Float64()*8)
+		for q := 0; q < 10; q++ {
+			x, y := r.Float64()*120-60, r.Float64()*120-60
+			query := geom.Rect{MinX: x, MinY: y, MaxX: x + r.Float64()*20, MaxY: y + r.Float64()*20}
+			got := idx.Intersecting(query, nil)
+			sort.Ints(got)
+			var want []int
+			for i, rc := range rects {
+				if rc.Intersects(query) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Intersecting count: got %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Intersecting mismatch: %v vs %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRectIndexRepeatedQueriesIndependent(t *testing.T) {
+	rects := []geom.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	idx := NewRectIndex(rects, 1)
+	q := geom.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}
+	for i := 0; i < 3; i++ {
+		if got := idx.Intersecting(q, nil); len(got) != 1 {
+			t.Fatalf("query %d returned %v", i, got)
+		}
+	}
+}
+
+func TestNewIndexPanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive cell size")
+		}
+	}()
+	NewPointIndex(nil, 0)
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDBBounds(t *testing.T) {
+	db := NewDB()
+	if !db.Bounds().IsEmpty() {
+		t.Error("empty DB bounds should be empty")
+	}
+	db.Add(mustTraj(t, "a", s(0, 1, 2), s(1, 5, -3)))
+	db.Add(mustTraj(t, "b", s(0, -4, 8)))
+	want := geom.Rect{MinX: -4, MinY: -3, MaxX: 5, MaxY: 8}
+	if got := db.Bounds(); got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestSumTrajLen(t *testing.T) {
+	db := NewDB()
+	if db.SumTrajLen() != 0 {
+		t.Error("empty SumTrajLen != 0")
+	}
+	db.Add(mustTraj(t, "a", s(0, 0, 0), s(1, 1, 1)))
+	db.Add(mustTraj(t, "b", s(0, 0, 0), s(2, 1, 1), s(4, 2, 2)))
+	if got := db.SumTrajLen(); got != 5 {
+		t.Errorf("SumTrajLen = %d, want 5", got)
+	}
+}
+
+func TestTickSentinels(t *testing.T) {
+	if MaxTick <= 0 || MinTick >= 0 || MaxTick <= MinTick {
+		t.Error("tick sentinels wrong")
+	}
+}
+
+func TestDuplicateLabelKeepsFirst(t *testing.T) {
+	db := NewDB()
+	a := mustTraj(t, "dup", s(0, 0, 0))
+	b := mustTraj(t, "dup", s(0, 9, 9))
+	db.Add(a)
+	db.Add(b)
+	got, ok := db.ByLabel("dup")
+	if !ok || got != a {
+		t.Error("duplicate label should resolve to the first trajectory")
+	}
+}
+
+func TestTrajectoryCloneSemantics(t *testing.T) {
+	// Clip shares storage with the source; mutating the clip's view is
+	// visible through the parent — documented slice semantics.
+	tr := mustTraj(t, "x", s(0, 0, 0), s(1, 1, 1), s(2, 2, 2))
+	c := tr.Clip(1, 2)
+	if c.Samples[0].T != 1 {
+		t.Fatalf("clip = %+v", c.Samples)
+	}
+	if &c.Samples[0] != &tr.Samples[1] {
+		t.Error("Clip should share backing storage")
+	}
+}

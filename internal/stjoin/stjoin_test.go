@@ -1,0 +1,206 @@
+package stjoin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+func buildDB(t *testing.T, startTick model.Tick, rows ...[]geom.Point) *model.DB {
+	t.Helper()
+	db := model.NewDB()
+	for _, row := range rows {
+		var samples []model.Sample
+		for j, p := range row {
+			if math.IsNaN(p.X) {
+				continue
+			}
+			samples = append(samples, model.Sample{T: startTick + model.Tick(j), P: p})
+		}
+		tr, err := model.NewTrajectory("", samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Add(tr)
+	}
+	return db
+}
+
+func TestCloseSelfJoinBasic(t *testing.T) {
+	db := buildDB(t, 0,
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)},
+		[]geom.Point{geom.Pt(0, 5), geom.Pt(1, 0.5), geom.Pt(2, 5)}, // near o0 at t=1 only
+		[]geom.Point{geom.Pt(50, 50), geom.Pt(51, 50), geom.Pt(52, 50)},
+	)
+	pairs, err := CloseSelfJoin(db, 1, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].A != 0 || pairs[0].B != 1 || pairs[0].First != 1 {
+		t.Errorf("pair = %v, want (o0,o1)@1", pairs[0])
+	}
+}
+
+func TestCloseJoinWindowRestricts(t *testing.T) {
+	db := buildDB(t, 0,
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)},
+		[]geom.Point{geom.Pt(0, 9), geom.Pt(1, 9), geom.Pt(2, 0.5), geom.Pt(3, 9)}, // close at t=2
+	)
+	pairs, err := CloseSelfJoin(db, 1, Between(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Errorf("window [0,1] should be empty: %v", pairs)
+	}
+	pairs, err = CloseSelfJoin(db, 1, Between(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].First != 2 {
+		t.Errorf("window [2,2]: %v", pairs)
+	}
+	if _, err := CloseSelfJoin(db, 1, Between(5, 2)); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := CloseSelfJoin(db, -1, Full()); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestCloseJoinTwoDatabases(t *testing.T) {
+	fleetA := buildDB(t, 0,
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)},
+		[]geom.Point{geom.Pt(100, 0), geom.Pt(101, 0)},
+	)
+	fleetB := buildDB(t, 0,
+		[]geom.Point{geom.Pt(0, 0.5), geom.Pt(1, 0.5)},
+		[]geom.Point{geom.Pt(200, 0), geom.Pt(201, 0)},
+	)
+	pairs, err := CloseJoin(fleetA, fleetB, 1, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].A != 0 || pairs[0].B != 0 || pairs[0].First != 0 {
+		t.Errorf("cross join = %v", pairs)
+	}
+}
+
+func TestCloseJoinInterpolatesGaps(t *testing.T) {
+	// Object 1 has no sample at t=1 but its interpolated position passes
+	// right next to object 0.
+	db := buildDB(t, 0,
+		[]geom.Point{geom.Pt(0, 9), geom.Pt(5, 0.4), geom.Pt(0, -9)},
+		[]geom.Point{geom.Pt(5, 10), absentPt, geom.Pt(5, -10)},
+	)
+	pairs, err := CloseSelfJoin(db, 1, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].First != 1 {
+		t.Errorf("interpolated join = %v", pairs)
+	}
+}
+
+var absentPt = geom.Pt(math.NaN(), math.NaN())
+
+func TestCloseJoinEmptyInputs(t *testing.T) {
+	empty := model.NewDB()
+	db := buildDB(t, 0, []geom.Point{geom.Pt(0, 0)})
+	if pairs, err := CloseJoin(empty, db, 1, Full()); err != nil || pairs != nil {
+		t.Errorf("empty left: %v %v", pairs, err)
+	}
+	if pairs, err := CloseJoin(db, empty, 1, Full()); err != nil || pairs != nil {
+		t.Errorf("empty right: %v %v", pairs, err)
+	}
+	// Disjoint time ranges.
+	late := buildDB(t, 100, []geom.Point{geom.Pt(0, 0)})
+	if pairs, err := CloseJoin(db, late, 1, Full()); err != nil || pairs != nil {
+		t.Errorf("disjoint times: %v %v", pairs, err)
+	}
+}
+
+func TestCloseJoinZeroDistance(t *testing.T) {
+	db := buildDB(t, 0,
+		[]geom.Point{geom.Pt(1, 1)},
+		[]geom.Point{geom.Pt(1, 1)},
+		[]geom.Point{geom.Pt(2, 2)},
+	)
+	pairs, err := CloseSelfJoin(db, 0, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].A != 0 || pairs[0].B != 1 {
+		t.Errorf("e=0 join = %v", pairs)
+	}
+}
+
+// Property: the grid-accelerated sweep equals a brute-force double loop
+// over ticks and pairs.
+func TestPropJoinMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 40; iter++ {
+		nObj, nTicks := 2+r.Intn(6), 4+r.Intn(10)
+		rows := make([][]geom.Point, nObj)
+		for o := range rows {
+			row := make([]geom.Point, nTicks)
+			x, y := r.Float64()*15, r.Float64()*15
+			for i := range row {
+				x += r.Float64()*3 - 1.5
+				y += r.Float64()*3 - 1.5
+				if r.Float64() < 0.15 && i != 0 && i != nTicks-1 {
+					row[i] = absentPt
+					continue
+				}
+				row[i] = geom.Pt(x, y)
+			}
+			rows[o] = row
+		}
+		db := buildDB(t, 0, rows...)
+		e := 0.5 + r.Float64()*3
+		got, err := CloseSelfJoin(db, e, Full())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		type key struct{ a, b model.ObjectID }
+		want := map[key]model.Tick{}
+		lo, hi, _ := db.TimeRange()
+		for tick := lo; tick <= hi; tick++ {
+			for a := 0; a < nObj; a++ {
+				pa, oka := db.Traj(a).LocationAt(tick)
+				if !oka {
+					continue
+				}
+				for b := a + 1; b < nObj; b++ {
+					pb, okb := db.Traj(b).LocationAt(tick)
+					if !okb || geom.D(pa, pb) > e {
+						continue
+					}
+					k := key{a, b}
+					if _, seen := want[k]; !seen {
+						want[k] = tick
+					}
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pair count: got %d want %d", len(got), len(want))
+		}
+		for _, p := range got {
+			first, ok := want[key{p.A, p.B}]
+			if !ok {
+				t.Fatalf("extra pair %v", p)
+			}
+			if first != p.First {
+				t.Fatalf("pair %v first tick %d, want %d", p, p.First, first)
+			}
+		}
+	}
+}

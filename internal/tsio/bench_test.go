@@ -1,0 +1,86 @@
+package tsio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// benchDB builds a mid-size database (100 objects × 500 samples).
+func benchDB() *model.DB {
+	r := rand.New(rand.NewSource(1))
+	db := model.NewDB()
+	for o := 0; o < 100; o++ {
+		samples := make([]model.Sample, 0, 500)
+		x, y := r.Float64()*1000, r.Float64()*1000
+		for i := 0; i < 500; i++ {
+			x += r.Float64()*4 - 2
+			y += r.Float64()*4 - 2
+			samples = append(samples, model.Sample{T: model.Tick(i), P: geom.Pt(x, y)})
+		}
+		tr, _ := model.NewTrajectory("", samples)
+		db.Add(tr)
+	}
+	return db
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	db := benchDB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, db); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	db := benchDB()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, db); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	db := benchDB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, db); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	db := benchDB()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, db); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

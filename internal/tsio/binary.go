@@ -1,0 +1,204 @@
+package tsio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// Binary trajectory format ("CTB"): a compact exact-precision encoding for
+// large databases where CSV becomes the bottleneck (the Cattle shape:
+// millions of samples). Layout, all integers unsigned varints unless noted:
+//
+//	magic "CTB1" (4 bytes)
+//	numObjects
+//	per object:
+//	    labelLen, label bytes
+//	    numSamples (≥ 1)
+//	    firstTick (zig-zag varint; ticks may be negative)
+//	    per further sample: tickDelta−1 (ticks are strictly increasing)
+//	    per sample: x, y as IEEE-754 bits (8+8 bytes little endian)
+//
+// Coordinates round-trip bit-exactly; tick deltas make typical regularly
+// sampled data one byte per tick.
+
+// binaryMagic identifies the format and its version.
+var binaryMagic = [4]byte{'C', 'T', 'B', '1'}
+
+// WriteBinary writes the database in CTB format.
+func WriteBinary(w io.Writer, db *model.DB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("tsio: write magic: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putFloat := func(f float64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		_, err := bw.Write(b[:])
+		return err
+	}
+	if err := putUvarint(uint64(db.Len())); err != nil {
+		return fmt.Errorf("tsio: %w", err)
+	}
+	for _, tr := range db.Trajectories() {
+		if err := putUvarint(uint64(len(tr.Label))); err != nil {
+			return fmt.Errorf("tsio: %w", err)
+		}
+		if _, err := bw.WriteString(tr.Label); err != nil {
+			return fmt.Errorf("tsio: %w", err)
+		}
+		if err := putUvarint(uint64(tr.Len())); err != nil {
+			return fmt.Errorf("tsio: %w", err)
+		}
+		prev := model.Tick(0)
+		for i, s := range tr.Samples {
+			if i == 0 {
+				if err := putVarint(int64(s.T)); err != nil {
+					return fmt.Errorf("tsio: %w", err)
+				}
+			} else {
+				if err := putUvarint(uint64(s.T-prev) - 1); err != nil {
+					return fmt.Errorf("tsio: %w", err)
+				}
+			}
+			prev = s.T
+			if err := putFloat(s.P.X); err != nil {
+				return fmt.Errorf("tsio: %w", err)
+			}
+			if err := putFloat(s.P.Y); err != nil {
+				return fmt.Errorf("tsio: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("tsio: flush: %w", err)
+	}
+	return nil
+}
+
+// maxReasonableCount guards length prefixes against corrupted or hostile
+// inputs before any allocation happens.
+const maxReasonableCount = 1 << 31
+
+// ReadBinary parses a CTB stream into a database.
+func ReadBinary(r io.Reader) (*model.DB, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tsio: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("tsio: bad magic %q (want %q)", magic, binaryMagic)
+	}
+	readFloat := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	numObjects, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tsio: object count: %w", err)
+	}
+	if numObjects > maxReasonableCount {
+		return nil, fmt.Errorf("tsio: implausible object count %d", numObjects)
+	}
+	db := model.NewDB()
+	for o := uint64(0); o < numObjects; o++ {
+		labelLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tsio: object %d label length: %w", o, err)
+		}
+		if labelLen > maxReasonableCount {
+			return nil, fmt.Errorf("tsio: object %d: implausible label length %d", o, labelLen)
+		}
+		label := make([]byte, labelLen)
+		if _, err := io.ReadFull(br, label); err != nil {
+			return nil, fmt.Errorf("tsio: object %d label: %w", o, err)
+		}
+		numSamples, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tsio: object %d sample count: %w", o, err)
+		}
+		if numSamples == 0 {
+			return nil, fmt.Errorf("tsio: object %d has no samples", o)
+		}
+		if numSamples > maxReasonableCount {
+			return nil, fmt.Errorf("tsio: object %d: implausible sample count %d", o, numSamples)
+		}
+		samples := make([]model.Sample, 0, numSamples)
+		var tick model.Tick
+		for i := uint64(0); i < numSamples; i++ {
+			if i == 0 {
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("tsio: object %d first tick: %w", o, err)
+				}
+				tick = model.Tick(v)
+			} else {
+				d, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("tsio: object %d tick delta: %w", o, err)
+				}
+				tick += model.Tick(d) + 1
+			}
+			x, err := readFloat()
+			if err != nil {
+				return nil, fmt.Errorf("tsio: object %d sample %d x: %w", o, i, err)
+			}
+			y, err := readFloat()
+			if err != nil {
+				return nil, fmt.Errorf("tsio: object %d sample %d y: %w", o, i, err)
+			}
+			samples = append(samples, model.Sample{T: tick, P: geom.Pt(x, y)})
+		}
+		tr, err := model.NewTrajectory(string(label), samples)
+		if err != nil {
+			return nil, fmt.Errorf("tsio: object %d: %w", o, err)
+		}
+		db.Add(tr)
+	}
+	return db, nil
+}
+
+// SaveBinary writes the database to a CTB file.
+func SaveBinary(path string, db *model.DB) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tsio: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("tsio: close %s: %w", path, cerr)
+		}
+	}()
+	return WriteBinary(f, db)
+}
+
+// LoadBinary reads a database from a CTB file.
+func LoadBinary(path string) (*model.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsio: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -5,27 +5,44 @@
 //
 //	benchrunner -exp all -scale 0.05            # every experiment, small scale
 //	benchrunner -exp fig12 -scale 1             # Figure 12 at full Table 3 scale
+//	benchrunner -exp fig12 -json out/           # also write out/BENCH_fig12.json
 //	benchrunner -list                           # list experiment ids
 //
 // Experiment ids follow the paper: table3, fig12 … fig17, fig19. Scale
 // multiplies the time-domain length of every dataset (1 reproduces the
 // Table 3 sizes; expect minutes of runtime at full scale).
+//
+// -json <dir> additionally writes one BENCH_<exp>.json per experiment run:
+// the machine-readable measurement rows behind the printed tables, tagged
+// with scale and seed — the perf-trajectory files that later runs compare
+// against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/expr"
 )
 
+// benchFile is the BENCH_<exp>.json schema.
+type benchFile struct {
+	Exp     string        `json:"exp"`
+	Scale   float64       `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Records []expr.Record `json:"records"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19) or 'all'")
-		scale = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
-		seed  = flag.Int64("seed", 1, "random seed for data generation")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19) or 'all'")
+		scale   = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
+		seed    = flag.Int64("seed", 1, "random seed for data generation")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json measurement files into")
 	)
 	flag.Parse()
 
@@ -36,20 +53,52 @@ func main() {
 		return
 	}
 
-	opts := expr.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
-	var err error
+	var ids []string
 	if *exp == "all" {
-		err = expr.RunAll(opts)
+		for _, e := range expr.Experiments {
+			ids = append(ids, e.ID)
+		}
 	} else {
-		run, ok := expr.Lookup(*exp)
-		if !ok {
+		if _, ok := expr.Lookup(*exp); !ok {
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use -list)\n", *exp)
 			os.Exit(2)
 		}
-		err = run(opts)
+		ids = []string{*exp}
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, id := range ids {
+		run, _ := expr.Lookup(id)
+		opts := expr.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
+		var records []expr.Record
+		if *jsonDir != "" {
+			opts.Record = func(r expr.Record) { records = append(records, r) }
+		}
+		if err := run(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *jsonDir != "" {
+			if err := writeBench(*jsonDir, benchFile{Exp: id, Scale: *scale, Seed: *seed, Records: records}); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeBench writes one experiment's measurement file.
+func writeBench(dir string, bf benchFile) error {
+	path := filepath.Join(dir, "BENCH_"+bf.Exp+".json")
+	data, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchrunner:", err)
-		os.Exit(1)
+		return err
 	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,78 @@
+// Command convoyd serves convoy discovery over HTTP: live feeds monitored
+// by streaming detectors plus a batch query engine over uploaded or
+// on-disk databases (see the serve package for the API).
+//
+// Usage:
+//
+//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64]
+//
+// Quick start against a running server:
+//
+//	curl -X POST localhost:8764/v1/feeds -d '{"name":"fleet","params":{"m":2,"k":3,"e":1}}'
+//	curl -X POST localhost:8764/v1/feeds/fleet/ticks \
+//	     -d '{"ticks":[{"t":0,"positions":[{"id":"van1","x":0,"y":0},{"id":"van2","x":0.5,"y":0}]}]}'
+//	curl localhost:8764/v1/feeds/fleet/convoys
+//	curl -X POST 'localhost:8764/v1/query?m=3&k=180&e=8' --data-binary @trucks.csv
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests finish and every
+// feed is drained, flushing still-open convoys to its event log.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8764", "listen address")
+		dataDir = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
+		idle    = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
+		workers = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
+		history = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		DataDir:      *dataDir,
+		IdleTimeout:  *idle,
+		QueryWorkers: *workers,
+		CacheEntries: *cache,
+		HistoryLimit: *history,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("convoyd: listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Print("convoyd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("convoyd: shutdown: %v", err)
+		}
+		srv.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "convoyd:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -2,13 +2,19 @@
 //
 // Usage:
 //
-//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ] [-stats]
+//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ] [-stats] [-format text|json]
 //
 // The input format is "obj,t,x,y" with a header line (see the tsio
 // package). The convoy parameters follow the paper: m is the minimum group
 // size, k the minimum lifetime in time points, e the density-connection
 // distance. The algorithm defaults to CuTS*, the paper's fastest; δ and λ
 // default to the automatic guidelines of Section 7.4.
+//
+// -format json emits one JSON object per convoy (NDJSON) in the same wire
+// schema the convoyd server speaks (objects, start, end, lifetime), so
+// pipelines can mix CLI and server output. -format json-array (and its
+// older spelling, the -json flag) wraps the same objects in one indented
+// JSON array.
 package main
 
 import (
@@ -32,7 +38,8 @@ func main() {
 		delta  = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
 		lambda = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
 		stats  = flag.Bool("stats", false, "print phase timings and filter statistics")
-		asJSON = flag.Bool("json", false, "emit the result as JSON instead of text")
+		format = flag.String("format", "text", "output format: text, json (NDJSON, server wire schema) or json-array")
+		asJSON = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -40,7 +47,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *input, *m, *k, *e, *algo, *delta, *lambda, *stats, *asJSON); err != nil {
+	if *asJSON {
+		// Honor an explicit -format over the deprecated alias.
+		formatSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				formatSet = true
+			}
+		})
+		if !formatSet {
+			*format = "json-array"
+		}
+	}
+	if err := run(os.Stdout, *input, *m, *k, *e, *algo, *delta, *lambda, *stats, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "convoyfind:", err)
 		os.Exit(1)
 	}
@@ -54,15 +73,12 @@ func loadDB(input string) (*convoys.DB, error) {
 	return convoys.LoadCSV(input)
 }
 
-// jsonConvoy is the JSON shape of one answer.
-type jsonConvoy struct {
-	Objects  []string     `json:"objects"`
-	Start    convoys.Tick `json:"start"`
-	End      convoys.Tick `json:"end"`
-	Lifetime int64        `json:"lifetime"`
-}
-
-func run(out io.Writer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, stats, asJSON bool) error {
+func run(out io.Writer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, stats bool, format string) error {
+	switch strings.ToLower(format) {
+	case "text", "json", "json-array":
+	default:
+		return fmt.Errorf("unknown format %q (want text, json or json-array)", format)
+	}
 	db, err := loadDB(input)
 	if err != nil {
 		return err
@@ -87,28 +103,21 @@ func run(out io.Writer, input string, m int, k int64, e float64, algo string, de
 		return err
 	}
 
-	labelsOf := func(c convoys.Convoy) []string {
-		labels := make([]string, len(c.Objects))
-		for i, id := range c.Objects {
-			tr := db.Traj(id)
-			if tr.Label != "" {
-				labels[i] = tr.Label
-			} else {
-				labels[i] = fmt.Sprintf("o%d", id)
+	switch strings.ToLower(format) {
+	case "json":
+		// One wire-schema object per line, like a feed's event payloads.
+		enc := json.NewEncoder(out)
+		for _, c := range res {
+			if err := enc.Encode(convoys.ConvoyToJSON(c, db)); err != nil {
+				return err
 			}
 		}
-		return labels
-	}
-
-	if asJSON {
-		payload := make([]jsonConvoy, 0, len(res))
+		return nil
+	case "json-array":
+		// The historical -json shape: one indented array.
+		payload := make([]convoys.ConvoyJSON, 0, len(res))
 		for _, c := range res {
-			payload = append(payload, jsonConvoy{
-				Objects:  labelsOf(c),
-				Start:    c.Start,
-				End:      c.End,
-				Lifetime: c.Lifetime(),
-			})
+			payload = append(payload, convoys.ConvoyToJSON(c, db))
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -119,7 +128,7 @@ func run(out io.Writer, input string, m int, k int64, e float64, algo string, de
 		len(res), m, k, e, input, db.Len())
 	for _, c := range res {
 		fmt.Fprintf(out, "  {%s} ticks [%d, %d] (%d points)\n",
-			strings.Join(labelsOf(c), ", "), c.Start, c.End, c.Lifetime())
+			strings.Join(convoys.ConvoyToJSON(c, db).Objects, ", "), c.Start, c.End, c.Lifetime())
 	}
 	if stats && strings.ToLower(algo) != "cmc" {
 		fmt.Fprintf(out, "algorithm %v: δ=%.3g λ=%d partitions=%d candidates=%d refinement-units=%.0f\n",

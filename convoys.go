@@ -31,6 +31,18 @@
 // differ only in speed. Use DiscoverWith to pick an algorithm and tune the
 // internal parameters, and CMC for the baseline.
 //
+// # Serving
+//
+// The serve entry points turn the library into a long-running system: a
+// Server hosts named live feeds (each an online Streamer behind its own
+// goroutine) and a batch query engine with caching, all behind an
+// HTTP/JSON API. NewServer builds one for embedding; the convoyd command
+// wraps it as a standalone daemon:
+//
+//	srv := convoys.NewServer(convoys.ServeConfig{})
+//	defer srv.Close() // drains every feed
+//	http.ListenAndServe(":8764", srv)
+//
 // The subpackages' functionality is re-exported here so that downstream
 // users need a single import.
 package convoys
@@ -44,6 +56,7 @@ import (
 	"repro/internal/flock"
 	"repro/internal/geom"
 	"repro/internal/model"
+	"repro/internal/serve"
 	"repro/internal/simplify"
 	"repro/internal/stjoin"
 	"repro/internal/tsio"
@@ -155,6 +168,49 @@ type Streamer = core.Streamer
 
 // NewStreamer returns an online convoy discoverer for the given parameters.
 func NewStreamer(p Params) (*Streamer, error) { return core.NewStreamer(p) }
+
+// ReplayTicks walks a stored database tick by tick, calling fn with every
+// interpolated snapshot — the bridge from batch storage to the online
+// interfaces (drive a Streamer, or a convoyd feed, from a file).
+func ReplayTicks(db *DB, fn func(t Tick, ids []ObjectID, pts []Point) error) error {
+	return core.ReplayTicks(db, fn)
+}
+
+// Serving layer (the convoyd subsystem; see the serve package).
+type (
+	// Server is the convoy-monitoring HTTP handler: live feeds plus a
+	// batch query engine. Close it to drain every feed.
+	Server = serve.Server
+	// ServeConfig tunes a Server; the zero value is production-ready.
+	ServeConfig = serve.Config
+	// ConvoyJSON is the wire form of one convoy, shared by the server
+	// and `convoyfind -format json`.
+	ConvoyJSON = serve.ConvoyJSON
+	// ParamsJSON is the wire form of the query parameters (m, k, e).
+	ParamsJSON = serve.ParamsJSON
+	// TickBatch is one tick's positions, the feed ingestion unit.
+	TickBatch = serve.TickBatch
+	// Position is one object's location within a TickBatch.
+	Position = serve.Position
+	// FeedSpec names a feed and its parameters (feed creation body).
+	FeedSpec = serve.FeedSpec
+	// FeedStatus describes one live feed.
+	FeedStatus = serve.FeedStatus
+	// FeedEvent is one closed convoy on a feed's event log.
+	FeedEvent = serve.Event
+	// QueryResponse is the batch query answer.
+	QueryResponse = serve.QueryResponse
+)
+
+// NewServer builds a convoy-monitoring server; mount it on any mux (it is
+// an http.Handler) and Close it on the way out.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// ConvoyToJSON renders a convoy in the wire schema, resolving member
+// labels from the database (falling back to "o<ID>").
+func ConvoyToJSON(c Convoy, db *DB) ConvoyJSON {
+	return serve.ConvoyToJSON(c, serve.DBLabels(db))
+}
 
 // MC2 runs the moving-cluster baseline with overlap threshold theta and
 // returns its answers cast as convoys (no correctness guarantee — this is

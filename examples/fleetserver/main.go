@@ -1,0 +1,118 @@
+// Fleetserver shows the serving layer end to end: it embeds a convoyd
+// server in-process, then acts as two HTTP clients against it — a tracker
+// pushing per-tick GPS batches into a feed, and a dispatcher tailing the
+// feed's NDJSON event stream for dissolved-convoy alerts. The same requests
+// work against a standalone `convoyd` daemon; see the package comment of
+// cmd/convoyd for the curl equivalents.
+//
+//	go run ./examples/fleetserver
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	convoys "repro"
+)
+
+func main() {
+	// Host the server in-process on a loopback port.
+	srv := convoys.NewServer(convoys.ServeConfig{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("convoyd serving on", base)
+
+	post := func(path string, body any) *http.Response {
+		data, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			log.Fatalf("POST %s: %s", path, resp.Status)
+		}
+		return resp
+	}
+
+	// Create a feed watching for pairs that stay within distance 1 for
+	// five consecutive ticks.
+	post("/v1/feeds", convoys.FeedSpec{
+		Name:   "vans",
+		Params: convoys.ParamsJSON{M: 2, K: 5, Eps: 1},
+	}).Body.Close()
+
+	// Dispatcher: tail the event stream and print alerts as they happen.
+	events, err := http.Get(base + "/v1/feeds/vans/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Body.Close()
+	alerts := make(chan convoys.FeedEvent)
+	go func() {
+		defer close(alerts)
+		sc := bufio.NewScanner(events.Body)
+		for sc.Scan() {
+			var ev convoys.FeedEvent
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				alerts <- ev
+			}
+		}
+	}()
+
+	// Tracker: vans 0 and 1 drive together from tick 0; van 2 joins at
+	// tick 6; the platoon splits at tick 14 (the livemonitor scenario,
+	// now over the wire).
+	for t := convoys.Tick(0); t < 20; t++ {
+		x := float64(t) * 2
+		var pos []convoys.Position
+		switch {
+		case t < 6:
+			pos = []convoys.Position{{ID: "van1", X: x, Y: 0}, {ID: "van2", X: x, Y: 0.8}, {ID: "van3", X: x - 40, Y: 30}}
+		case t < 14:
+			pos = []convoys.Position{{ID: "van1", X: x, Y: 0}, {ID: "van2", X: x, Y: 0.8}, {ID: "van3", X: x, Y: 1.6}}
+		default:
+			pos = []convoys.Position{{ID: "van1", X: x, Y: 0}, {ID: "van2", X: x, Y: 40}, {ID: "van3", X: x, Y: 80}}
+		}
+		resp := post("/v1/feeds/vans/ticks", convoys.TickBatch{T: t, Positions: pos})
+		var tr struct {
+			Closed []convoys.ConvoyJSON `json:"closed"`
+		}
+		json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		for range tr.Closed {
+			ev := <-alerts
+			fmt.Printf("  tick %2d: ALERT — convoy %v dissolved after %d ticks together [%d–%d]\n",
+				t, ev.Convoy.Objects, ev.Convoy.Lifetime, ev.Convoy.Start, ev.Convoy.End)
+		}
+	}
+
+	// Tear the feed down; still-open convoys are drained, not lost.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/feeds/vans", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var del struct {
+		Drained []convoys.ConvoyJSON `json:"drained"`
+	}
+	json.NewDecoder(resp.Body).Decode(&del)
+	resp.Body.Close()
+	for _, c := range del.Drained {
+		fmt.Printf("  feed end: convoy %v still open, together since tick %d (%d ticks)\n",
+			c.Objects, c.Start, c.Lifetime)
+	}
+	fmt.Println("done — one server, any number of feeds and watchers")
+}

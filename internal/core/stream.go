@@ -107,6 +107,27 @@ func (s *Streamer) Close() []Convoy {
 	return out
 }
 
+// ReplayTicks walks a stored database tick by tick over its whole time
+// domain, calling fn with the snapshot of every tick (the same interpolated
+// Ot that CMC clusters, Section 4). It is the bridge between batch storage
+// and the online interfaces: the serving layer uses it to drive feeds from
+// stored databases, and StreamDB uses it to state the Streamer/CMC
+// equivalence. Iteration stops at the first error from fn, which is
+// returned. An empty database replays zero ticks.
+func ReplayTicks(db *model.DB, fn func(t model.Tick, ids []model.ObjectID, pts []geom.Point) error) error {
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		return nil
+	}
+	for t := lo; t <= hi; t++ {
+		ids, pts := db.SnapshotAt(t)
+		if err := fn(t, ids, pts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // StreamDB replays a stored database through a Streamer tick by tick
 // (interpolating gaps exactly like CMC) and returns the canonicalized
 // emissions — by construction equal to CMC(db, p). Exists mostly for tests
@@ -116,18 +137,14 @@ func StreamDB(db *model.DB, p Params) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	lo, hi, ok := db.TimeRange()
-	if !ok {
-		return nil, nil
-	}
 	var all []Convoy
-	for t := lo; t <= hi; t++ {
-		ids, pts := db.SnapshotAt(t)
+	err = ReplayTicks(db, func(t model.Tick, ids []model.ObjectID, pts []geom.Point) error {
 		got, err := s.Advance(t, ids, pts)
-		if err != nil {
-			return nil, err
-		}
 		all = append(all, got...)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	all = append(all, s.Close()...)
 	return Canonicalize(all), nil

@@ -32,7 +32,34 @@ type Options struct {
 	Out io.Writer
 	// Profiles overrides the default four Table 3 profiles when non-nil.
 	Profiles []datagen.Profile
+	// Record, when non-nil, receives one machine-readable measurement per
+	// printed table row (benchrunner -json writes these to BENCH files).
+	Record func(Record)
 }
+
+// Record is one measurement row of an experiment, the machine-readable
+// twin of a printed table line. Metrics keys are experiment-specific
+// (time_ms, candidates, refine_units, …).
+type Record struct {
+	Exp     string `json:"exp"`
+	Dataset string `json:"dataset,omitempty"`
+	Method  string `json:"method,omitempty"`
+	// Param/Value name the swept parameter of sweep experiments
+	// (delta, lambda, theta).
+	Param   string             `json:"param,omitempty"`
+	Value   float64            `json:"value,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// record forwards a measurement to the recorder, if any.
+func (o Options) record(r Record) {
+	if o.Record != nil {
+		o.Record(r)
+	}
+}
+
+// msf converts a duration to fractional milliseconds for Record metrics.
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func (o Options) profiles() []datagen.Profile {
 	if o.Profiles != nil {
@@ -88,6 +115,15 @@ func Table3(o Options) error {
 			prof.Name, st.NumObjects, st.TimeDomainLength, st.AvgTrajLen, st.TotalPoints,
 			st.MissingFraction*100, p.M, p.K, p.Eps,
 			prof.Delta, runStats.Delta, prof.Lambda, runStats.Lambda, len(res))
+		o.record(Record{Exp: "table3", Dataset: prof.Name, Metrics: map[string]float64{
+			"objects":     float64(st.NumObjects),
+			"time_domain": float64(st.TimeDomainLength),
+			"points":      float64(st.TotalPoints),
+			"missing_pct": st.MissingFraction * 100,
+			"delta_auto":  runStats.Delta,
+			"lambda_auto": float64(runStats.Lambda),
+			"convoys":     float64(len(res)),
+		}})
 	}
 	return w.Flush()
 }
@@ -105,6 +141,8 @@ func Figure12(o Options) error {
 		if err != nil {
 			return fmt.Errorf("expr: Figure12 %s: %w", prof.Name, err)
 		}
+		o.record(Record{Exp: "fig12", Dataset: prof.Name, Method: "CMC",
+			Metrics: map[string]float64{"time_ms": msf(cmcTime)}})
 		var times [3]time.Duration
 		for i, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
 			res, st, err := core.Run(db, p, core.Config{Variant: variant})
@@ -115,6 +153,8 @@ func Figure12(o Options) error {
 				return fmt.Errorf("expr: Figure12 %s: %v answer differs from CMC", prof.Name, variant)
 			}
 			times[i] = st.TotalTime()
+			o.record(Record{Exp: "fig12", Dataset: prof.Name, Method: variant.String(),
+				Metrics: map[string]float64{"time_ms": msf(times[i])}})
 		}
 		best := times[0]
 		for _, t := range times[1:] {
@@ -146,6 +186,13 @@ func Figure13(o Options) error {
 			}
 			fmt.Fprintf(w, "%s\t%v\t%s\t%s\t%s\t%s\n",
 				prof.Name, variant, ms(st.SimplifyTime), ms(st.FilterTime), ms(st.RefineTime), ms(st.TotalTime()))
+			o.record(Record{Exp: "fig13", Dataset: prof.Name, Method: variant.String(),
+				Metrics: map[string]float64{
+					"simplify_ms": msf(st.SimplifyTime),
+					"filter_ms":   msf(st.FilterTime),
+					"refine_ms":   msf(st.RefineTime),
+					"total_ms":    msf(st.TotalTime()),
+				}})
 		}
 	}
 	return w.Flush()
@@ -172,6 +219,15 @@ func Figure14(o Options) error {
 			}
 			cands[i] = st.NumCandidates
 			times[i] = st.TotalTime()
+			mode := "global"
+			if tol == 0 {
+				mode = "actual"
+			}
+			o.record(Record{Exp: "fig14", Dataset: prof.Name, Method: mode,
+				Metrics: map[string]float64{
+					"candidates": float64(st.NumCandidates),
+					"time_ms":    msf(st.TotalTime()),
+				}})
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\n", prof.Name, cands[0], cands[1], ms(times[0]), ms(times[1]))
 	}

@@ -90,6 +90,12 @@ func Figure15(o Options) error {
 				red = (1 - float64(kept)/float64(total)) * 100
 			}
 			fmt.Fprintf(w, "%.1f\t%v\t%.1f\t%s\n", delta, m, red, ms(elapsed))
+			o.record(Record{Exp: "fig15", Dataset: cattle.Name, Method: m.String(),
+				Param: "delta", Value: delta,
+				Metrics: map[string]float64{
+					"reduction_pct": red,
+					"time_ms":       msf(elapsed),
+				}})
 		}
 	}
 	return w.Flush()
@@ -111,6 +117,13 @@ func figureSweepDelta(o Options, prof datagen.Profile) error {
 			}
 			fmt.Fprintf(w, "%.1f\t%v\t%.0f\t%d\t%s\n",
 				delta, variant, st.RefineUnits, st.NumCandidates, ms(st.TotalTime()))
+			o.record(Record{Exp: "fig16", Dataset: prof.Name, Method: variant.String(),
+				Param: "delta", Value: delta,
+				Metrics: map[string]float64{
+					"refine_units": st.RefineUnits,
+					"candidates":   float64(st.NumCandidates),
+					"time_ms":      msf(st.TotalTime()),
+				}})
 		}
 	}
 	return w.Flush()
@@ -144,6 +157,13 @@ func figureSweepLambda(o Options, prof datagen.Profile) error {
 			}
 			fmt.Fprintf(w, "%d\t%v\t%.0f\t%d\t%s\n",
 				lambda, variant, st.RefineUnits, st.NumCandidates, ms(st.TotalTime()))
+			o.record(Record{Exp: "fig17", Dataset: prof.Name, Method: variant.String(),
+				Param: "lambda", Value: float64(lambda),
+				Metrics: map[string]float64{
+					"refine_units": st.RefineUnits,
+					"candidates":   float64(st.NumCandidates),
+					"time_ms":      msf(st.TotalTime()),
+				}})
 		}
 	}
 	return w.Flush()
@@ -182,6 +202,14 @@ func Figure19(o Options) error {
 			rep := core.CompareAnswers(mc, ref)
 			fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\t%.1f\t%.1f\n",
 				prof.Name, theta, rep.Reported, rep.Reference, rep.FalsePositives, rep.FalseNegatives)
+			o.record(Record{Exp: "fig19", Dataset: prof.Name, Method: "MC2",
+				Param: "theta", Value: theta,
+				Metrics: map[string]float64{
+					"reported":      float64(rep.Reported),
+					"reference":     float64(rep.Reference),
+					"false_pos_pct": rep.FalsePositives,
+					"false_neg_pct": rep.FalseNegatives,
+				}})
 		}
 	}
 	return w.Flush()

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config tunes the server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// MaxFeeds caps the number of concurrently registered feeds; feed
+	// creation beyond the cap fails with 507. Default 1024.
+	MaxFeeds int
+	// FeedBuffer is the depth of each feed's command mailbox — the number
+	// of in-flight ingest/poll requests a feed absorbs before further
+	// senders block (the ingestion backpressure point). Default 64.
+	FeedBuffer int
+	// EventBuffer is the per-subscriber event channel depth for the NDJSON
+	// tail endpoint. A subscriber that falls this many events behind is
+	// disconnected (it can reconnect with ?since=). Default 256.
+	EventBuffer int
+	// HistoryLimit is the number of closed-convoy events each feed retains
+	// for polling and replay; older events are dropped. Default 1024.
+	HistoryLimit int
+	// IdleTimeout evicts feeds that have received no request for this
+	// long, draining them like a DELETE. 0 disables eviction.
+	IdleTimeout time.Duration
+	// QueryWorkers bounds the number of batch queries executing
+	// concurrently; excess queries wait. Default GOMAXPROCS.
+	QueryWorkers int
+	// CacheEntries is the capacity of the batch-query LRU cache, keyed by
+	// (database digest, params, algorithm). 0 means the default 64;
+	// negative disables caching.
+	CacheEntries int
+	// DataDir, when non-empty, allows POST /v1/query to reference
+	// databases by file path relative to this directory. Empty disables
+	// path references (uploads only).
+	DataDir string
+	// MaxBodyBytes caps request bodies (tick batches and uploaded
+	// databases). Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+// withDefaults returns the config with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxFeeds <= 0 {
+		c.MaxFeeds = 1024
+	}
+	if c.FeedBuffer <= 0 {
+		c.FeedBuffer = 64
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 1024
+	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}

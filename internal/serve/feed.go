@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// A feed wraps one core.Streamer behind a dedicated worker goroutine with a
+// bounded command mailbox. All streamer state — the label→ID mapping, the
+// event history, the subscriber set — is owned by the worker and touched by
+// no one else, so the feed is race-free by construction; the mailbox depth
+// is the ingestion backpressure point (senders block once it fills).
+
+// errFeedClosed reports an operation on a feed that has been deleted,
+// evicted or shut down.
+var errFeedClosed = errors.New("serve: feed closed")
+
+// feedCmd is one mailbox message: an operation the worker runs with
+// exclusive access to the feed state. The worker sends the outcome on
+// reply (buffered, never blocks).
+type feedCmd struct {
+	op    func(*feed) (any, error)
+	reply chan feedReply
+}
+
+type feedReply struct {
+	val any
+	err error
+}
+
+type feed struct {
+	name string
+	p    core.Params
+	cfg  Config
+
+	cmds chan feedCmd
+	// done is closed after the worker drains; senders select on it so a
+	// request can never deadlock against a dying feed.
+	done chan struct{}
+	// lastActive is the unix-nano time of the last request, read by the
+	// idle-eviction janitor.
+	lastActive atomic.Int64
+
+	// Worker-owned state below; only the worker goroutine touches it.
+	s      *core.Streamer
+	ids    map[string]model.ObjectID // label → dense ID
+	labels []string                  // dense ID → label
+	ticks  int64                     // ingested tick batches
+
+	history  []Event // ring of the last cfg.HistoryLimit events
+	nextSeq  uint64  // seq of the next event to emit
+	subs     map[chan Event]struct{}
+	draining bool
+}
+
+func newFeed(name string, p core.Params, cfg Config) (*feed, error) {
+	s, err := core.NewStreamer(p)
+	if err != nil {
+		return nil, err
+	}
+	f := &feed{
+		name: name,
+		p:    p,
+		cfg:  cfg,
+		cmds: make(chan feedCmd, cfg.FeedBuffer),
+		done: make(chan struct{}),
+		s:    s,
+		ids:  make(map[string]model.ObjectID),
+		subs: make(map[chan Event]struct{}),
+	}
+	f.lastActive.Store(time.Now().UnixNano())
+	go f.run()
+	return f, nil
+}
+
+// run is the worker loop: execute commands until a close command flips
+// draining, then fail whatever is still queued.
+func (f *feed) run() {
+	for cmd := range f.cmds {
+		val, err := cmd.op(f)
+		cmd.reply <- feedReply{val, err}
+		if f.draining {
+			break
+		}
+	}
+	close(f.done)
+	for {
+		select {
+		case cmd := <-f.cmds:
+			cmd.reply <- feedReply{nil, errFeedClosed}
+		default:
+			return
+		}
+	}
+}
+
+// touch marks the feed active for the idle-eviction janitor. Ingestion
+// and event consumption touch; pure status reads do not, so monitoring
+// dashboards polling statuses cannot keep an abandoned feed alive.
+func (f *feed) touch() { f.lastActive.Store(time.Now().UnixNano()) }
+
+// do submits an operation and waits for its outcome. Blocking on a full
+// mailbox is the backpressure contract; the context and the feed's own
+// death both release the caller.
+func (f *feed) do(ctx context.Context, op func(*feed) (any, error)) (any, error) {
+	cmd := feedCmd{op: op, reply: make(chan feedReply, 1)}
+	select {
+	case f.cmds <- cmd:
+	case <-f.done:
+		return nil, errFeedClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-cmd.reply:
+		return r.val, r.err
+	case <-f.done:
+		// The worker may have replied in the instant before it died;
+		// prefer the real outcome when it is there.
+		select {
+		case r := <-cmd.reply:
+			return r.val, r.err
+		default:
+			return nil, errFeedClosed
+		}
+	}
+}
+
+// emit appends one closed convoy to the history ring and fans it out to
+// subscribers. A subscriber whose buffer is full is cut off (its channel
+// closed); it can reconnect and replay with ?since=.
+func (f *feed) emit(c core.Convoy) {
+	ev := Event{
+		Seq:  f.nextSeq,
+		Feed: f.name,
+		Convoy: ConvoyToJSON(c, func(id model.ObjectID) string {
+			if id >= 0 && int(id) < len(f.labels) {
+				return f.labels[id]
+			}
+			return ""
+		}),
+	}
+	f.nextSeq++
+	if len(f.history) >= f.cfg.HistoryLimit {
+		n := copy(f.history, f.history[1:])
+		f.history = f.history[:n]
+	}
+	f.history = append(f.history, ev)
+	for ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(f.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// ingest applies tick batches in order and returns the closed convoys.
+// The first bad tick aborts the batch; everything before it sticks (the
+// response reports how many were accepted).
+func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, error) {
+	f.touch()
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		resp := TicksResponse{Closed: []ConvoyJSON{}}
+		for _, b := range batches {
+			ids := make([]model.ObjectID, len(b.Positions))
+			pts := make([]geom.Point, len(b.Positions))
+			seen := make(map[string]struct{}, len(b.Positions))
+			for i, pos := range b.Positions {
+				if pos.ID == "" {
+					return resp, badRequest(fmt.Errorf("tick %d: position %d has empty id", b.T, i))
+				}
+				if _, dup := seen[pos.ID]; dup {
+					// A repeated ID would cluster with itself and fake a
+					// convoy out of one real object.
+					return resp, badRequest(fmt.Errorf("tick %d: duplicate id %q", b.T, pos.ID))
+				}
+				seen[pos.ID] = struct{}{}
+				id, ok := f.ids[pos.ID]
+				if !ok {
+					id = len(f.labels)
+					f.ids[pos.ID] = id
+					f.labels = append(f.labels, pos.ID)
+				}
+				ids[i] = id
+				pts[i] = geom.Pt(pos.X, pos.Y)
+			}
+			closed, err := f.s.Advance(b.T, ids, pts)
+			if err != nil {
+				return resp, badRequest(err) // non-monotonic or malformed tick
+			}
+			f.ticks++
+			for _, c := range closed {
+				f.emit(c)
+				resp.Closed = append(resp.Closed, f.history[len(f.history)-1].Convoy)
+			}
+			resp.Accepted++
+		}
+		return resp, nil
+	})
+	resp, _ := v.(TicksResponse)
+	return resp, err
+}
+
+// status snapshots the feed counters.
+func (f *feed) status(ctx context.Context) (FeedStatus, error) {
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		st := FeedStatus{
+			Name:    f.name,
+			Params:  ParamsToJSON(f.p),
+			Ticks:   f.ticks,
+			Objects: len(f.labels),
+			Live:    f.s.Live(),
+			Closed:  f.nextSeq,
+			NextSeq: f.nextSeq,
+		}
+		if t, ok := f.s.LastTick(); ok {
+			st.LastTick = &t
+		}
+		return st, nil
+	})
+	st, _ := v.(FeedStatus)
+	return st, err
+}
+
+// eventsSince returns the retained events with seq ≥ since.
+func (f *feed) eventsSince(ctx context.Context, since uint64) (EventsResponse, error) {
+	f.touch()
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		return EventsResponse{Events: f.replay(since), NextSeq: f.nextSeq}, nil
+	})
+	resp, _ := v.(EventsResponse)
+	return resp, err
+}
+
+// replay copies the retained events with seq ≥ since (worker only).
+func (f *feed) replay(since uint64) []Event {
+	out := []Event{}
+	for _, ev := range f.history {
+		if ev.Seq >= since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// subscribe atomically replays history since the given seq and registers a
+// live event channel, so no event between replay and registration is lost.
+// The returned channel is closed when the feed dies or the subscriber lags
+// beyond its buffer; cancel unregisters it.
+func (f *feed) subscribe(ctx context.Context, since uint64) (replayed []Event, ch chan Event, cancel func(), err error) {
+	f.touch()
+	ch = make(chan Event, f.cfg.EventBuffer)
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		f.subs[ch] = struct{}{}
+		return f.replay(since), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cancel = func() {
+		// Best-effort: the feed may already be gone, which also closes ch.
+		f.do(context.Background(), func(f *feed) (any, error) {
+			if _, ok := f.subs[ch]; ok {
+				delete(f.subs, ch)
+				close(ch)
+			}
+			return nil, nil
+		})
+	}
+	return v.([]Event), ch, cancel, nil
+}
+
+// close drains the streamer — open candidates with sufficient lifetime
+// become final events — closes every subscriber, and stops the worker.
+// Subsequent operations fail with errFeedClosed.
+func (f *feed) close(ctx context.Context) (FeedCloseResponse, error) {
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		resp := FeedCloseResponse{Drained: []ConvoyJSON{}}
+		for _, c := range f.s.Close() {
+			f.emit(c)
+			resp.Drained = append(resp.Drained, f.history[len(f.history)-1].Convoy)
+		}
+		for ch := range f.subs {
+			delete(f.subs, ch)
+			close(ch)
+		}
+		f.draining = true
+		return resp, nil
+	})
+	resp, _ := v.(FeedCloseResponse)
+	return resp, err
+}
+
+// idleSince reports the time of the feed's last request.
+func (f *feed) idleSince() time.Time { return time.Unix(0, f.lastActive.Load()) }

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tsio"
+)
+
+// queryEngine runs batch convoy queries on a bounded worker pool with an
+// LRU result cache. The cache key is (database digest, params, algorithm,
+// δ, λ): the digest covers the raw database bytes, so re-uploading the
+// same file — or referencing it by path again — is a hit regardless of how
+// it arrived.
+type queryEngine struct {
+	cfg Config
+	sem chan struct{}
+	lru *lruCache
+
+	digestMu sync.Mutex
+	digests  map[string]pathDigestEntry // full path → stat-keyed digest memo
+}
+
+var (
+	errPathRefDisabled = errors.New("serve: path-referencing queries disabled (no data dir configured)")
+	errDBNotFound      = errors.New("serve: no such database")
+)
+
+func newQueryEngine(cfg Config) *queryEngine {
+	e := &queryEngine{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.QueryWorkers),
+		digests: make(map[string]pathDigestEntry),
+	}
+	if cfg.CacheEntries > 0 {
+		e.lru = newLRUCache(cfg.CacheEntries)
+	}
+	return e
+}
+
+// resolve confines a client path to the data dir.
+func (e *queryEngine) resolve(path string) (string, error) {
+	if e.cfg.DataDir == "" {
+		return "", errPathRefDisabled
+	}
+	if path == "" {
+		return "", badRequest(errors.New("serve: query path is empty"))
+	}
+	clean := filepath.Clean("/" + path) // forces any ".." to resolve inside "/"
+	return filepath.Join(e.cfg.DataDir, clean), nil
+}
+
+// readErr sanitizes a file error: not-found becomes the 404 sentinel and
+// other failures report only their class — the server-side path layout
+// must not reach clients.
+func readErr(path string, err error) error {
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %q", errDBNotFound, path)
+	}
+	return fmt.Errorf("serve: read database %q: %v", path, errors.Unwrap(err))
+}
+
+// parseDB sniffs the format (CTB magic versus CSV) and parses the bytes.
+func parseDB(data []byte) (*model.DB, error) {
+	if bytes.HasPrefix(data, []byte("CTB1")) {
+		return tsio.ReadBinary(bytes.NewReader(data))
+	}
+	return tsio.ReadCSV(bytes.NewReader(data))
+}
+
+// queryPlan is a validated query: resolved algorithm plus parameters.
+type queryPlan struct {
+	req     QueryRequest
+	p       core.Params
+	isCMC   bool
+	variant core.Variant
+	algo    string
+}
+
+// plan validates the request once, up front.
+func plan(req QueryRequest) (queryPlan, error) {
+	isCMC, variant, err := ParseAlgo(req.Algo)
+	if err != nil {
+		return queryPlan{}, badRequest(err)
+	}
+	p := req.Params.Params()
+	if err := p.Validate(); err != nil {
+		return queryPlan{}, badRequest(err)
+	}
+	algo := strings.ToLower(req.Algo)
+	if algo == "" {
+		algo = AlgoCuTSStar
+	}
+	return queryPlan{req: req, p: p, isCMC: isCMC, variant: variant, algo: algo}, nil
+}
+
+// key is the cache key for this plan over a database with the digest.
+func (pl queryPlan) key(digest string) string {
+	return fmt.Sprintf("%s|%d|%d|%g|%s|%g|%d",
+		digest, pl.p.M, pl.p.K, pl.p.Eps, pl.algo, pl.req.Delta, pl.req.Lambda)
+}
+
+func hashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// cached returns the LRU answer for the key, marked as a hit.
+func (e *queryEngine) cached(key string) (QueryResponse, bool) {
+	if e.lru == nil {
+		return QueryResponse{}, false
+	}
+	v, ok := e.lru.get(key)
+	if !ok {
+		return QueryResponse{}, false
+	}
+	resp := v.(QueryResponse)
+	resp.Cache = "hit"
+	resp.ElapsedMS = 0
+	return resp, true
+}
+
+// acquire takes a worker-pool slot (or gives up with the context).
+func (e *queryEngine) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run answers one batch query over uploaded database bytes: cache first,
+// then parse+compute under a worker slot.
+func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (QueryResponse, error) {
+	pl, err := plan(req)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	digest := hashBytes(data)
+	if resp, ok := e.cached(pl.key(digest)); ok {
+		return resp, nil
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	defer release()
+	return e.compute(digest, data, pl)
+}
+
+// runPath answers a path-referencing query. A memo of path → (stat,
+// digest) lets repeat queries against an unchanged file hit the cache
+// without touching the disk at all; only a miss (or a changed file) pays
+// the read+hash, and it does so holding a worker slot.
+func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	pl, err := plan(req)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	full, err := e.resolve(req.Path)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	st, err := os.Stat(full)
+	if err != nil {
+		return QueryResponse{}, readErr(req.Path, err)
+	}
+	if digest, ok := e.pathDigest(full, st); ok {
+		if resp, hit := e.cached(pl.key(digest)); hit {
+			return resp, nil
+		}
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	defer release()
+	data, err := os.ReadFile(full)
+	if err != nil {
+		return QueryResponse{}, readErr(req.Path, err)
+	}
+	digest := hashBytes(data)
+	e.storePathDigest(full, st, digest)
+	if resp, hit := e.cached(pl.key(digest)); hit {
+		return resp, nil // raced another worker, or the memo was cold
+	}
+	return e.compute(digest, data, pl)
+}
+
+// pathDigestEntry memoizes a file's content digest keyed by its stat, so
+// an unchanged file never needs re-reading for a cache lookup.
+type pathDigestEntry struct {
+	mtime  time.Time
+	size   int64
+	digest string
+}
+
+func (e *queryEngine) pathDigest(full string, st os.FileInfo) (string, bool) {
+	e.digestMu.Lock()
+	defer e.digestMu.Unlock()
+	d, ok := e.digests[full]
+	if !ok || !d.mtime.Equal(st.ModTime()) || d.size != st.Size() {
+		return "", false
+	}
+	return d.digest, true
+}
+
+func (e *queryEngine) storePathDigest(full string, st os.FileInfo, digest string) {
+	e.digestMu.Lock()
+	defer e.digestMu.Unlock()
+	if len(e.digests) >= maxPathDigests {
+		e.digests = make(map[string]pathDigestEntry) // crude reset; the memo is only an optimization
+	}
+	e.digests[full] = pathDigestEntry{mtime: st.ModTime(), size: st.Size(), digest: digest}
+}
+
+// maxPathDigests bounds the digest memo (it resets when full).
+const maxPathDigests = 4096
+
+// compute parses the database and runs the planned algorithm; the caller
+// holds a worker slot.
+func (e *queryEngine) compute(digest string, data []byte, pl queryPlan) (QueryResponse, error) {
+	t0 := time.Now()
+	db, err := parseDB(data)
+	if err != nil {
+		return QueryResponse{}, badRequest(err) // unparseable database
+	}
+	resp := QueryResponse{
+		Params: pl.req.Params,
+		Algo:   pl.algo,
+		Digest: digest,
+		Cache:  "miss",
+	}
+	var res core.Result
+	if pl.isCMC {
+		res, err = core.CMC(db, pl.p)
+	} else {
+		var st core.Stats
+		res, st, err = core.Run(db, pl.p, core.Config{Variant: pl.variant, Delta: pl.req.Delta, Lambda: pl.req.Lambda})
+		if err == nil {
+			js := StatsToJSON(st)
+			resp.Stats = &js
+		}
+	}
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	labels := DBLabels(db)
+	resp.Convoys = make([]ConvoyJSON, len(res))
+	for i, c := range res {
+		resp.Convoys[i] = ConvoyToJSON(c, labels)
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	if e.lru != nil {
+		e.lru.put(pl.key(digest), resp)
+	}
+	return resp, nil
+}
+
+// lruCache is a minimal mutex-guarded LRU over string keys.
+type lruCache struct {
+	cap   int
+	mu    sync.Mutex
+	order *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries (for tests).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

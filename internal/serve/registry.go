@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// registry is the named-feed table. It guards only the map — every
+// per-feed operation goes through the feed's own mailbox — so registry
+// critical sections are tiny and never wait on streamer work.
+type registry struct {
+	cfg Config
+
+	mu     sync.Mutex
+	feeds  map[string]*feed
+	closed bool
+}
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	errNoFeed        = errors.New("serve: no such feed")
+	errFeedExists    = errors.New("serve: feed already exists")
+	errTooManyFeeds  = errors.New("serve: feed limit reached")
+	errServerClosing = errors.New("serve: server shutting down")
+)
+
+// badRequestError marks an error as the client's fault (400). Wrap with
+// badRequest at the point where the mistake is recognized; the message is
+// passed through untouched.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &badRequestError{err} }
+
+func newRegistry(cfg Config) *registry {
+	return &registry{cfg: cfg, feeds: make(map[string]*feed)}
+}
+
+// create registers a new feed under the name.
+func (r *registry) create(name string, p core.Params) (*feed, error) {
+	if err := p.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errServerClosing
+	}
+	if _, ok := r.feeds[name]; ok {
+		return nil, fmt.Errorf("%w: %q", errFeedExists, name)
+	}
+	if len(r.feeds) >= r.cfg.MaxFeeds {
+		return nil, fmt.Errorf("%w (%d)", errTooManyFeeds, r.cfg.MaxFeeds)
+	}
+	f, err := newFeed(name, p, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.feeds[name] = f
+	return f, nil
+}
+
+// get looks a feed up by name.
+func (r *registry) get(name string) (*feed, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.feeds[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errNoFeed, name)
+	}
+	return f, nil
+}
+
+// remove unregisters and drains a feed; the close happens outside the lock.
+func (r *registry) remove(ctx context.Context, name string) (FeedCloseResponse, error) {
+	r.mu.Lock()
+	f, ok := r.feeds[name]
+	if ok {
+		delete(r.feeds, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return FeedCloseResponse{}, fmt.Errorf("%w: %q", errNoFeed, name)
+	}
+	return f.close(ctx)
+}
+
+// list snapshots the registered feeds, name-sorted.
+func (r *registry) list() []*feed {
+	r.mu.Lock()
+	out := make([]*feed, 0, len(r.feeds))
+	for _, f := range r.feeds {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// evictIdle drains every feed idle since before the cutoff and returns how
+// many were evicted.
+func (r *registry) evictIdle(cutoff time.Time) int {
+	r.mu.Lock()
+	var victims []*feed
+	for name, f := range r.feeds {
+		if f.idleSince().Before(cutoff) {
+			victims = append(victims, f)
+			delete(r.feeds, name)
+		}
+	}
+	r.mu.Unlock()
+	for _, f := range victims {
+		f.close(context.Background())
+	}
+	return len(victims)
+}
+
+// closeAll marks the registry closed and drains every feed — the graceful
+// shutdown path, flushing open candidates through Streamer.Close.
+func (r *registry) closeAll() {
+	r.mu.Lock()
+	r.closed = true
+	victims := make([]*feed, 0, len(r.feeds))
+	for name, f := range r.feeds {
+		victims = append(victims, f)
+		delete(r.feeds, name)
+	}
+	r.mu.Unlock()
+	for _, f := range victims {
+		f.close(context.Background())
+	}
+}

@@ -1,0 +1,452 @@
+// Package serve is the convoy-monitoring server behind the convoyd binary:
+// a long-running, concurrent HTTP layer over the core algorithms.
+//
+// It hosts two engines:
+//
+//   - Feeds — named live position streams, each wrapping a core.Streamer
+//     behind its own goroutine and bounded mailbox. Clients create a feed
+//     with convoy parameters, push per-tick position batches, and observe
+//     convoys the moment they close, either by polling or by tailing an
+//     NDJSON event stream. Deleting a feed (or shutting the server down)
+//     drains open candidates through Streamer.Close, so no convoy that
+//     satisfied the lifetime bound is ever lost.
+//
+//   - Batch queries — POST a CSV/CTB database (or reference one under the
+//     server's data directory) plus (m, k, e) and an algorithm, and get the
+//     canonical answer with run statistics. Queries run on a bounded worker
+//     pool and land in an LRU cache keyed by (db digest, params, variant).
+//
+// # HTTP API (all under /v1)
+//
+//	GET    /v1/healthz                 liveness + feed count
+//	GET    /v1/feeds                   list feed statuses
+//	POST   /v1/feeds                   create a feed     {name, params:{m,k,e}}
+//	GET    /v1/feeds/{name}            one feed's status
+//	DELETE /v1/feeds/{name}            drain + delete    → {drained:[...]}
+//	POST   /v1/feeds/{name}/ticks      ingest            {ticks:[{t, positions:[{id,x,y}]}]}
+//	GET    /v1/feeds/{name}/convoys    poll closed convoys (?since=seq)
+//	GET    /v1/feeds/{name}/events     NDJSON tail of closed convoys (?since=seq)
+//	POST   /v1/query                   batch query (body = CSV/CTB upload, params
+//	                                   in the query string; or JSON {path,...})
+//
+// Replaying a database tick-by-tick through a feed and canonicalizing the
+// emitted convoys equals the batch CMC answer on the same database — the
+// property the end-to-end tests enforce.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server is the convoyd HTTP handler plus the state behind it. Create it
+// with New, mount it anywhere (it implements http.Handler), and Close it
+// to drain every feed on the way out.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	reg *registry
+	q   *queryEngine
+
+	janitorStop chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+// New builds a server from the config (zero value = defaults) and starts
+// its idle-feed janitor when an IdleTimeout is set.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		reg:         newRegistry(cfg),
+		q:           newQueryEngine(cfg),
+		janitorStop: make(chan struct{}),
+	}
+	s.routes()
+	if cfg.IdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains every feed (flushing open candidates through the streamers)
+// and stops the janitor. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.janitorStop)
+		s.reg.closeAll()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+// janitor evicts idle feeds on a fraction of the idle timeout.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	period := s.cfg.IdleTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-t.C:
+			s.reg.evictIdle(now.Add(-s.cfg.IdleTimeout))
+		}
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/feeds", s.handleListFeeds)
+	s.mux.HandleFunc("POST /v1/feeds", s.handleCreateFeed)
+	s.mux.HandleFunc("GET /v1/feeds/{name}", s.handleFeedStatus)
+	s.mux.HandleFunc("DELETE /v1/feeds/{name}", s.handleDeleteFeed)
+	s.mux.HandleFunc("POST /v1/feeds/{name}/ticks", s.handleTicks)
+	s.mux.HandleFunc("GET /v1/feeds/{name}/convoys", s.handlePoll)
+	s.mux.HandleFunc("GET /v1/feeds/{name}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps an error to its HTTP status and a JSON body.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), ErrorJSON{Error: err.Error()})
+}
+
+// statusFor resolves an error's HTTP status from its type: client
+// mistakes are wrapped in badRequestError at the point where they are
+// classified, so no message sniffing happens here.
+func statusFor(err error) int {
+	var (
+		bre *badRequestError
+		mbe *http.MaxBytesError
+	)
+	switch {
+	case errors.Is(err, errNoFeed), errors.Is(err, errDBNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, errFeedExists):
+		return http.StatusConflict
+	case errors.Is(err, errTooManyFeeds):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, errFeedClosed), errors.Is(err, errServerClosing):
+		return http.StatusGone
+	case errors.Is(err, errPathRefDisabled):
+		return http.StatusForbidden
+	case errors.As(err, &bre), errors.As(err, &mbe):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "feeds": len(s.reg.list())})
+}
+
+func (s *Server) handleListFeeds(w http.ResponseWriter, r *http.Request) {
+	out := []FeedStatus{}
+	for _, f := range s.reg.list() {
+		st, err := f.status(r.Context())
+		if err != nil {
+			continue // closed between list and status; skip
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
+	var spec FeedSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, badRequest(fmt.Errorf("decode feed spec: %w", err)))
+		return
+	}
+	if spec.Name == "" || strings.ContainsAny(spec.Name, "/ \t\n") {
+		writeErr(w, badRequest(fmt.Errorf("decode feed spec: invalid feed name %q", spec.Name)))
+		return
+	}
+	f, err := s.reg.create(spec.Name, spec.Params.Params())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := f.status(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleFeedStatus(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := f.status(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDeleteFeed(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.reg.remove(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeTicks accepts either {"ticks":[...]} or a single bare tick batch
+// {"t":..., "positions":[...]}.
+func decodeTicks(r io.Reader) ([]TickBatch, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, badRequest(fmt.Errorf("decode ticks: %w", err))
+	}
+	var req TicksRequest
+	if err := json.Unmarshal(data, &req); err == nil && req.Ticks != nil {
+		return req.Ticks, nil
+	}
+	var one TickBatch
+	if err := json.Unmarshal(data, &one); err == nil && one.Positions != nil {
+		return []TickBatch{one}, nil
+	}
+	return nil, badRequest(errors.New(`decode ticks: want {"ticks":[{"t":0,"positions":[...]}]} or one bare batch`))
+}
+
+func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	batches, err := decodeTicks(r.Body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := f.ingest(r.Context(), batches)
+	if err != nil {
+		// The accepted prefix is permanently applied; the client needs
+		// to know how far the batch got to resume past it.
+		writeJSON(w, statusFor(err), TicksError{
+			Error:    err.Error(),
+			Accepted: resp.Accepted,
+			Closed:   resp.Closed,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sinceParam parses the ?since= cursor (default 0).
+func sinceParam(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, badRequest(fmt.Errorf("decode since=%q: %w", raw, err))
+	}
+	return v, nil
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := f.eventsSince(r.Context(), since)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEvents tails a feed as NDJSON: replayed history first, then live
+// events as they close, one JSON object per line, flushed per event. The
+// stream ends when the client goes away, the feed dies, or the subscriber
+// falls too far behind.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	replayed, ch, cancel, err := f.subscribe(r.Context(), since)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: a subscriber must learn the stream is
+		// live before the first event closes, or a client that subscribes
+		// first and pushes ticks second deadlocks against itself.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	send := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, ev := range replayed {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+// handleQuery answers a batch query. A JSON body references a file under
+// the data dir; any other content type is treated as an uploaded CSV/CTB
+// database with parameters in the URL query string (m, k, e, algo, delta,
+// lambda).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var (
+		resp QueryResponse
+		err  error
+	)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var req QueryRequest
+		if err = json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, badRequest(fmt.Errorf("decode query: %w", err)))
+			return
+		}
+		resp, err = s.q.runPath(r.Context(), req)
+	} else {
+		req, uerr := queryFromURL(r)
+		if uerr != nil {
+			writeErr(w, uerr)
+			return
+		}
+		data, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			writeErr(w, fmt.Errorf("read upload: %w", rerr))
+			return
+		}
+		if len(data) == 0 {
+			writeErr(w, badRequest(errors.New("decode query: empty database upload")))
+			return
+		}
+		resp, err = s.q.run(r.Context(), data, req)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryFromURL decodes upload-style query parameters. m and k are
+// integers and rejected (not truncated) when fractional.
+func queryFromURL(r *http.Request) (QueryRequest, error) {
+	q := r.URL.Query()
+	var req QueryRequest
+	var err error
+	integer := func(key string) (int64, error) {
+		raw := q.Get(key)
+		if raw == "" {
+			return 0, badRequest(fmt.Errorf("decode query: missing parameter %q", key))
+		}
+		v, perr := strconv.ParseInt(raw, 10, 64)
+		if perr != nil {
+			return 0, badRequest(fmt.Errorf("decode query: bad %s=%q (want an integer)", key, raw))
+		}
+		return v, nil
+	}
+	var m, k int64
+	if m, err = integer("m"); err != nil {
+		return req, err
+	}
+	if k, err = integer("k"); err != nil {
+		return req, err
+	}
+	raw := q.Get("e")
+	if raw == "" {
+		return req, badRequest(fmt.Errorf("decode query: missing parameter %q", "e"))
+	}
+	e, perr := strconv.ParseFloat(raw, 64)
+	if perr != nil {
+		return req, badRequest(fmt.Errorf("decode query: bad e=%q", raw))
+	}
+	req.Params = ParamsJSON{M: int(m), K: k, Eps: e}
+	req.Algo = q.Get("algo")
+	if raw := q.Get("delta"); raw != "" {
+		if req.Delta, err = strconv.ParseFloat(raw, 64); err != nil {
+			return req, badRequest(fmt.Errorf("decode query: bad delta=%q", raw))
+		}
+	}
+	if raw := q.Get("lambda"); raw != "" {
+		if req.Lambda, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			return req, badRequest(fmt.Errorf("decode query: bad lambda=%q", raw))
+		}
+	}
+	return req, nil
+}

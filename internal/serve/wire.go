@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Wire types: the JSON schema of the convoyd HTTP API, shared with the
+// CLIs so that `convoyfind -format json` and the server speak the same
+// language. Ticks travel as plain int64 and object identities as string
+// labels — dense ObjectIDs are a per-feed (or per-database) implementation
+// detail that must not leak to clients.
+
+// ParamsJSON is the wire form of the convoy query parameters (m, k, e).
+type ParamsJSON struct {
+	M   int     `json:"m"`
+	K   int64   `json:"k"`
+	Eps float64 `json:"e"`
+}
+
+// Params converts to the core parameter struct.
+func (p ParamsJSON) Params() core.Params { return core.Params{M: p.M, K: p.K, Eps: p.Eps} }
+
+// ParamsToJSON converts core parameters to their wire form.
+func ParamsToJSON(p core.Params) ParamsJSON { return ParamsJSON{M: p.M, K: p.K, Eps: p.Eps} }
+
+// ConvoyJSON is the wire form of one convoy answer.
+type ConvoyJSON struct {
+	// Objects are the member labels, ascending in the underlying IDs.
+	Objects []string `json:"objects"`
+	// Start and End delimit the inclusive tick interval.
+	Start model.Tick `json:"start"`
+	End   model.Tick `json:"end"`
+	// Lifetime is End−Start+1, precomputed for consumers.
+	Lifetime int64 `json:"lifetime"`
+}
+
+// ConvoyToJSON renders a convoy with the given label lookup; a lookup
+// returning "" falls back to "o<ID>".
+func ConvoyToJSON(c core.Convoy, label func(model.ObjectID) string) ConvoyJSON {
+	out := ConvoyJSON{
+		Objects:  make([]string, len(c.Objects)),
+		Start:    c.Start,
+		End:      c.End,
+		Lifetime: c.Lifetime(),
+	}
+	for i, id := range c.Objects {
+		name := ""
+		if label != nil {
+			name = label(id)
+		}
+		if name == "" {
+			name = fmt.Sprintf("o%d", id)
+		}
+		out.Objects[i] = name
+	}
+	return out
+}
+
+// DBLabels returns a label lookup backed by a database's trajectory labels.
+func DBLabels(db *model.DB) func(model.ObjectID) string {
+	return func(id model.ObjectID) string {
+		if id < 0 || id >= db.Len() {
+			return ""
+		}
+		return db.Traj(id).Label
+	}
+}
+
+// Position is one object's location in a tick batch.
+type Position struct {
+	ID string  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// TickBatch is the ingestion unit of POST /v1/feeds/{name}/ticks: the
+// snapshot of every tracked object at one tick.
+type TickBatch struct {
+	T         model.Tick `json:"t"`
+	Positions []Position `json:"positions"`
+}
+
+// TicksRequest is the body of POST /v1/feeds/{name}/ticks. Either a single
+// batch or a "ticks" array is accepted; see decodeTicks.
+type TicksRequest struct {
+	Ticks []TickBatch `json:"ticks"`
+}
+
+// TicksResponse reports the outcome of a tick ingestion.
+type TicksResponse struct {
+	// Accepted counts the ticks applied (all of them on success).
+	Accepted int `json:"accepted"`
+	// Closed lists the convoys that closed during these ticks.
+	Closed []ConvoyJSON `json:"closed"`
+}
+
+// TicksError is the error body of a failed tick ingestion. The accepted
+// prefix of the batch is permanently applied to the feed, so the client
+// needs Accepted (and any Closed convoys it produced) to know where to
+// resume.
+type TicksError struct {
+	Error    string       `json:"error"`
+	Accepted int          `json:"accepted"`
+	Closed   []ConvoyJSON `json:"closed"`
+}
+
+// FeedSpec is the body of POST /v1/feeds.
+type FeedSpec struct {
+	Name   string     `json:"name"`
+	Params ParamsJSON `json:"params"`
+}
+
+// FeedStatus describes one feed (GET /v1/feeds and GET /v1/feeds/{name}).
+type FeedStatus struct {
+	Name   string     `json:"name"`
+	Params ParamsJSON `json:"params"`
+	// LastTick is the most recently ingested tick; null before the first.
+	LastTick *model.Tick `json:"last_tick,omitempty"`
+	// Ticks counts ingested tick batches.
+	Ticks int64 `json:"ticks"`
+	// Objects counts distinct object labels seen.
+	Objects int `json:"objects"`
+	// Live counts open convoy candidates inside the streamer.
+	Live int `json:"live"`
+	// Closed counts convoys emitted so far.
+	Closed uint64 `json:"closed"`
+	// NextSeq is the sequence number the next closed convoy will get;
+	// pass it as ?since= to poll only new events.
+	NextSeq uint64 `json:"next_seq"`
+}
+
+// Event is one closed convoy on a feed's event log, as served by
+// GET /v1/feeds/{name}/convoys and streamed by GET /v1/feeds/{name}/events.
+type Event struct {
+	// Seq numbers events per feed from 0 upward.
+	Seq uint64 `json:"seq"`
+	// Feed is the emitting feed's name.
+	Feed string `json:"feed"`
+	// Convoy is the closed convoy.
+	Convoy ConvoyJSON `json:"convoy"`
+}
+
+// EventsResponse is the poll answer of GET /v1/feeds/{name}/convoys.
+type EventsResponse struct {
+	Events []Event `json:"events"`
+	// NextSeq is the ?since= value that continues after these events.
+	NextSeq uint64 `json:"next_seq"`
+}
+
+// FeedCloseResponse is the answer of DELETE /v1/feeds/{name}: the convoys
+// still open at deletion time that satisfied the lifetime bound.
+type FeedCloseResponse struct {
+	Drained []ConvoyJSON `json:"drained"`
+}
+
+// QueryRequest is the JSON body form of POST /v1/query, referencing a
+// server-local database file. Uploads instead send the raw CSV/CTB bytes
+// with parameters in the URL query string.
+type QueryRequest struct {
+	// Path locates the database file under the server's data directory.
+	Path   string     `json:"path"`
+	Params ParamsJSON `json:"params"`
+	// Algo selects the algorithm: cmc, cuts, cuts+ or cuts* (default).
+	Algo string `json:"algo,omitempty"`
+	// Delta and Lambda override the automatic guidelines when > 0.
+	Delta  float64 `json:"delta,omitempty"`
+	Lambda int64   `json:"lambda,omitempty"`
+}
+
+// StatsJSON is the wire form of the CuTS run statistics.
+type StatsJSON struct {
+	Variant       string  `json:"variant"`
+	Delta         float64 `json:"delta"`
+	Lambda        int64   `json:"lambda"`
+	NumPartitions int     `json:"partitions"`
+	NumCandidates int     `json:"candidates"`
+	RefineUnits   float64 `json:"refine_units"`
+	SimplifyMS    float64 `json:"simplify_ms"`
+	FilterMS      float64 `json:"filter_ms"`
+	RefineMS      float64 `json:"refine_ms"`
+	TotalMS       float64 `json:"total_ms"`
+}
+
+// StatsToJSON converts run statistics to their wire form.
+func StatsToJSON(st core.Stats) StatsJSON {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return StatsJSON{
+		Variant:       st.Variant.String(),
+		Delta:         st.Delta,
+		Lambda:        st.Lambda,
+		NumPartitions: st.NumPartitions,
+		NumCandidates: st.NumCandidates,
+		RefineUnits:   st.RefineUnits,
+		SimplifyMS:    ms(st.SimplifyTime),
+		FilterMS:      ms(st.FilterTime),
+		RefineMS:      ms(st.RefineTime),
+		TotalMS:       ms(st.TotalTime()),
+	}
+}
+
+// QueryResponse is the answer of POST /v1/query.
+type QueryResponse struct {
+	Convoys []ConvoyJSON `json:"convoys"`
+	Params  ParamsJSON   `json:"params"`
+	Algo    string       `json:"algo"`
+	// Stats carries the CuTS run statistics (absent for CMC).
+	Stats *StatsJSON `json:"stats,omitempty"`
+	// Digest identifies the database contents (sha256, hex).
+	Digest string `json:"digest"`
+	// Cache is "hit" or "miss".
+	Cache string `json:"cache"`
+	// ElapsedMS is the wall time of this request's engine work (0 on a
+	// cache hit).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorJSON is the body of every non-2xx response.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// Algo names accepted by the query engine and convoyfind.
+const (
+	AlgoCMC      = "cmc"
+	AlgoCuTS     = "cuts"
+	AlgoCuTSPlus = "cuts+"
+	AlgoCuTSStar = "cuts*"
+)
+
+// ParseAlgo resolves an algorithm name ("" defaults to cuts*). cmc reports
+// true in the first return; otherwise the variant is valid.
+func ParseAlgo(name string) (isCMC bool, v core.Variant, err error) {
+	switch strings.ToLower(name) {
+	case AlgoCMC:
+		return true, 0, nil
+	case AlgoCuTS:
+		return false, core.VariantCuTS, nil
+	case AlgoCuTSPlus:
+		return false, core.VariantCuTSPlus, nil
+	case AlgoCuTSStar, "":
+		return false, core.VariantCuTSStar, nil
+	default:
+		return false, 0, fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", name)
+	}
+}

@@ -6,9 +6,11 @@
 //	benchrunner -exp all -scale 0.05            # every experiment, small scale
 //	benchrunner -exp fig12 -scale 1             # Figure 12 at full Table 3 scale
 //	benchrunner -exp fig12 -json out/           # also write out/BENCH_fig12.json
+//	benchrunner -exp scaling -json out/         # worker-count scaling sweep
 //	benchrunner -list                           # list experiment ids
 //
-// Experiment ids follow the paper: table3, fig12 … fig17, fig19. Scale
+// Experiment ids follow the paper — table3, fig12 … fig17, fig19 — plus
+// the repository's own "scaling" sweep (workers ∈ {1,2,4,NumCPU}). Scale
 // multiplies the time-domain length of every dataset (1 reproduces the
 // Table 3 sizes; expect minutes of runtime at full scale).
 //
@@ -33,14 +35,16 @@ type benchFile struct {
 	Exp     string        `json:"exp"`
 	Scale   float64       `json:"scale"`
 	Seed    int64         `json:"seed"`
+	Workers int           `json:"workers,omitempty"`
 	Records []expr.Record `json:"records"`
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling) or 'all'")
 		scale   = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
 		seed    = flag.Int64("seed", 1, "random seed for data generation")
+		workers = flag.Int("workers", 1, "goroutines per discovery stage for the experiments (scaling sweeps its own counts)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json measurement files into")
 	)
@@ -74,7 +78,7 @@ func main() {
 
 	for _, id := range ids {
 		run, _ := expr.Lookup(id)
-		opts := expr.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
+		opts := expr.Options{Scale: *scale, Seed: *seed, Out: os.Stdout, Workers: *workers}
 		var records []expr.Record
 		if *jsonDir != "" {
 			opts.Record = func(r expr.Record) { records = append(records, r) }
@@ -85,7 +89,7 @@ func main() {
 		}
 		fmt.Println()
 		if *jsonDir != "" {
-			if err := writeBench(*jsonDir, benchFile{Exp: id, Scale: *scale, Seed: *seed, Records: records}); err != nil {
+			if err := writeBench(*jsonDir, benchFile{Exp: id, Scale: *scale, Seed: *seed, Workers: *workers, Records: records}); err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner:", err)
 				os.Exit(1)
 			}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ] [-stats] [-format text|json]
+//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ] [-workers N] [-stats] [-format text|json]
 //
 // The input format is "obj,t,x,y" with a header line (see the tsio
 // package). The convoy parameters follow the paper: m is the minimum group
@@ -30,16 +30,17 @@ import (
 
 func main() {
 	var (
-		input  = flag.String("input", "", "input file: CSV (obj,t,x,y with header) or binary .ctb; required")
-		m      = flag.Int("m", 2, "minimum number of objects in a convoy")
-		k      = flag.Int64("k", 2, "minimum convoy lifetime in time points")
-		e      = flag.Float64("e", 1, "density-connection distance threshold")
-		algo   = flag.String("algo", "cuts*", "algorithm: cmc, cuts, cuts+ or cuts*")
-		delta  = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
-		lambda = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
-		stats  = flag.Bool("stats", false, "print phase timings and filter statistics")
-		format = flag.String("format", "text", "output format: text, json (NDJSON, server wire schema) or json-array")
-		asJSON = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
+		input   = flag.String("input", "", "input file: CSV (obj,t,x,y with header) or binary .ctb; required")
+		m       = flag.Int("m", 2, "minimum number of objects in a convoy")
+		k       = flag.Int64("k", 2, "minimum convoy lifetime in time points")
+		e       = flag.Float64("e", 1, "density-connection distance threshold")
+		algo    = flag.String("algo", "cuts*", "algorithm: cmc, cuts, cuts+ or cuts*")
+		delta   = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
+		lambda  = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
+		stats   = flag.Bool("stats", false, "print phase timings and filter statistics")
+		format  = flag.String("format", "text", "output format: text, json (NDJSON, server wire schema) or json-array")
+		asJSON  = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
+		workers = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -59,7 +60,10 @@ func main() {
 			*format = "json-array"
 		}
 	}
-	if err := run(os.Stdout, *input, *m, *k, *e, *algo, *delta, *lambda, *stats, *format); err != nil {
+	if *workers <= 0 {
+		*workers = convoys.DefaultWorkers()
+	}
+	if err := run(os.Stdout, *input, *m, *k, *e, *algo, *delta, *lambda, *workers, *stats, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "convoyfind:", err)
 		os.Exit(1)
 	}
@@ -73,7 +77,7 @@ func loadDB(input string) (*convoys.DB, error) {
 	return convoys.LoadCSV(input)
 }
 
-func run(out io.Writer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, stats bool, format string) error {
+func run(out io.Writer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, workers int, stats bool, format string) error {
 	switch strings.ToLower(format) {
 	case "text", "json", "json-array":
 	default:
@@ -89,13 +93,13 @@ func run(out io.Writer, input string, m int, k int64, e float64, algo string, de
 	var st convoys.Stats
 	switch strings.ToLower(algo) {
 	case "cmc":
-		res, err = convoys.CMC(db, p)
+		res, err = convoys.CMCWith(db, p, workers)
 	case "cuts":
-		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSVariant, Delta: delta, Lambda: lambda})
+		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSVariant, Delta: delta, Lambda: lambda, Workers: workers})
 	case "cuts+":
-		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSPlusVariant, Delta: delta, Lambda: lambda})
+		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSPlusVariant, Delta: delta, Lambda: lambda, Workers: workers})
 	case "cuts*":
-		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSStarVariant, Delta: delta, Lambda: lambda})
+		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSStarVariant, Delta: delta, Lambda: lambda, Workers: workers})
 	default:
 		return fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", algo)
 	}
@@ -131,8 +135,8 @@ func run(out io.Writer, input string, m int, k int64, e float64, algo string, de
 			strings.Join(convoys.ConvoyToJSON(c, db).Objects, ", "), c.Start, c.End, c.Lifetime())
 	}
 	if stats && strings.ToLower(algo) != "cmc" {
-		fmt.Fprintf(out, "algorithm %v: δ=%.3g λ=%d partitions=%d candidates=%d refinement-units=%.0f\n",
-			st.Variant, st.Delta, st.Lambda, st.NumPartitions, st.NumCandidates, st.RefineUnits)
+		fmt.Fprintf(out, "algorithm %v: δ=%.3g λ=%d workers=%d partitions=%d candidates=%d refinement-units=%.0f\n",
+			st.Variant, st.Delta, st.Lambda, st.Workers, st.NumPartitions, st.NumCandidates, st.RefineUnits)
 		fmt.Fprintf(out, "timings: simplify=%v filter=%v refine=%v total=%v (vertex reduction %.1f%%)\n",
 			st.SimplifyTime, st.FilterTime, st.RefineTime, st.TotalTime(), st.VertexReduction()*100)
 	}

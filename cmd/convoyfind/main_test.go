@@ -45,7 +45,7 @@ func TestRunTextOutputAllAlgorithms(t *testing.T) {
 	path := writeFixture(t, dir, "two.csv")
 	for _, algo := range []string{"cmc", "cuts", "cuts+", "cuts*", "CUTS*"} {
 		var buf bytes.Buffer
-		if err := run(&buf, path, 2, 5, 1, algo, 0, 0, true, "text"); err != nil {
+		if err := run(&buf, path, 2, 5, 1, algo, 0, 0, 2, true, "text"); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		out := buf.String()
@@ -65,7 +65,7 @@ func TestRunBinaryInput(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.ctb")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, false, "text"); err != nil {
+	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "text"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "2 convoy(s)") {
@@ -77,7 +77,7 @@ func TestRunJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, false, "json"); err != nil {
+	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "json"); err != nil {
 		t.Fatal(err)
 	}
 	// One wire-schema JSON object per line.
@@ -105,7 +105,7 @@ func TestRunJSONArrayOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, false, "json-array"); err != nil {
+	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "json-array"); err != nil {
 		t.Fatal(err)
 	}
 	var payload []convoys.ConvoyJSON
@@ -121,7 +121,7 @@ func TestRunRejectsUnknownFormat(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, false, "yaml"); err == nil {
+	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "yaml"); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -130,13 +130,13 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, filepath.Join(dir, "missing.csv"), 2, 5, 1, "cuts*", 0, 0, false, "text"); err == nil {
+	if err := run(&buf, filepath.Join(dir, "missing.csv"), 2, 5, 1, "cuts*", 0, 0, 2, false, "text"); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(&buf, path, 2, 5, 1, "nope", 0, 0, false, "text"); err == nil {
+	if err := run(&buf, path, 2, 5, 1, "nope", 0, 0, 2, false, "text"); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&buf, path, 0, 5, 1, "cmc", 0, 0, false, "text"); err == nil {
+	if err := run(&buf, path, 0, 5, 1, "cmc", 0, 0, 2, false, "text"); err == nil {
 		t.Error("invalid m accepted")
 	}
 	// Corrupt CSV.
@@ -144,7 +144,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not,a,header\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, bad, 2, 5, 1, "cmc", 0, 0, false, "text"); err == nil {
+	if err := run(&buf, bad, 2, 5, 1, "cmc", 0, 0, 2, false, "text"); err == nil {
 		t.Error("corrupt CSV accepted")
 	}
 }

@@ -160,6 +160,18 @@ func DiscoverWith(db *DB, p Params, cfg Config) (Result, Stats, error) {
 // useful as a reference.
 func CMC(db *DB, p Params) (Result, error) { return core.CMC(db, p) }
 
+// CMCWith is CMC on a bounded worker pool: snapshots cluster concurrently
+// while candidate chaining folds them in tick order, so the answer set is
+// identical to the serial run for every worker count. workers ≤ 1 runs
+// serially; DefaultWorkers() uses every core.
+func CMCWith(db *DB, p Params, workers int) (Result, error) {
+	return core.CMCParallel(db, p, workers)
+}
+
+// DefaultWorkers returns the natural per-stage worker count for this
+// machine (GOMAXPROCS), for use in Config.Workers and CMCWith.
+func DefaultWorkers() int { return core.DefaultWorkers() }
+
 // Streamer discovers convoys incrementally over a live position feed: push
 // per-tick snapshots with Advance, receive convoys as they close, flush the
 // rest with Close. Replaying a database through a Streamer and

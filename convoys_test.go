@@ -57,6 +57,38 @@ func TestDiscoverFacade(t *testing.T) {
 	}
 }
 
+// Parallel facade entry points return exactly the serial answers.
+func TestFacadeParallelWorkers(t *testing.T) {
+	db := smallDB(t)
+	p := convoys.Params{M: 2, K: 5, Eps: 1}
+	ref, err := convoys.CMC(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if convoys.DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", convoys.DefaultWorkers())
+	}
+	for _, workers := range []int{2, convoys.DefaultWorkers()} {
+		got, err := convoys.CMCWith(db, p, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Errorf("CMCWith(%d) = %v, want %v", workers, got, ref)
+		}
+		res, st, err := convoys.DiscoverWith(db, p, convoys.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(ref) {
+			t.Errorf("DiscoverWith(workers=%d) = %v, want %v", workers, res, ref)
+		}
+		if st.Workers != workers {
+			t.Errorf("stats workers = %d, want %d", st.Workers, workers)
+		}
+	}
+}
+
 func TestFacadeCSVRoundTrip(t *testing.T) {
 	db := smallDB(t)
 	var buf bytes.Buffer

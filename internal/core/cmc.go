@@ -163,19 +163,58 @@ func flushCandidates(live []*candidate, k int64, out *[]Convoy, emit func(*candi
 // the given ascending object subset, and returns the raw (uncanonicalized)
 // convoys found.
 func cmcWindow(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID) []Convoy {
+	return cmcWindowWorkers(db, p, lo, hi, subset, 1)
+}
+
+// cmcWindowWorkers is cmcWindow with a bounded worker pool: the per-tick
+// DBSCAN runs (the quadratic part) execute concurrently while the candidate
+// chaining folds the resulting snapshot clusters strictly in tick order — a
+// pipeline, not a per-tick barrier. Because chainStep consumes exactly the
+// clusters the serial scan would, in exactly the same order, the output is
+// identical to the serial scan by construction.
+func cmcWindowWorkers(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int) []Convoy {
 	var out []Convoy
 	var live []*candidate
-	for t := lo; t <= hi; t++ {
-		clusters := snapshotClusters(db, p, t, subset)
-		live = chainStep(live, clusters, p.M, p.K, t, t, false, &out, nil)
+	span := int64(hi-lo) + 1
+	if span <= 0 || span > int64(maxPipelineSpan) {
+		// Overflowing or absurd time domains take the plain loop; ticks are
+		// still scanned one by one either way.
+		workers = 1
+	}
+	if workers <= 1 {
+		for t := lo; t <= hi; t++ {
+			clusters := snapshotClusters(db, p, t, subset)
+			live = chainStep(live, clusters, p.M, p.K, t, t, false, &out, nil)
+		}
+	} else {
+		orderedPipeline(int(span), workers,
+			func(i int) [][]model.ObjectID {
+				return snapshotClusters(db, p, lo+model.Tick(i), subset)
+			},
+			func(i int, clusters [][]model.ObjectID) {
+				t := lo + model.Tick(i)
+				live = chainStep(live, clusters, p.M, p.K, t, t, false, &out, nil)
+			})
 	}
 	flushCandidates(live, p.K, &out, nil)
 	return out
 }
 
+// maxPipelineSpan bounds the tick count handed to the parallel pipeline so
+// that the span always fits an int (also on 32-bit platforms); larger —
+// degenerate — domains run serially.
+const maxPipelineSpan = 1 << 30
+
 // CMC answers the convoy query over the whole database with the Coherent
 // Moving Cluster algorithm and returns the canonical result.
 func CMC(db *model.DB, p Params) (Result, error) {
+	return CMCParallel(db, p, 1)
+}
+
+// CMCParallel is CMC with a bounded worker pool clustering ticks
+// concurrently (see cmcWindowWorkers); workers ≤ 1 is the serial scan and
+// the answer set is identical for every worker count.
+func CMCParallel(db *model.DB, p Params, workers int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,5 +222,5 @@ func CMC(db *model.DB, p Params) (Result, error) {
 	if !ok {
 		return nil, nil
 	}
-	return Canonicalize(cmcWindow(db, p, lo, hi, nil)), nil
+	return Canonicalize(cmcWindowWorkers(db, p, lo, hi, nil, workers)), nil
 }

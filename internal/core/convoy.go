@@ -20,6 +20,31 @@
 //
 // All four algorithms return exactly this set (canonically sorted), which
 // the cross-algorithm equivalence tests rely on.
+//
+// # Parallel execution
+//
+// Every stage of the discovery pipeline is parallel on a bounded worker
+// pool selected by Config.Workers (CMCParallel for the baseline):
+//
+//   - simplification runs per trajectory (independent inputs, one result
+//     slot each);
+//   - the CMC scan clusters ticks concurrently while the candidate
+//     chaining folds the snapshot clusters strictly in tick order — a
+//     pipeline, not a per-tick barrier (see orderedPipeline);
+//   - the CuTS filter clusters λ-partitions concurrently and chains the
+//     partition clusters in time order the same way;
+//   - refinement runs per candidate and canonicalizes the union.
+//
+// Serial and parallel runs return identical answers *by construction*, not
+// by coincidence: the expensive, parallelized parts (DBSCAN over a tick or
+// partition, simplifying one trajectory, refining one candidate) are pure
+// functions of their inputs, and the only order-sensitive state — the live
+// candidate set advanced by chainStep — is folded by a single consumer
+// that receives exactly the same cluster sequences, in exactly the same
+// order, as the serial loop produces. chainStep itself is reused unchanged
+// between the serial and parallel paths, and property tests pin parallel
+// output to the serial answer for CMC and all three CuTS variants across
+// worker counts.
 package core
 
 import (

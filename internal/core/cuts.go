@@ -101,10 +101,13 @@ type Config struct {
 	// before refinement.
 	NoCandidatePruning bool
 
-	// Workers sets the number of goroutines refining candidates
-	// concurrently; 0 or 1 refines serially. The answer set is identical
-	// either way (candidates are independent and the union is
-	// canonicalized).
+	// Workers sets the number of goroutines every stage of the pipeline
+	// may use: trajectories simplify concurrently, filter partitions
+	// cluster concurrently (chaining stays sequential in partition order),
+	// and candidates refine concurrently. 0 or 1 runs serially. The answer
+	// set is identical for every worker count — the parallel stages
+	// compute exactly the serial stages' intermediate results and the
+	// sequential folds consume them in the serial order.
 	Workers int
 }
 
@@ -117,6 +120,11 @@ type FilterConfig struct {
 	NoBoxPrune         bool
 	NoClipTime         bool
 	NoCandidatePruning bool
+	// Workers clusters λ-partitions concurrently (each partition's
+	// TRAJ-DBSCAN is independent; candidate chaining stays sequential in
+	// partition order, so the candidate set is identical to a serial run).
+	// 0 or 1 runs serially.
+	Workers int
 }
 
 // Candidate is one convoy candidate produced by the filter step.
@@ -147,6 +155,7 @@ type Stats struct {
 	Variant       Variant
 	Delta         float64       // the δ actually used
 	Lambda        int64         // the λ actually used
+	Workers       int           // effective worker count (1 = serial)
 	NumPartitions int           // partitions scanned
 	NumCandidates int           // candidates handed to refinement
 	RefineUnits   float64       // Σ candidate refinement units
@@ -198,24 +207,34 @@ func Filter(db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig)
 		})
 	}
 
-	var live []*candidate
+	// Partition windows, in time order; each partition's clustering is
+	// independent, so the expensive TRAJ-DBSCAN runs on a worker pool while
+	// the cheap candidate chaining folds the partition clusters strictly in
+	// time order (same pipeline shape as the parallel CMC scan).
+	type window struct{ w0, w1 model.Tick }
+	var wins []window
 	for w0 := lo; w0 <= hi; w0 += model.Tick(lambda) {
 		w1 := w0 + model.Tick(lambda) - 1
 		if w1 > hi {
 			w1 = hi
 		}
-		// Assemble the partition's sub-polylines (the structure G of
-		// Algorithm 2): for each object, the run of simplified segments
-		// whose time intervals intersect [w0, w1]. Under the D* bound the
-		// segments are clipped to the partition window — the synchronous
-		// DP* tolerance licenses that (see simplify.Segment.ClipTime),
-		// shrinking both the bounding boxes and the CPA distances; the
-		// free-space DLL bound must keep whole segments, which is exactly
-		// why the paper calls the CuTS* filter tighter (Section 6.2).
+		wins = append(wins, window{w0, w1})
+	}
+
+	// partitionClusters assembles the partition's sub-polylines (the
+	// structure G of Algorithm 2) — for each object, the run of simplified
+	// segments whose time intervals intersect [w0, w1] — and clusters them.
+	// Under the D* bound the segments are clipped to the partition window —
+	// the synchronous DP* tolerance licenses that (see
+	// simplify.Segment.ClipTime), shrinking both the bounding boxes and the
+	// CPA distances; the free-space DLL bound must keep whole segments,
+	// which is exactly why the paper calls the CuTS* filter tighter
+	// (Section 6.2).
+	partitionClusters := func(w window) [][]model.ObjectID {
 		var polys []dbscan.Polyline
 		var polyObj []model.ObjectID
 		for _, st := range sts {
-			sLo, sHi := st.SegmentsOverlapping(w0, w1)
+			sLo, sHi := st.SegmentsOverlapping(w.w0, w.w1)
 			if sLo >= sHi {
 				continue
 			}
@@ -223,27 +242,34 @@ func Filter(db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig)
 			if bound == dbscan.BoundDStar && !fc.NoClipTime {
 				clipped := make([]simplify.Segment, len(segs))
 				for i, sg := range segs {
-					clipped[i] = sg.ClipTime(w0, w1)
+					clipped[i] = sg.ClipTime(w.w0, w.w1)
 				}
 				segs = clipped
 			}
 			polys = append(polys, dbscan.NewPolyline(st.Object, segs))
 			polyObj = append(polyObj, st.Object)
 		}
-		var clusters [][]model.ObjectID
-		if len(polys) >= p.M {
-			comps := dbscan.PolylineComponents(polys, p.M, distParams)
-			clusters = make([][]model.ObjectID, len(comps))
-			for ci, comp := range comps {
-				objs := make([]model.ObjectID, len(comp))
-				for i, pi := range comp {
-					objs[i] = polyObj[pi] // polyObj ascending ⇒ objs ascending
-				}
-				clusters[ci] = objs
-			}
+		if len(polys) < p.M {
+			return nil
 		}
-		live = chainStep(live, clusters, p.M, p.K, w0, w1, true, nil, collect)
+		comps := dbscan.PolylineComponents(polys, p.M, distParams)
+		clusters := make([][]model.ObjectID, len(comps))
+		for ci, comp := range comps {
+			objs := make([]model.ObjectID, len(comp))
+			for i, pi := range comp {
+				objs[i] = polyObj[pi] // polyObj ascending ⇒ objs ascending
+			}
+			clusters[ci] = objs
+		}
+		return clusters
 	}
+
+	var live []*candidate
+	orderedPipeline(len(wins), fc.Workers,
+		func(i int) [][]model.ObjectID { return partitionClusters(wins[i]) },
+		func(i int, clusters [][]model.ObjectID) {
+			live = chainStep(live, clusters, p.M, p.K, wins[i].w0, wins[i].w1, true, nil, collect)
+		})
 	flushCandidates(live, p.K, nil, collect)
 	return dedupCandidates(out, fc.NoCandidatePruning)
 }
@@ -304,35 +330,11 @@ func Refine(db *model.DB, p Params, cands []Candidate) Result {
 // so their window-restricted CMC runs execute concurrently; the union is
 // canonicalized, making the answer identical to the serial run.
 func RefineParallel(db *model.DB, p Params, cands []Candidate, workers int) Result {
-	if workers <= 1 || len(cands) < 2 {
-		var all []Convoy
-		for _, c := range cands {
-			all = append(all, cmcWindow(db, p, c.Start, c.End, c.Support)...)
-		}
-		return Canonicalize(all)
-	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
 	perCand := make([][]Convoy, len(cands))
-	jobs := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range jobs {
-				c := cands[i]
-				perCand[i] = cmcWindow(db, p, c.Start, c.End, c.Support)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := range cands {
-		jobs <- i
-	}
-	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	parallelFor(len(cands), workers, func(i int) {
+		c := cands[i]
+		perCand[i] = cmcWindow(db, p, c.Start, c.End, c.Support)
+	})
 	var all []Convoy
 	for _, cs := range perCand {
 		all = append(all, cs...)
@@ -344,7 +346,10 @@ func RefineParallel(db *model.DB, p Params, cands []Candidate, workers int) Resu
 // convoy result plus run statistics. Delta/Lambda ≤ 0 in cfg invoke the
 // Section 7.4 guidelines.
 func Run(db *model.DB, p Params, cfg Config) (Result, Stats, error) {
-	st := Stats{Variant: cfg.Variant}
+	st := Stats{Variant: cfg.Variant, Workers: cfg.Workers}
+	if st.Workers < 1 {
+		st.Workers = 1
+	}
 	if err := p.Validate(); err != nil {
 		return nil, st, err
 	}
@@ -357,7 +362,7 @@ func Run(db *model.DB, p Params, cfg Config) (Result, Stats, error) {
 	st.Delta = delta
 
 	t0 := time.Now()
-	sts := simplify.SimplifyAll(db, delta, method)
+	sts := simplify.SimplifyAllWorkers(db, delta, method, cfg.Workers)
 	st.SimplifyTime = time.Since(t0)
 	for _, s := range sts {
 		st.VertexKept += s.Len()
@@ -383,6 +388,7 @@ func Run(db *model.DB, p Params, cfg Config) (Result, Stats, error) {
 		NoBoxPrune:         cfg.NoBoxPrune,
 		NoClipTime:         cfg.NoClipTime,
 		NoCandidatePruning: cfg.NoCandidatePruning,
+		Workers:            cfg.Workers,
 	})
 	st.FilterTime = time.Since(t1)
 	st.NumCandidates = len(cands)

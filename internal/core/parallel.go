@@ -1,0 +1,24 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/par"
+)
+
+// The parallel-scan plumbing lives in the par package (shared with
+// simplify); this file binds it to the discovery stages. See the package
+// comment in convoy.go for the serial ≡ parallel argument.
+
+// DefaultWorkers returns the natural worker count for this machine.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelFor runs independent jobs writing to distinct result slots
+// (simplification, candidate refinement).
+func parallelFor(n, workers int, fn func(i int)) { par.For(n, workers, fn) }
+
+// orderedPipeline computes jobs concurrently but folds results strictly in
+// index order (the CMC tick scan, the filter's partition scan).
+func orderedPipeline[T any](n, workers int, produce func(i int) T, consume func(i int, v T)) {
+	par.OrderedPipeline(n, workers, produce, consume)
+}

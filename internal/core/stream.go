@@ -58,6 +58,12 @@ func (s *Streamer) Advance(t model.Tick, ids []model.ObjectID, pts []geom.Point)
 	if len(ids) != len(pts) {
 		return nil, fmt.Errorf("core: Advance: %d ids vs %d points", len(ids), len(pts))
 	}
+	if dup, ok := firstDuplicate(ids); ok {
+		// A repeated ID would cluster with itself and corrupt the candidate
+		// sets (emitting convoys like ⟨o1,o1,o2⟩), so the snapshot is
+		// rejected before any state changes — like serve's feed handler.
+		return nil, fmt.Errorf("core: Advance: duplicate object id %d at tick %d", dup, t)
+	}
 	if s.started && t <= s.lastTick {
 		return nil, fmt.Errorf("core: Advance: tick %d not after %d", t, s.lastTick)
 	}
@@ -72,6 +78,34 @@ func (s *Streamer) Advance(t model.Tick, ids []model.ObjectID, pts []geom.Point)
 	s.live = chainStep(s.live, clusters, s.p.M, s.p.K, t, t, false, &out, nil)
 	sortResult(out)
 	return out, nil
+}
+
+// firstDuplicate reports a repeated object ID in a pushed snapshot. The
+// common case — IDs already ascending, as database replays produce — is
+// checked with a linear scan and no allocation; unsorted snapshots fall
+// back to a set.
+func firstDuplicate(ids []model.ObjectID) (model.ObjectID, bool) {
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			return ids[i], true
+		}
+		if ids[i] < ids[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return 0, false
+	}
+	seen := make(map[model.ObjectID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return id, true
+		}
+		seen[id] = struct{}{}
+	}
+	return 0, false
 }
 
 // snapshot clusters one pushed tick. IDs need not be sorted; cluster member

@@ -113,6 +113,36 @@ func TestStreamerErrors(t *testing.T) {
 	}
 }
 
+// Regression: Advance used to accept a snapshot listing the same object
+// twice; the repeated point clustered with itself and corrupted candidate
+// sets (convoys like ⟨o1,o1,o2⟩). Duplicates are now rejected before any
+// state changes — exactly like serve's feed handler.
+func TestStreamerRejectsDuplicateIDs(t *testing.T) {
+	s, _ := NewStreamer(Params{M: 2, K: 1, Eps: 1})
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.1, 0), geom.Pt(0.2, 0)}
+
+	// Sorted duplicates (the ascending fast path).
+	if _, err := s.Advance(0, []model.ObjectID{1, 1, 2}, pts); err == nil {
+		t.Fatal("sorted duplicate ids accepted")
+	}
+	// Unsorted duplicates (the set fallback).
+	if _, err := s.Advance(0, []model.ObjectID{2, 1, 2}, pts); err == nil {
+		t.Fatal("unsorted duplicate ids accepted")
+	}
+	// The rejected snapshots must not have advanced the stream: tick 0 is
+	// still available and a clean snapshot forms the convoy.
+	if _, ok := s.LastTick(); ok {
+		t.Fatal("rejected Advance moved the tick cursor")
+	}
+	if _, err := s.Advance(0, []model.ObjectID{1, 2, 3}, pts); err != nil {
+		t.Fatalf("clean snapshot after rejection: %v", err)
+	}
+	got := s.Close()
+	if len(got) != 1 || !equalSorted(got[0].Objects, ids(1, 2, 3)) {
+		t.Fatalf("Close = %v", got)
+	}
+}
+
 func TestStreamerUnsortedIDs(t *testing.T) {
 	// Pushed IDs need not be sorted; clusters still come out canonical.
 	s, _ := NewStreamer(Params{M: 2, K: 1, Eps: 1})

@@ -32,6 +32,10 @@ type Options struct {
 	Out io.Writer
 	// Profiles overrides the default four Table 3 profiles when non-nil.
 	Profiles []datagen.Profile
+	// Workers is the per-stage worker count every experiment's discovery
+	// runs use (≤ 1 = serial). The scaling experiment ignores it and
+	// sweeps its own counts.
+	Workers int
 	// Record, when non-nil, receives one machine-readable measurement per
 	// printed table row (benchrunner -json writes these to BENCH files).
 	Record func(Record)
@@ -89,10 +93,11 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
 }
 
-// timedCMC runs CMC and reports the result with its wall time.
-func timedCMC(db *model.DB, p core.Params) (core.Result, time.Duration, error) {
+// timedCMC runs CMC with the options' worker count and reports the result
+// with its wall time.
+func timedCMC(db *model.DB, p core.Params, workers int) (core.Result, time.Duration, error) {
 	t0 := time.Now()
-	res, err := core.CMC(db, p)
+	res, err := core.CMCParallel(db, p, workers)
 	return res, time.Since(t0), err
 }
 
@@ -107,7 +112,7 @@ func Table3(o Options) error {
 		db := prof.Generate()
 		st := db.Stats()
 		p := params(prof)
-		res, runStats, err := core.Run(db, p, core.Config{Variant: core.VariantCuTSStar})
+		res, runStats, err := core.Run(db, p, core.Config{Variant: core.VariantCuTSStar, Workers: o.Workers})
 		if err != nil {
 			return fmt.Errorf("expr: Table3 %s: %w", prof.Name, err)
 		}
@@ -137,7 +142,7 @@ func Figure12(o Options) error {
 	for _, prof := range o.profiles() {
 		db := prof.Generate()
 		p := params(prof)
-		ref, cmcTime, err := timedCMC(db, p)
+		ref, cmcTime, err := timedCMC(db, p, o.Workers)
 		if err != nil {
 			return fmt.Errorf("expr: Figure12 %s: %w", prof.Name, err)
 		}
@@ -145,7 +150,7 @@ func Figure12(o Options) error {
 			Metrics: map[string]float64{"time_ms": msf(cmcTime)}})
 		var times [3]time.Duration
 		for i, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
-			res, st, err := core.Run(db, p, core.Config{Variant: variant})
+			res, st, err := core.Run(db, p, core.Config{Variant: variant, Workers: o.Workers})
 			if err != nil {
 				return fmt.Errorf("expr: Figure12 %s %v: %w", prof.Name, variant, err)
 			}
@@ -180,7 +185,7 @@ func Figure13(o Options) error {
 		db := prof.Generate()
 		p := params(prof)
 		for _, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
-			_, st, err := core.Run(db, p, core.Config{Variant: variant})
+			_, st, err := core.Run(db, p, core.Config{Variant: variant, Workers: o.Workers})
 			if err != nil {
 				return fmt.Errorf("expr: Figure13 %s %v: %w", prof.Name, variant, err)
 			}
@@ -213,6 +218,7 @@ func Figure14(o Options) error {
 			_, st, err := core.Run(db, p, core.Config{
 				Variant:   core.VariantCuTSStar,
 				Tolerance: toleranceMode(tol),
+				Workers:   o.Workers,
 			})
 			if err != nil {
 				return fmt.Errorf("expr: Figure14 %s: %w", prof.Name, err)

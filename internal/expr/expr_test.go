@@ -111,8 +111,8 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 8 {
-		t.Errorf("expected 8 experiments, got %d", len(Experiments))
+	if len(Experiments) != 9 {
+		t.Errorf("expected 9 experiments, got %d", len(Experiments))
 	}
 	var buf bytes.Buffer
 	if err := RunAll(tinyOptions(&buf)); err != nil {
@@ -133,5 +133,57 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if len(o.profiles()) != 4 {
 		t.Error("default profiles missing")
+	}
+}
+
+// The scaling experiment must sweep workers on both profiles for both
+// methods, verify parallel ≡ serial internally, and emit the measurement
+// rows BENCH_scaling.json is built from.
+func TestScalingRunsAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	var recs []Record
+	o.Record = func(r Record) { recs = append(recs, r) }
+	if err := Scaling(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Scaling:") || !strings.Contains(out, "workers") {
+		t.Errorf("Scaling output:\n%s", out)
+	}
+	sweep := len(workerSweep())
+	want := 2 * 2 * sweep // {Truck, Car} × {CMC, CuTS*} × worker sweep
+	if len(recs) != want {
+		t.Fatalf("records = %d, want %d", len(recs), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if r.Exp != "scaling" || r.Param != "workers" || r.Value < 1 {
+			t.Errorf("bad record %+v", r)
+		}
+		if _, ok := r.Metrics["time_ms"]; !ok {
+			t.Errorf("record misses time_ms: %+v", r)
+		}
+		if _, ok := r.Metrics["speedup"]; !ok {
+			t.Errorf("record misses speedup: %+v", r)
+		}
+		seen[r.Dataset+"/"+r.Method] = true
+	}
+	for _, key := range []string{"Truck/CMC", "Truck/CuTS*", "Car/CMC", "Car/CuTS*"} {
+		if !seen[key] {
+			t.Errorf("no records for %s", key)
+		}
+	}
+}
+
+// Worker counts must not change any experiment's answers: Figure 12 runs
+// its own cross-algorithm equality check internally, so running it with a
+// parallel option set doubles as an end-to-end equivalence test.
+func TestFigure12ParallelWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Workers = 4
+	if err := Figure12(o); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,102 @@
+package expr
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// The scaling experiment (not in the paper): wall-clock time of the
+// parallel discovery pipeline as the per-stage worker count grows. It
+// sweeps workers ∈ {1, 2, 4, NumCPU} over the Truck and Car profiles for
+// both CMC (per-tick clustering pipeline) and CuTS* (parallel simplify +
+// filter + refine), checks every answer against the workers=1 run, and
+// records one measurement row per (dataset, method, workers) — benchrunner
+// -json turns those into BENCH_scaling.json, the file the CI smoke run and
+// the README point at.
+
+// workerSweep returns {1, 2, 4, NumCPU}, deduplicated and ascending. On
+// machines with fewer than 4 cores the 2- and 4-worker points still run —
+// the equality check matters everywhere, and the wall-clock curve simply
+// flattens where the hardware runs out.
+func workerSweep() []int {
+	out := []int{1, 2, 4}
+	ncpu := runtime.NumCPU()
+	if ncpu > 4 {
+		out = append(out, ncpu)
+	}
+	return out
+}
+
+// scalingProfiles picks the Truck and Car profiles out of the option set.
+func scalingProfiles(o Options) []datagen.Profile {
+	var out []datagen.Profile
+	for _, prof := range o.profiles() {
+		if prof.Name == "Truck" || prof.Name == "Car" {
+			out = append(out, prof)
+		}
+	}
+	if len(out) == 0 {
+		out = []datagen.Profile{datagen.Truck(o.Scale, o.Seed), datagen.Car(o.Scale, o.Seed)}
+	}
+	return out
+}
+
+// Scaling prints and records the worker-count sweep.
+func Scaling(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Scaling: discovery wall-clock vs worker count")
+	fmt.Fprintln(w, "dataset\tmethod\tworkers\ttime (ms)\tspeedup")
+	for _, prof := range scalingProfiles(o) {
+		db := prof.Generate()
+		p := params(prof)
+		for _, method := range []string{"CMC", "CuTS*"} {
+			var ref core.Result
+			var base time.Duration
+			for _, workers := range workerSweep() {
+				var (
+					res     core.Result
+					elapsed time.Duration
+					st      core.Stats
+					err     error
+				)
+				t0 := time.Now()
+				if method == "CMC" {
+					res, err = core.CMCParallel(db, p, workers)
+					elapsed = time.Since(t0)
+				} else {
+					res, st, err = core.Run(db, p, core.Config{Variant: core.VariantCuTSStar, Workers: workers})
+					elapsed = time.Since(t0)
+				}
+				if err != nil {
+					return fmt.Errorf("expr: Scaling %s %s workers=%d: %w", prof.Name, method, workers, err)
+				}
+				if workers == 1 {
+					ref, base = res, elapsed
+				} else if !res.Equal(ref) {
+					return fmt.Errorf("expr: Scaling %s %s: workers=%d answer differs from serial", prof.Name, method, workers)
+				}
+				speedup := 1.0
+				if elapsed > 0 {
+					speedup = float64(base) / float64(elapsed)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%.2fx\n", prof.Name, method, workers, ms(elapsed), speedup)
+				metrics := map[string]float64{
+					"time_ms": msf(elapsed),
+					"speedup": speedup,
+				}
+				if method != "CMC" {
+					metrics["simplify_ms"] = msf(st.SimplifyTime)
+					metrics["filter_ms"] = msf(st.FilterTime)
+					metrics["refine_ms"] = msf(st.RefineTime)
+				}
+				o.record(Record{Exp: "scaling", Dataset: prof.Name, Method: method,
+					Param: "workers", Value: float64(workers), Metrics: metrics})
+			}
+		}
+	}
+	return w.Flush()
+}

@@ -111,7 +111,7 @@ func figureSweepDelta(o Options, prof datagen.Profile) error {
 	fmt.Fprintln(w, "δ\tmethod\trefinement units\tcandidates\ttime (ms)")
 	for _, delta := range deltaSweep(prof) {
 		for _, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
-			_, st, err := core.Run(db, p, core.Config{Variant: variant, Delta: delta, Lambda: prof.Lambda})
+			_, st, err := core.Run(db, p, core.Config{Variant: variant, Delta: delta, Lambda: prof.Lambda, Workers: o.Workers})
 			if err != nil {
 				return fmt.Errorf("expr: Figure16 %s %v: %w", prof.Name, variant, err)
 			}
@@ -151,7 +151,7 @@ func figureSweepLambda(o Options, prof datagen.Profile) error {
 	fmt.Fprintln(w, "λ\tmethod\trefinement units\tcandidates\ttime (ms)")
 	for _, lambda := range lambdaSweep(prof) {
 		for _, variant := range []core.Variant{core.VariantCuTS, core.VariantCuTSPlus, core.VariantCuTSStar} {
-			_, st, err := core.Run(db, p, core.Config{Variant: variant, Delta: prof.Delta, Lambda: lambda})
+			_, st, err := core.Run(db, p, core.Config{Variant: variant, Delta: prof.Delta, Lambda: lambda, Workers: o.Workers})
 			if err != nil {
 				return fmt.Errorf("expr: Figure17 %s %v: %w", prof.Name, variant, err)
 			}
@@ -190,7 +190,7 @@ func Figure19(o Options) error {
 	for _, prof := range o.profiles() {
 		db := prof.Generate()
 		p := params(prof)
-		ref, err := core.CMC(db, p)
+		ref, err := core.CMCParallel(db, p, o.Workers)
 		if err != nil {
 			return fmt.Errorf("expr: Figure19 %s: %w", prof.Name, err)
 		}
@@ -229,6 +229,7 @@ var Experiments = []struct {
 	{"fig16", "effect of δ (Car, Taxi)", Figure16},
 	{"fig17", "effect of λ (Truck, Cattle)", Figure17},
 	{"fig19", "MC2 accuracy for convoys", Figure19},
+	{"scaling", "worker-count scaling (Truck, Car)", Scaling},
 }
 
 // RunAll executes every experiment in paper order.

@@ -38,6 +38,12 @@ type PointIndex struct {
 // NewPointIndex builds an index over pts with the given cell size (possibly
 // grown to respect the resolution cap). The caller keeps ownership of pts;
 // the index stores a copy of the slice header only. cell must be > 0.
+//
+// The constructor is defensive against degenerate geometry: when any
+// coordinate is NaN or ±Inf the grid would compute a non-finite extent (and
+// a bogus cell count could panic the allocation), so the index falls back
+// to a single cell holding every point. Queries stay correct — the radius
+// test still runs per point — just unaccelerated.
 func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
 	if cell <= 0 {
 		panic("grid: cell size must be positive")
@@ -50,14 +56,21 @@ func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
 	idx.origin = geom.Pt(bounds.MinX, bounds.MinY)
 	w := bounds.MaxX - bounds.MinX
 	h := bounds.MaxY - bounds.MinY
-	for {
-		nx := int(w/idx.cell) + 1
-		ny := int(h/idx.cell) + 1
-		if nx*ny <= maxPointCells {
-			idx.nx, idx.ny = nx, ny
-			break
+	if !finiteExtent(w, h) {
+		idx.origin = geom.Pt(0, 0)
+		idx.nx, idx.ny = 1, 1
+	} else {
+		for {
+			nx := int(w/idx.cell) + 1
+			ny := int(h/idx.cell) + 1
+			// Division-based cap: nx*ny can wrap the int range on huge
+			// (finite) extents, so never form the product.
+			if nx > 0 && ny > 0 && nx <= maxPointCells && ny <= maxPointCells/nx {
+				idx.nx, idx.ny = nx, ny
+				break
+			}
+			idx.cell *= 2
 		}
-		idx.cell *= 2
 	}
 	idx.cells = make([][]int, idx.nx*idx.ny)
 	for i, p := range pts {
@@ -65,6 +78,12 @@ func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
 		idx.cells[c] = append(idx.cells[c], i)
 	}
 	return idx
+}
+
+// finiteExtent reports whether a grid extent is usable: non-finite widths
+// arise from NaN/Inf input coordinates and would corrupt the cell math.
+func finiteExtent(w, h float64) bool {
+	return !math.IsNaN(w) && !math.IsInf(w, 0) && !math.IsNaN(h) && !math.IsInf(h, 0)
 }
 
 func (idx *PointIndex) cellOf(p geom.Point) int {
@@ -146,15 +165,30 @@ func NewRectIndex(rects []geom.Rect, cell float64) *RectIndex {
 	idx.origin = geom.Pt(bounds.MinX, bounds.MinY)
 	w := bounds.MaxX - bounds.MinX
 	h := bounds.MaxY - bounds.MinY
-	// Grow the cell until the grid fits the resolution cap.
-	for {
-		nx := int(w/idx.cell) + 1
-		ny := int(h/idx.cell) + 1
-		if nx*ny <= maxRectCells {
-			idx.nx, idx.ny = nx, ny
-			break
+	if !finiteExtent(w, h) {
+		// Defensive single-cell fallback, like NewPointIndex: NaN/Inf
+		// rectangle bounds must not panic the allocation below. The
+		// everything-box becomes the whole plane — a poisoned union would
+		// fail every Intersects pre-check and hide the finite rectangles.
+		idx.origin = geom.Pt(0, 0)
+		idx.nx, idx.ny = 1, 1
+		idx.everything = geom.Rect{
+			MinX: math.Inf(-1), MinY: math.Inf(-1),
+			MaxX: math.Inf(1), MaxY: math.Inf(1),
 		}
-		idx.cell *= 2
+	} else {
+		// Grow the cell until the grid fits the resolution cap. The cap is
+		// checked by division — nx*ny can wrap the int range on huge
+		// (finite) extents.
+		for {
+			nx := int(w/idx.cell) + 1
+			ny := int(h/idx.cell) + 1
+			if nx > 0 && ny > 0 && nx <= maxRectCells && ny <= maxRectCells/nx {
+				idx.nx, idx.ny = nx, ny
+				break
+			}
+			idx.cell *= 2
+		}
 	}
 	idx.cells = make([][]int, idx.nx*idx.ny)
 	for i, r := range rects {

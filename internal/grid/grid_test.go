@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -163,4 +164,70 @@ func TestNewIndexPanicsOnBadCell(t *testing.T) {
 		}
 	}()
 	NewPointIndex(nil, 0)
+}
+
+// Regression: a single NaN (or Inf) coordinate used to drive the grid
+// extent non-finite and panic the cell allocation with "makeslice: len out
+// of range". The constructors now fall back to a single cell; queries stay
+// correct for the finite geometry and non-finite entries simply never
+// match.
+func TestPointIndexNonFiniteDefensive(t *testing.T) {
+	nan := math.NaN()
+	for _, poison := range []geom.Point{
+		geom.Pt(nan, 0), geom.Pt(0, nan), geom.Pt(math.Inf(1), 0), geom.Pt(0, math.Inf(-1)),
+	} {
+		pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), poison, geom.Pt(10, 10)}
+		idx := NewPointIndex(pts, 1.0) // must not panic
+		got := idx.Within(geom.Pt(0, 0), 1, nil)
+		sort.Ints(got)
+		if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Errorf("poison %v: Within = %v, want [0 1]", poison, got)
+		}
+		// Querying at the poison point must not panic either.
+		if hits := idx.Within(poison, 1, nil); len(hits) != 0 {
+			t.Errorf("poison %v: query at poison = %v", poison, hits)
+		}
+	}
+}
+
+func TestRectIndexNonFiniteDefensive(t *testing.T) {
+	nan := math.NaN()
+	rects := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: nan, MinY: 0, MaxX: math.Inf(1), MaxY: 1},
+		{MinX: 3, MinY: 3, MaxX: 4, MaxY: 4},
+	}
+	idx := NewRectIndex(rects, 1.0) // must not panic
+	got := idx.Intersecting(geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 3.5, MaxY: 3.5}, nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Intersecting = %v, want [0 2]", got)
+	}
+}
+
+// Regression: huge-but-finite extents used to wrap nx*ny around the int
+// range — 2^33 × 2^31 cells is exactly 2^64 ≡ 0, which passed the old cap
+// check, allocated a zero-length cell slice, and panicked the insertion
+// loop. The cap is now checked by division.
+func TestPointIndexHugeFiniteExtent(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(8589934591, 2147483647)}
+	idx := NewPointIndex(pts, 1.0) // must not panic
+	if got := idx.Within(geom.Pt(0, 0), 1, nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Within = %v, want [0]", got)
+	}
+	if got := idx.Within(geom.Pt(8589934591, 2147483647), 1, nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Within far = %v, want [1]", got)
+	}
+}
+
+func TestRectIndexHugeFiniteExtent(t *testing.T) {
+	rects := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 8589934590, MinY: 2147483646, MaxX: 8589934591, MaxY: 2147483647},
+	}
+	idx := NewRectIndex(rects, 1.0) // must not panic
+	got := idx.Intersecting(geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 2, MaxY: 2}, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Intersecting = %v, want [0]", got)
+	}
 }

@@ -1,0 +1,110 @@
+// Package par provides the two bounded worker-pool shapes the discovery
+// pipeline is built from. Every stage (simplification, per-tick CMC
+// clustering, per-partition filter clustering, candidate refinement) is
+// embarrassingly parallel in its expensive part while the cheap chaining
+// fold is inherently sequential, so two primitives cover everything:
+//
+//   - For — independent jobs with no ordering requirement beyond writing
+//     to distinct result slots (simplification, refinement);
+//   - OrderedPipeline — jobs computed concurrently but *consumed strictly
+//     in input order* by a single fold (the CMC tick scan and the filter's
+//     partition scan, whose candidate chaining must walk time forward).
+//
+// Both degenerate to plain loops at workers ≤ 1, which is why serial and
+// parallel runs of the pipeline are equal by construction: the same pure
+// per-job results are folded by the same consumer in the same order.
+package par
+
+import "sync"
+
+// norm resolves a requested worker count against the job count: values
+// ≤ 0 mean "serial" (1), and more workers than jobs are pointless.
+func norm(workers, jobs int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(i) for i in [0, n) on the given number of worker goroutines.
+// fn must only touch state owned by index i (e.g. a distinct result slot).
+// With workers ≤ 1 it degenerates to a plain loop.
+func For(n, workers int, fn func(i int)) {
+	workers = norm(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// OrderedPipeline computes produce(i) for i in [0, n) on a bounded worker
+// pool and calls consume(i, result) strictly in index order — a pipeline,
+// not a barrier: consume(0) can run while produce(5) is still executing.
+// produce must be pure with respect to shared state; consume runs on the
+// calling goroutine only, so it may fold into unsynchronized state. The
+// window of outstanding results is bounded (~2×workers), which bounds
+// memory and applies backpressure to the producers when the fold is slow.
+func OrderedPipeline[T any](n, workers int, produce func(i int) T, consume func(i int, v T)) {
+	workers = norm(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			consume(i, produce(i))
+		}
+		return
+	}
+	type job struct {
+		i   int
+		out chan T
+	}
+	jobs := make(chan job)
+	order := make(chan chan T, 2*workers) // in-order result slots; caps the window
+	go func() {
+		for i := 0; i < n; i++ {
+			j := job{i: i, out: make(chan T, 1)}
+			order <- j.out // blocks when the window is full (backpressure)
+			jobs <- j
+		}
+		close(jobs)
+		close(order)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				j.out <- produce(j.i)
+			}
+		}()
+	}
+	i := 0
+	for out := range order {
+		consume(i, <-out)
+		i++
+	}
+	wg.Wait()
+}

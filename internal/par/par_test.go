@@ -1,0 +1,52 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// OrderedPipeline must deliver results to the consumer strictly in index
+// order no matter how the workers interleave.
+func TestOrderedPipelineOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 500
+		var produced atomic.Int64
+		next := 0
+		OrderedPipeline(n, workers,
+			func(i int) int {
+				produced.Add(1)
+				return i * i
+			},
+			func(i int, v int) {
+				if i != next {
+					t.Fatalf("workers=%d: consumed index %d, want %d", workers, i, next)
+				}
+				if v != i*i {
+					t.Fatalf("workers=%d: index %d carried %d", workers, i, v)
+				}
+				next++
+			})
+		if next != n || produced.Load() != n {
+			t.Fatalf("workers=%d: consumed %d, produced %d (want %d)", workers, next, produced.Load(), n)
+		}
+	}
+}
+
+func TestOrderedPipelineEmpty(t *testing.T) {
+	OrderedPipeline(0, 4,
+		func(i int) int { t.Fatal("produce called"); return 0 },
+		func(i int, v int) { t.Fatal("consume called") })
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 32} {
+		const n = 300
+		hits := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Config struct {
 	// QueryWorkers bounds the number of batch queries executing
 	// concurrently; excess queries wait. Default GOMAXPROCS.
 	QueryWorkers int
+	// MaxWorkersPerQuery caps the per-query "workers" request field — the
+	// number of goroutines one discovery run may use per pipeline stage.
+	// Clients asking for more are clamped, not rejected. Default
+	// GOMAXPROCS; negative forces every query serial.
+	MaxWorkersPerQuery int
 	// CacheEntries is the capacity of the batch-query LRU cache, keyed by
 	// (database digest, params, algorithm). 0 means the default 64;
 	// negative disables caching.
@@ -57,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueryWorkers <= 0 {
 		c.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWorkersPerQuery == 0 {
+		c.MaxWorkersPerQuery = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWorkersPerQuery < 0 {
+		c.MaxWorkersPerQuery = 1
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 64

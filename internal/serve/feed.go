@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -182,6 +183,12 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 					// A repeated ID would cluster with itself and fake a
 					// convoy out of one real object.
 					return resp, badRequest(fmt.Errorf("tick %d: duplicate id %q", b.T, pos.ID))
+				}
+				if math.IsNaN(pos.X) || math.IsInf(pos.X, 0) || math.IsNaN(pos.Y) || math.IsInf(pos.Y, 0) {
+					// NaN/Inf poisons distance math and could panic the
+					// clustering grid; the wire must never hand the
+					// streamer non-finite geometry.
+					return resp, badRequest(fmt.Errorf("tick %d: position %q has non-finite coordinates (%g, %g)", b.T, pos.ID, pos.X, pos.Y))
 				}
 				seen[pos.ID] = struct{}{}
 				id, ok := f.ids[pos.ID]

@@ -88,10 +88,16 @@ type queryPlan struct {
 	isCMC   bool
 	variant core.Variant
 	algo    string
+	// workers is the effective per-stage worker count: the request's
+	// workers field clamped to the server's MaxWorkersPerQuery (0 = 1 =
+	// serial). It never enters the cache key — the answer is identical for
+	// every worker count.
+	workers int
 }
 
-// plan validates the request once, up front.
-func plan(req QueryRequest) (queryPlan, error) {
+// plan validates the request once, up front, clamping the requested worker
+// count to the server's cap.
+func plan(req QueryRequest, maxWorkers int) (queryPlan, error) {
 	isCMC, variant, err := ParseAlgo(req.Algo)
 	if err != nil {
 		return queryPlan{}, badRequest(err)
@@ -100,17 +106,32 @@ func plan(req QueryRequest) (queryPlan, error) {
 	if err := p.Validate(); err != nil {
 		return queryPlan{}, badRequest(err)
 	}
+	if req.Workers < 0 {
+		return queryPlan{}, badRequest(fmt.Errorf("serve: workers must be ≥ 0 (got %d)", req.Workers))
+	}
+	workers := req.Workers
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
 	algo := strings.ToLower(req.Algo)
 	if algo == "" {
 		algo = AlgoCuTSStar
 	}
-	return queryPlan{req: req, p: p, isCMC: isCMC, variant: variant, algo: algo}, nil
+	return queryPlan{req: req, p: p, isCMC: isCMC, variant: variant, algo: algo, workers: workers}, nil
 }
 
-// key is the cache key for this plan over a database with the digest.
+// key is the cache key for this plan over a database with the digest. The
+// key holds only answer-determining inputs: CMC ignores δ/λ entirely, so
+// they are normalized out for algo=cmc (equivalent CMC queries with
+// different δ/λ must share an entry), and the worker count never
+// participates (parallel output equals serial output by construction).
 func (pl queryPlan) key(digest string) string {
+	delta, lambda := pl.req.Delta, pl.req.Lambda
+	if pl.isCMC {
+		delta, lambda = 0, 0
+	}
 	return fmt.Sprintf("%s|%d|%d|%g|%s|%g|%d",
-		digest, pl.p.M, pl.p.K, pl.p.Eps, pl.algo, pl.req.Delta, pl.req.Lambda)
+		digest, pl.p.M, pl.p.K, pl.p.Eps, pl.algo, delta, lambda)
 }
 
 func hashBytes(data []byte) string {
@@ -146,7 +167,7 @@ func (e *queryEngine) acquire(ctx context.Context) (release func(), err error) {
 // run answers one batch query over uploaded database bytes: cache first,
 // then parse+compute under a worker slot.
 func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (QueryResponse, error) {
-	pl, err := plan(req)
+	pl, err := plan(req, e.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -167,7 +188,7 @@ func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (Q
 // without touching the disk at all; only a miss (or a changed file) pays
 // the read+hash, and it does so holding a worker slot.
 func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
-	pl, err := plan(req)
+	pl, err := plan(req, e.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -247,10 +268,15 @@ func (e *queryEngine) compute(digest string, data []byte, pl queryPlan) (QueryRe
 	}
 	var res core.Result
 	if pl.isCMC {
-		res, err = core.CMC(db, pl.p)
+		res, err = core.CMCParallel(db, pl.p, pl.workers)
 	} else {
 		var st core.Stats
-		res, st, err = core.Run(db, pl.p, core.Config{Variant: pl.variant, Delta: pl.req.Delta, Lambda: pl.req.Lambda})
+		res, st, err = core.Run(db, pl.p, core.Config{
+			Variant: pl.variant,
+			Delta:   pl.req.Delta,
+			Lambda:  pl.req.Lambda,
+			Workers: pl.workers,
+		})
 		if err == nil {
 			js := StatsToJSON(st)
 			resp.Stats = &js

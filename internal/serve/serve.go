@@ -366,7 +366,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // handleQuery answers a batch query. A JSON body references a file under
 // the data dir; any other content type is treated as an uploaded CSV/CTB
 // database with parameters in the URL query string (m, k, e, algo, delta,
-// lambda).
+// lambda, workers).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var (
 		resp QueryResponse
@@ -447,6 +447,13 @@ func queryFromURL(r *http.Request) (QueryRequest, error) {
 		if req.Lambda, err = strconv.ParseInt(raw, 10, 64); err != nil {
 			return req, badRequest(fmt.Errorf("decode query: bad lambda=%q", raw))
 		}
+	}
+	if raw := q.Get("workers"); raw != "" {
+		w, perr := strconv.ParseInt(raw, 10, 32)
+		if perr != nil {
+			return req, badRequest(fmt.Errorf("decode query: bad workers=%q (want an integer)", raw))
+		}
+		req.Workers = int(w)
 	}
 	return req, nil
 }

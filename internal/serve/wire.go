@@ -170,6 +170,11 @@ type QueryRequest struct {
 	// Delta and Lambda override the automatic guidelines when > 0.
 	Delta  float64 `json:"delta,omitempty"`
 	Lambda int64   `json:"lambda,omitempty"`
+	// Workers requests a parallel discovery run with that many goroutines
+	// per pipeline stage; 0/absent runs serially. The server caps the
+	// value at its MaxWorkersPerQuery config. The answer set is identical
+	// for every worker count, so workers is not part of the cache key.
+	Workers int `json:"workers,omitempty"`
 }
 
 // StatsJSON is the wire form of the CuTS run statistics.
@@ -177,6 +182,7 @@ type StatsJSON struct {
 	Variant       string  `json:"variant"`
 	Delta         float64 `json:"delta"`
 	Lambda        int64   `json:"lambda"`
+	Workers       int     `json:"workers"`
 	NumPartitions int     `json:"partitions"`
 	NumCandidates int     `json:"candidates"`
 	RefineUnits   float64 `json:"refine_units"`
@@ -193,6 +199,7 @@ func StatsToJSON(st core.Stats) StatsJSON {
 		Variant:       st.Variant.String(),
 		Delta:         st.Delta,
 		Lambda:        st.Lambda,
+		Workers:       st.Workers,
 		NumPartitions: st.NumPartitions,
 		NumCandidates: st.NumCandidates,
 		RefineUnits:   st.RefineUnits,

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // Method selects a simplification algorithm.
@@ -295,10 +296,19 @@ func Simplify(tr *model.Trajectory, delta float64, m Method) *Trajectory {
 // SimplifyAll simplifies every trajectory of the database with the same
 // tolerance and method, in ID order.
 func SimplifyAll(db *model.DB, delta float64, m Method) []*Trajectory {
-	out := make([]*Trajectory, db.Len())
-	for id, tr := range db.Trajectories() {
-		out[id] = Simplify(tr, delta, m)
-	}
+	return SimplifyAllWorkers(db, delta, m, 1)
+}
+
+// SimplifyAllWorkers is SimplifyAll on a bounded worker pool: trajectories
+// are independent, and each worker writes only its own ID slot, so the
+// result is identical (and identically ordered) for every worker count.
+// workers ≤ 1 runs serially.
+func SimplifyAllWorkers(db *model.DB, delta float64, m Method, workers int) []*Trajectory {
+	trajs := db.Trajectories()
+	out := make([]*Trajectory, len(trajs))
+	par.For(len(trajs), workers, func(id int) {
+		out[id] = Simplify(trajs[id], delta, m)
+	})
 	return out
 }
 

@@ -168,6 +168,9 @@ func ReadBinary(r io.Reader) (*model.DB, error) {
 			if err != nil {
 				return nil, fmt.Errorf("tsio: object %d sample %d y: %w", o, i, err)
 			}
+			if !finite(x) || !finite(y) {
+				return nil, fmt.Errorf("tsio: object %d sample %d: non-finite coordinates (%g, %g)", o, i, x, y)
+			}
 			samples = append(samples, model.Sample{T: tick, P: geom.Pt(x, y)})
 		}
 		tr, err := model.NewTrajectory(string(label), samples)

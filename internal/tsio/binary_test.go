@@ -39,8 +39,10 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func TestBinarySpecialValues(t *testing.T) {
 	db := model.NewDB()
+	// Finite extremes only: non-finite coordinates are rejected at read
+	// time (see TestBinaryRejectsNonFinite).
 	tr, err := model.NewTrajectory("weird", []model.Sample{
-		{T: -1000, P: geom.Pt(math.Inf(1), -0.0)},
+		{T: -1000, P: geom.Pt(-math.MaxFloat64, -0.0)},
 		{T: 0, P: geom.Pt(math.SmallestNonzeroFloat64, math.MaxFloat64)},
 		{T: 1 << 40, P: geom.Pt(-12345.6789, 1e-300)},
 	})
@@ -61,7 +63,7 @@ func TestBinarySpecialValues(t *testing.T) {
 		if tr.Samples[i].T != got.Samples[i].T {
 			t.Errorf("tick %d: %d vs %d", i, got.Samples[i].T, tr.Samples[i].T)
 		}
-		// Bit-exact floats (covers -0.0 and +Inf).
+		// Bit-exact floats (covers -0.0 and denormals).
 		if math.Float64bits(tr.Samples[i].P.X) != math.Float64bits(got.Samples[i].P.X) ||
 			math.Float64bits(tr.Samples[i].P.Y) != math.Float64bits(got.Samples[i].P.Y) {
 			t.Errorf("sample %d not bit-exact: %v vs %v", i, got.Samples[i].P, tr.Samples[i].P)

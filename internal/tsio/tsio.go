@@ -15,6 +15,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -22,6 +23,11 @@ import (
 	"repro/internal/geom"
 	"repro/internal/model"
 )
+
+// finite reports whether f is a usable coordinate (not NaN, not ±Inf).
+// Non-finite coordinates poison every downstream distance computation and
+// can panic the grid index, so both readers reject them at parse time.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // header is the mandatory first CSV line.
 var header = []string{"obj", "t", "x", "y"}
@@ -97,6 +103,9 @@ func ReadCSV(r io.Reader) (*model.DB, error) {
 		y, err := strconv.ParseFloat(rec[3], 64)
 		if err != nil {
 			return nil, fmt.Errorf("tsio: line %d: bad y %q: %w", line, rec[3], err)
+		}
+		if !finite(x) || !finite(y) {
+			return nil, fmt.Errorf("tsio: line %d: non-finite coordinates (%s, %s)", line, rec[2], rec[3])
 		}
 		o := byLabel[rec[0]]
 		if o == nil {

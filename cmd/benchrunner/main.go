@@ -7,10 +7,13 @@
 //	benchrunner -exp fig12 -scale 1             # Figure 12 at full Table 3 scale
 //	benchrunner -exp fig12 -json out/           # also write out/BENCH_fig12.json
 //	benchrunner -exp scaling -json out/         # worker-count scaling sweep
+//	benchrunner -exp monitors -json out/        # standing-query fan-out sweep
 //	benchrunner -list                           # list experiment ids
 //
 // Experiment ids follow the paper — table3, fig12 … fig17, fig19 — plus
-// the repository's own "scaling" sweep (workers ∈ {1,2,4,NumCPU}). Scale
+// the repository's own "scaling" sweep (workers ∈ {1,2,4,NumCPU}) and
+// "monitors" sweep (1..64 standing queries over one feed, shared vs
+// distinct clustering keys). Scale
 // multiplies the time-domain length of every dataset (1 reproduces the
 // Table 3 sizes; expect minutes of runtime at full scale).
 //
@@ -41,7 +44,7 @@ type benchFile struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling, monitors) or 'all'")
 		scale   = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
 		seed    = flag.Int64("seed", 1, "random seed for data generation")
 		workers = flag.Int("workers", 1, "goroutines per discovery stage for the experiments (scaling sweeps its own counts)")

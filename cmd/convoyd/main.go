@@ -1,10 +1,10 @@
-// Command convoyd serves convoy discovery over HTTP: live feeds monitored
-// by streaming detectors plus a batch query engine over uploaded or
-// on-disk databases (see the serve package for the API).
+// Command convoyd serves convoy discovery over HTTP: live feeds hosting
+// concurrent standing queries (monitors) plus a batch query engine over
+// uploaded or on-disk databases (see the serve package for the API).
 //
 // Usage:
 //
-//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64]
+//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64]
 //
 // Quick start against a running server:
 //
@@ -13,6 +13,15 @@
 //	     -d '{"ticks":[{"t":0,"positions":[{"id":"van1","x":0,"y":0},{"id":"van2","x":0.5,"y":0}]}]}'
 //	curl localhost:8764/v1/feeds/fleet/convoys
 //	curl -X POST 'localhost:8764/v1/query?m=3&k=180&e=8' --data-binary @trucks.csv
+//
+// Any number of standing queries can watch one feed; monitors sharing
+// (e, m) share one clustering pass per tick, and events are tagged with
+// the monitor that closed them:
+//
+//	curl -X POST localhost:8764/v1/feeds/fleet/monitors \
+//	     -d '{"id":"long-haul","params":{"m":2,"k":30,"e":1}}'
+//	curl 'localhost:8764/v1/feeds/fleet/convoys?monitor=long-haul'
+//	curl -X DELETE localhost:8764/v1/feeds/fleet/monitors/long-haul
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish and every
 // feed is drained, flushing still-open convoys to its event log.
@@ -35,21 +44,23 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8764", "listen address")
-		dataDir = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
-		idle    = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
-		workers = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
-		history = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
+		addr     = flag.String("addr", ":8764", "listen address")
+		dataDir  = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
+		idle     = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
+		workers  = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
+		history  = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
+		monitors = flag.Int("max-monitors", 0, "standing queries allowed per feed (0 = default 64)")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		DataDir:      *dataDir,
-		IdleTimeout:  *idle,
-		QueryWorkers: *workers,
-		CacheEntries: *cache,
-		HistoryLimit: *history,
+		DataDir:            *dataDir,
+		IdleTimeout:        *idle,
+		QueryWorkers:       *workers,
+		CacheEntries:       *cache,
+		HistoryLimit:       *history,
+		MaxMonitorsPerFeed: *monitors,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

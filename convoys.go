@@ -34,10 +34,11 @@
 // # Serving
 //
 // The serve entry points turn the library into a long-running system: a
-// Server hosts named live feeds (each an online Streamer behind its own
-// goroutine) and a batch query engine with caching, all behind an
-// HTTP/JSON API. NewServer builds one for embedding; the convoyd command
-// wraps it as a standalone daemon:
+// Server hosts named live feeds — each a table of standing convoy queries
+// (monitors) behind its own goroutine, sharing one clustering pass per
+// distinct (e, m) per tick — and a batch query engine with caching, all
+// behind an HTTP/JSON API. NewServer builds one for embedding; the convoyd
+// command wraps it as a standalone daemon:
 //
 //	srv := convoys.NewServer(convoys.ServeConfig{})
 //	defer srv.Close() // drains every feed
@@ -175,11 +176,37 @@ func DefaultWorkers() int { return core.DefaultWorkers() }
 // Streamer discovers convoys incrementally over a live position feed: push
 // per-tick snapshots with Advance, receive convoys as they close, flush the
 // rest with Close. Replaying a database through a Streamer and
-// canonicalizing the emissions equals the batch CMC answer.
+// canonicalizing the emissions equals the batch CMC answer. A Streamer is
+// the 1-monitor special case of the ClusterSource/Monitor streaming engine.
 type Streamer = core.Streamer
 
 // NewStreamer returns an online convoy discoverer for the given parameters.
 func NewStreamer(p Params) (*Streamer, error) { return core.NewStreamer(p) }
+
+// Multi-monitor streaming engine: many standing convoy queries over one
+// position feed, sharing clustering work per tick.
+type (
+	// Monitor maintains one standing convoy query over per-tick cluster
+	// lists — the chaining stage of the streaming engine. Feed N monitors
+	// sharing a ClusterKey from one ClusterSource and each tick costs one
+	// DBSCAN pass, not N.
+	Monitor = core.Monitor
+	// ClusterKey is the clustering configuration (e, m) that determines
+	// snapshot clusters; monitors sharing a key can share a source.
+	ClusterKey = core.ClusterKey
+	// ClusterSource computes per-tick snapshot clusters at one ClusterKey
+	// and counts its clustering passes.
+	ClusterSource = core.ClusterSource
+)
+
+// NewMonitor returns a standing convoy query consuming per-tick cluster
+// lists (see Monitor.AdvanceClusters); pair it with a ClusterSource at
+// Params.ClusterKey().
+func NewMonitor(p Params) (*Monitor, error) { return core.NewMonitor(p) }
+
+// NewClusterSource returns a per-tick snapshot clustering stage for the
+// key, shareable by every Monitor whose parameters have that ClusterKey.
+func NewClusterSource(key ClusterKey) (*ClusterSource, error) { return core.NewClusterSource(key) }
 
 // ReplayTicks walks a stored database tick by tick, calling fn with every
 // interpolated snapshot — the bridge from batch storage to the online
@@ -206,10 +233,16 @@ type (
 	Position = serve.Position
 	// FeedSpec names a feed and its parameters (feed creation body).
 	FeedSpec = serve.FeedSpec
-	// FeedStatus describes one live feed.
+	// FeedStatus describes one live feed, including its monitor table.
 	FeedStatus = serve.FeedStatus
-	// FeedEvent is one closed convoy on a feed's event log.
+	// FeedEvent is one closed convoy on a feed's event log, tagged with
+	// the monitor that closed it.
 	FeedEvent = serve.Event
+	// MonitorSpec registers a standing convoy query on a feed
+	// (POST /v1/feeds/{name}/monitors body).
+	MonitorSpec = serve.MonitorSpec
+	// MonitorStatus describes one monitor of a feed.
+	MonitorStatus = serve.MonitorStatus
 	// QueryResponse is the batch query answer.
 	QueryResponse = serve.QueryResponse
 )

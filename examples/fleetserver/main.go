@@ -1,9 +1,12 @@
 // Fleetserver shows the serving layer end to end: it embeds a convoyd
-// server in-process, then acts as two HTTP clients against it — a tracker
-// pushing per-tick GPS batches into a feed, and a dispatcher tailing the
-// feed's NDJSON event stream for dissolved-convoy alerts. The same requests
-// work against a standalone `convoyd` daemon; see the package comment of
-// cmd/convoyd for the curl equivalents.
+// server in-process, then acts as HTTP clients against it — a tracker
+// pushing per-tick GPS batches into one feed, and a dispatcher tailing the
+// feed's NDJSON event stream for dissolved-convoy alerts. Two standing
+// queries (monitors) with different lifetime bounds watch the same feed:
+// because they share the clustering key (e, m), the server runs ONE DBSCAN
+// pass per tick and fans the clusters out to both — the multi-monitor
+// streaming engine. The same requests work against a standalone `convoyd`
+// daemon; see the package comment of cmd/convoyd for the curl equivalents.
 //
 //	go run ./examples/fleetserver
 package main
@@ -47,14 +50,22 @@ func main() {
 		return resp
 	}
 
-	// Create a feed watching for pairs that stay within distance 1 for
-	// five consecutive ticks.
+	// Create a feed whose default monitor watches for pairs that stay
+	// within distance 1 for five consecutive ticks...
 	post("/v1/feeds", convoys.FeedSpec{
 		Name:   "vans",
 		Params: convoys.ParamsJSON{M: 2, K: 5, Eps: 1},
 	}).Body.Close()
+	// ...and register a second, more patient standing query on the same
+	// feed: same (e, m) — so it shares the per-tick clustering pass with
+	// the default monitor — but a 12-tick lifetime bound.
+	post("/v1/feeds/vans/monitors", convoys.MonitorSpec{
+		ID:     "long-haul",
+		Params: convoys.ParamsJSON{M: 2, K: 12, Eps: 1},
+	}).Body.Close()
 
-	// Dispatcher: tail the event stream and print alerts as they happen.
+	// Dispatcher: tail the event stream and print alerts as they happen,
+	// labeled by the monitor whose query closed.
 	events, err := http.Get(base + "/v1/feeds/vans/events")
 	if err != nil {
 		log.Fatal(err)
@@ -94,12 +105,24 @@ func main() {
 		resp.Body.Close()
 		for range tr.Closed {
 			ev := <-alerts
-			fmt.Printf("  tick %2d: ALERT — convoy %v dissolved after %d ticks together [%d–%d]\n",
-				t, ev.Convoy.Objects, ev.Convoy.Lifetime, ev.Convoy.Start, ev.Convoy.End)
+			fmt.Printf("  tick %2d: ALERT [%s] — convoy %v dissolved after %d ticks together [%d–%d]\n",
+				t, ev.Monitor, ev.Convoy.Objects, ev.Convoy.Lifetime, ev.Convoy.Start, ev.Convoy.End)
 		}
 	}
 
-	// Tear the feed down; still-open convoys are drained, not lost.
+	// One clustering pass per tick served both standing queries.
+	status, err := http.Get(base + "/v1/feeds/vans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st convoys.FeedStatus
+	json.NewDecoder(status.Body).Decode(&st)
+	status.Body.Close()
+	fmt.Printf("shared clustering: %d monitors, %d ticks, %d DBSCAN passes (%d key group)\n",
+		len(st.Monitors), st.Ticks, st.ClusterPasses, st.ClusterGroups)
+
+	// Tear the feed down; still-open convoys of every monitor are drained,
+	// not lost.
 	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/feeds/vans", nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -114,5 +137,5 @@ func main() {
 		fmt.Printf("  feed end: convoy %v still open, together since tick %d (%d ticks)\n",
 			c.Objects, c.Start, c.Lifetime)
 	}
-	fmt.Println("done — one server, any number of feeds and watchers")
+	fmt.Println("done — one feed, one clustering pass per tick, any number of standing queries")
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// The streaming engine is split into two composable stages so that many
+// standing convoy queries can share one position feed:
+//
+//   - a ClusterSource computes the per-tick snapshot clusters at one
+//     clustering key (e, m) — the DBSCAN pass, the expensive part;
+//   - a Monitor consumes cluster lists and maintains the candidate chains
+//     for its own (m, k) — the cheap part.
+//
+// DBSCAN output depends only on (e, m), never on k, so any number of
+// monitors whose parameters share a ClusterKey can be fed from a single
+// source: per tick, one clustering pass fans out to all of them. Streamer
+// is the 1-monitor special case wiring one source to one monitor.
+
+// ClusterKey identifies a clustering configuration: the density-connection
+// distance e and the density threshold m. Monitors whose parameters share a
+// key can share one ClusterSource (and thus one DBSCAN pass per tick).
+type ClusterKey struct {
+	Eps float64
+	M   int
+}
+
+// ClusterKey returns the clustering key of the parameters: the (e, m) part
+// that determines the snapshot clusters, independent of the lifetime k.
+func (p Params) ClusterKey() ClusterKey { return ClusterKey{Eps: p.Eps, M: p.M} }
+
+// Validate reports whether the key is usable (same bounds as Params).
+func (k ClusterKey) Validate() error {
+	return Params{M: k.M, K: 1, Eps: k.Eps}.Validate()
+}
+
+// ClusterSource computes the maximal density-connected sets of one pushed
+// snapshot at a fixed clustering key, counting how many clustering passes
+// it has run. It is the per-tick cluster stage of the streaming engine; it
+// holds no cross-tick state, so one source can drive any number of
+// Monitors. Not safe for concurrent use.
+type ClusterSource struct {
+	key    ClusterKey
+	passes int64
+}
+
+// NewClusterSource validates the key and returns a source with a zeroed
+// pass counter.
+func NewClusterSource(key ClusterKey) (*ClusterSource, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	return &ClusterSource{key: key}, nil
+}
+
+// Key returns the source's clustering key.
+func (s *ClusterSource) Key() ClusterKey { return s.key }
+
+// Passes returns the number of Snapshot calls so far — the clustering-pass
+// counter the multi-monitor sharing tests and the monitors benchmark rely
+// on.
+func (s *ClusterSource) Passes() int64 { return s.passes }
+
+// Snapshot clusters one pushed tick: the object IDs alive at the tick and
+// their positions (parallel slices). IDs need not be sorted; cluster member
+// lists come out ascending. The caller is responsible for snapshot
+// validation (equal slice lengths, no duplicate IDs — see FirstDuplicateID,
+// finite coordinates); Streamer.Advance and the serve feed handler both do
+// this before clustering.
+func (s *ClusterSource) Snapshot(ids []model.ObjectID, pts []geom.Point) [][]model.ObjectID {
+	s.passes++
+	if len(ids) < s.key.M {
+		return nil
+	}
+	idxClusters := dbscan.SnapshotClustersMaximal(pts, s.key.Eps, s.key.M)
+	clusters := make([][]model.ObjectID, len(idxClusters))
+	for ci, c := range idxClusters {
+		objs := make([]model.ObjectID, len(c))
+		for i, idx := range c {
+			objs[i] = ids[idx]
+		}
+		sort.Ints(objs)
+		clusters[ci] = objs
+	}
+	return clusters
+}
+
+// Monitor maintains one standing convoy query over a stream of per-tick
+// cluster lists: push the snapshot clusters for each tick with
+// AdvanceClusters, receive convoys the moment they close, flush the rest
+// with Close. It is the chaining stage of the streaming engine — it never
+// clusters anything itself, so feeding N monitors that share a ClusterKey
+// from one ClusterSource costs one DBSCAN pass per tick, not N.
+//
+// The clusters pushed at each tick must be the snapshot clusters of the
+// monitored feed computed at the monitor's own ClusterKey (Params.M and
+// Params.Eps); feeding clusters from a different key silently answers that
+// key's query instead. Emission semantics are exactly the Streamer's: raw
+// exact answers that may include non-maximal duplicates across emissions
+// (canonicalize the union for the batch-equal answer).
+type Monitor struct {
+	p        Params
+	live     []*candidate
+	lastTick model.Tick
+	started  bool
+	closed   bool
+}
+
+// NewMonitor validates the parameters and returns an empty monitor.
+func NewMonitor(p Params) (*Monitor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{p: p}, nil
+}
+
+// Params returns the monitor's convoy query parameters.
+func (m *Monitor) Params() Params { return m.p }
+
+// Live returns the number of open convoy candidates.
+func (m *Monitor) Live() int { return len(m.live) }
+
+// LastTick returns the most recently advanced tick; valid after the first
+// AdvanceClusters.
+func (m *Monitor) LastTick() (model.Tick, bool) { return m.lastTick, m.started }
+
+// AdvanceClusters pushes the snapshot clusters for tick t. Ticks must
+// advance strictly; gaps are allowed and break convoy consecutiveness
+// (every live candidate dies at the last seen tick, like a tick with no
+// clusters). It returns the convoys that closed at this tick: groups whose
+// togetherness ended at t−1 (or earlier, for a tick gap) with lifetime ≥ k.
+func (m *Monitor) AdvanceClusters(t model.Tick, clusters [][]model.ObjectID) ([]Convoy, error) {
+	if m.closed {
+		return nil, fmt.Errorf("core: AdvanceClusters on closed Monitor")
+	}
+	if m.started && t <= m.lastTick {
+		return nil, fmt.Errorf("core: AdvanceClusters: tick %d not after %d", t, m.lastTick)
+	}
+	var out []Convoy
+	if m.started && t > m.lastTick+1 {
+		// Tick gap: every live candidate dies at lastTick.
+		m.live = chainStep(m.live, nil, m.p.M, m.p.K, t, t, false, &out, nil)
+	}
+	m.lastTick, m.started = t, true
+	m.live = chainStep(m.live, clusters, m.p.M, m.p.K, t, t, false, &out, nil)
+	sortResult(out)
+	return out, nil
+}
+
+// Close ends the stream and returns the convoys still open at the last
+// advanced tick (lifetime ≥ k). Further AdvanceClusters calls fail.
+func (m *Monitor) Close() []Convoy {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var out []Convoy
+	flushCandidates(m.live, m.p.K, &out, nil)
+	m.live = nil
+	sortResult(out)
+	return out
+}
+
+// FirstDuplicateID reports a repeated object ID in a pushed snapshot — the
+// shared validation used by Streamer.Advance and the serve feed handler
+// (a repeated ID would cluster with itself and corrupt candidate sets,
+// emitting convoys like ⟨o1,o1,o2⟩). The common case — IDs already
+// ascending, as database replays produce — is checked with a linear scan
+// and no allocation; unsorted snapshots fall back to a set.
+func FirstDuplicateID(ids []model.ObjectID) (model.ObjectID, bool) {
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			return ids[i], true
+		}
+		if ids[i] < ids[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return 0, false
+	}
+	seen := make(map[model.ObjectID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return id, true
+		}
+		seen[id] = struct{}{}
+	}
+	return 0, false
+}

@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/dbscan"
 	"repro/internal/geom"
 	"repro/internal/model"
 )
@@ -17,33 +15,45 @@ import (
 // a dissolved convoy one tick after it ends. Convoys still open when the
 // feed stops are emitted by Close.
 //
+// A Streamer is the 1-monitor special case of the two-stage streaming
+// engine: one ClusterSource (the per-tick snapshot DBSCAN at the
+// parameters' ClusterKey) wired to one Monitor (the candidate chains for
+// (m, k)). Many standing queries over one feed should instead share
+// sources directly — see Monitor.
+//
 // The stream emission is *raw*: emitted convoys are exact answers but may
 // include non-maximal duplicates across emissions (a batch run
 // canonicalizes at the end; a stream cannot retract). Feeding every tick of
 // a database through a Streamer and canonicalizing the emissions yields
 // exactly the CMC batch result — a property the tests enforce.
 type Streamer struct {
-	p        Params
-	live     []*candidate
-	lastTick model.Tick
-	started  bool
-	closed   bool
+	src *ClusterSource
+	mon *Monitor
 }
 
 // NewStreamer validates the parameters and returns an empty stream state.
 func NewStreamer(p Params) (*Streamer, error) {
-	if err := p.Validate(); err != nil {
+	mon, err := NewMonitor(p)
+	if err != nil {
 		return nil, err
 	}
-	return &Streamer{p: p}, nil
+	src, err := NewClusterSource(p.ClusterKey())
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{src: src, mon: mon}, nil
 }
 
 // Live returns the number of open convoy candidates.
-func (s *Streamer) Live() int { return len(s.live) }
+func (s *Streamer) Live() int { return s.mon.Live() }
 
 // LastTick returns the most recently advanced tick; valid after the first
 // Advance.
-func (s *Streamer) LastTick() (model.Tick, bool) { return s.lastTick, s.started }
+func (s *Streamer) LastTick() (model.Tick, bool) { return s.mon.LastTick() }
+
+// ClusterPasses returns the number of snapshot clustering passes run so
+// far (one per accepted Advance).
+func (s *Streamer) ClusterPasses() int64 { return s.src.Passes() }
 
 // Advance pushes the snapshot for tick t: the object IDs alive at t and
 // their positions (parallel slices). Ticks must advance strictly; gaps are
@@ -52,94 +62,29 @@ func (s *Streamer) LastTick() (model.Tick, bool) { return s.lastTick, s.started 
 // that closed at this tick, i.e., groups whose togetherness ended at t−1
 // (or earlier, for a tick gap) with lifetime ≥ k.
 func (s *Streamer) Advance(t model.Tick, ids []model.ObjectID, pts []geom.Point) ([]Convoy, error) {
-	if s.closed {
+	if s.mon.closed {
 		return nil, fmt.Errorf("core: Advance on closed Streamer")
 	}
 	if len(ids) != len(pts) {
 		return nil, fmt.Errorf("core: Advance: %d ids vs %d points", len(ids), len(pts))
 	}
-	if dup, ok := firstDuplicate(ids); ok {
+	if dup, ok := FirstDuplicateID(ids); ok {
 		// A repeated ID would cluster with itself and corrupt the candidate
 		// sets (emitting convoys like ⟨o1,o1,o2⟩), so the snapshot is
 		// rejected before any state changes — like serve's feed handler.
 		return nil, fmt.Errorf("core: Advance: duplicate object id %d at tick %d", dup, t)
 	}
-	if s.started && t <= s.lastTick {
-		return nil, fmt.Errorf("core: Advance: tick %d not after %d", t, s.lastTick)
+	if s.mon.started && t <= s.mon.lastTick {
+		// Checked here, not left to the monitor, so a rejected tick never
+		// pays for a clustering pass.
+		return nil, fmt.Errorf("core: Advance: tick %d not after %d", t, s.mon.lastTick)
 	}
-	var out []Convoy
-	if s.started && t > s.lastTick+1 {
-		// Tick gap: every live candidate dies at lastTick.
-		s.live = chainStep(s.live, nil, s.p.M, s.p.K, t, t, false, &out, nil)
-	}
-	s.lastTick, s.started = t, true
-
-	clusters := s.snapshot(ids, pts)
-	s.live = chainStep(s.live, clusters, s.p.M, s.p.K, t, t, false, &out, nil)
-	sortResult(out)
-	return out, nil
-}
-
-// firstDuplicate reports a repeated object ID in a pushed snapshot. The
-// common case — IDs already ascending, as database replays produce — is
-// checked with a linear scan and no allocation; unsorted snapshots fall
-// back to a set.
-func firstDuplicate(ids []model.ObjectID) (model.ObjectID, bool) {
-	sorted := true
-	for i := 1; i < len(ids); i++ {
-		if ids[i] == ids[i-1] {
-			return ids[i], true
-		}
-		if ids[i] < ids[i-1] {
-			sorted = false
-			break
-		}
-	}
-	if sorted {
-		return 0, false
-	}
-	seen := make(map[model.ObjectID]struct{}, len(ids))
-	for _, id := range ids {
-		if _, dup := seen[id]; dup {
-			return id, true
-		}
-		seen[id] = struct{}{}
-	}
-	return 0, false
-}
-
-// snapshot clusters one pushed tick. IDs need not be sorted; cluster member
-// lists come out ascending.
-func (s *Streamer) snapshot(ids []model.ObjectID, pts []geom.Point) [][]model.ObjectID {
-	if len(ids) < s.p.M {
-		return nil
-	}
-	idxClusters := dbscan.SnapshotClustersMaximal(pts, s.p.Eps, s.p.M)
-	clusters := make([][]model.ObjectID, len(idxClusters))
-	for ci, c := range idxClusters {
-		objs := make([]model.ObjectID, len(c))
-		for i, idx := range c {
-			objs[i] = ids[idx]
-		}
-		sort.Ints(objs)
-		clusters[ci] = objs
-	}
-	return clusters
+	return s.mon.AdvanceClusters(t, s.src.Snapshot(ids, pts))
 }
 
 // Close ends the stream and returns the convoys still open at the last
 // advanced tick (lifetime ≥ k). Further Advance calls fail.
-func (s *Streamer) Close() []Convoy {
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	var out []Convoy
-	flushCandidates(s.live, s.p.K, &out, nil)
-	s.live = nil
-	sortResult(out)
-	return out
-}
+func (s *Streamer) Close() []Convoy { return s.mon.Close() }
 
 // ReplayTicks walks a stored database tick by tick over its whole time
 // domain, calling fn with the snapshot of every tick (the same interpolated

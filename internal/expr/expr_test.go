@@ -111,8 +111,11 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 9 {
-		t.Errorf("expected 9 experiments, got %d", len(Experiments))
+	if len(Experiments) != 10 {
+		t.Errorf("expected 10 experiments, got %d", len(Experiments))
+	}
+	if _, ok := Lookup("monitors"); !ok {
+		t.Error("monitors not found")
 	}
 	var buf bytes.Buffer
 	if err := RunAll(tinyOptions(&buf)); err != nil {
@@ -172,6 +175,48 @@ func TestScalingRunsAndRecords(t *testing.T) {
 	for _, key := range []string{"Truck/CMC", "Truck/CuTS*", "Car/CMC", "Car/CuTS*"} {
 		if !seen[key] {
 			t.Errorf("no records for %s", key)
+		}
+	}
+}
+
+// The monitors experiment must sweep the fan-out in both regimes, verify
+// the pass counters and the monitor ≡ Streamer answer internally, and emit
+// the measurement rows BENCH_monitors.json is built from.
+func TestMonitorsRunsAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	var recs []Record
+	o.Record = func(r Record) { recs = append(recs, r) }
+	if err := Monitors(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Monitors:") || !strings.Contains(out, "passes") {
+		t.Errorf("Monitors output:\n%s", out)
+	}
+	want := len(monitorFanout) * 2 // fan-out sweep × {shared, distinct}
+	if len(recs) != want {
+		t.Fatalf("records = %d, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Exp != "monitors" || r.Param != "monitors" || r.Value < 1 {
+			t.Errorf("bad record %+v", r)
+		}
+		keys, ticks, passes := r.Metrics["keys"], r.Metrics["ticks"], r.Metrics["passes"]
+		if passes != keys*ticks {
+			t.Errorf("record %+v: passes = %g, want keys×ticks = %g", r, passes, keys*ticks)
+		}
+		switch r.Method {
+		case "shared":
+			if keys != 1 {
+				t.Errorf("shared regime with %g keys: %+v", keys, r)
+			}
+		case "distinct":
+			if keys != r.Value {
+				t.Errorf("distinct regime with %g keys over %g monitors: %+v", keys, r.Value, r)
+			}
+		default:
+			t.Errorf("unknown regime %q", r.Method)
 		}
 	}
 }

@@ -1,0 +1,147 @@
+package expr
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// The monitors experiment (not in the paper): wall-clock time and
+// clustering passes of the multi-monitor streaming engine as the monitor
+// fan-out grows. It replays the Truck profile through N ∈ {1, 4, 16, 64}
+// standing queries in two regimes — "shared", where every monitor has the
+// same clustering key (e, m) and only the lifetime k varies, and
+// "distinct", where every monitor has its own e — and records one
+// measurement row per (monitors, regime). Shared keys should show flat
+// clustering cost (one DBSCAN pass per tick regardless of N); distinct
+// keys pay one pass per key and bound the worst case. Each run checks the
+// pass counters and spot-checks one monitor against a standalone Streamer.
+// benchrunner -json turns the rows into BENCH_monitors.json, the file the
+// CI smoke run and the README point at.
+
+// monitorFanout is the swept monitor counts.
+var monitorFanout = []int{1, 4, 16, 64}
+
+// monitorParams builds the N parameter sets of one regime. Shared: one
+// clustering key, k varies. Distinct: every monitor its own e (distinct
+// keys), same k.
+func monitorParams(p core.Params, n int, regime string) []core.Params {
+	out := make([]core.Params, n)
+	for i := range out {
+		out[i] = p
+		if regime == "shared" {
+			out[i].K = p.K + int64(i%8)
+		} else {
+			out[i].Eps = p.Eps * (1 + 0.05*float64(i))
+		}
+	}
+	return out
+}
+
+// monitorsProfile picks the Truck profile out of the option set.
+func monitorsProfile(o Options) datagen.Profile {
+	for _, prof := range o.profiles() {
+		if prof.Name == "Truck" {
+			return prof
+		}
+	}
+	return datagen.Truck(o.Scale, o.Seed)
+}
+
+// Monitors prints and records the monitor fan-out sweep.
+func Monitors(o Options) error {
+	prof := monitorsProfile(o)
+	db := prof.Generate()
+	base := params(prof)
+	w := tab(o)
+	fmt.Fprintln(w, "Monitors: streaming cost vs standing-query fan-out (one feed)")
+	fmt.Fprintln(w, "dataset\tregime\tmonitors\tkeys\tpasses\ttime (ms)")
+	for _, n := range monitorFanout {
+		for _, regime := range []string{"shared", "distinct"} {
+			paramSets := monitorParams(base, n, regime)
+
+			sources := make(map[core.ClusterKey]*core.ClusterSource)
+			monitors := make([]*core.Monitor, n)
+			for i, p := range paramSets {
+				key := p.ClusterKey()
+				if _, ok := sources[key]; !ok {
+					src, err := core.NewClusterSource(key)
+					if err != nil {
+						return fmt.Errorf("expr: Monitors %s n=%d: %w", regime, n, err)
+					}
+					sources[key] = src
+				}
+				mon, err := core.NewMonitor(p)
+				if err != nil {
+					return fmt.Errorf("expr: Monitors %s n=%d: %w", regime, n, err)
+				}
+				monitors[i] = mon
+			}
+
+			var firstEmitted []core.Convoy
+			ticks := int64(0)
+			t0 := time.Now()
+			err := core.ReplayTicks(db, func(t model.Tick, ids []model.ObjectID, pts []geom.Point) error {
+				ticks++
+				clusters := make(map[core.ClusterKey][][]model.ObjectID, len(sources))
+				for key, src := range sources {
+					clusters[key] = src.Snapshot(ids, pts)
+				}
+				for i, mon := range monitors {
+					got, err := mon.AdvanceClusters(t, clusters[paramSets[i].ClusterKey()])
+					if err != nil {
+						return err
+					}
+					if i == 0 {
+						firstEmitted = append(firstEmitted, got...)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("expr: Monitors %s n=%d: %w", regime, n, err)
+			}
+			for i, mon := range monitors {
+				closed := mon.Close()
+				if i == 0 {
+					firstEmitted = append(firstEmitted, closed...)
+				}
+			}
+			elapsed := time.Since(t0)
+
+			passes := int64(0)
+			for _, src := range sources {
+				passes += src.Passes()
+			}
+			if want := ticks * int64(len(sources)); passes != want {
+				return fmt.Errorf("expr: Monitors %s n=%d: %d passes over %d ticks × %d keys (want %d)",
+					regime, n, passes, ticks, len(sources), want)
+			}
+			// Spot-check: the first monitor's canonicalized emissions equal
+			// a standalone Streamer's (and thus the batch CMC answer).
+			want, err := core.StreamDB(db, paramSets[0])
+			if err != nil {
+				return fmt.Errorf("expr: Monitors %s n=%d: %w", regime, n, err)
+			}
+			if !core.Canonicalize(firstEmitted).Equal(want) {
+				return fmt.Errorf("expr: Monitors %s n=%d: monitor answer differs from standalone Streamer", regime, n)
+			}
+
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\n",
+				prof.Name, regime, n, len(sources), passes, ms(elapsed))
+			o.record(Record{Exp: "monitors", Dataset: prof.Name, Method: regime,
+				Param: "monitors", Value: float64(n),
+				Metrics: map[string]float64{
+					"keys":    float64(len(sources)),
+					"passes":  float64(passes),
+					"ticks":   float64(ticks),
+					"time_ms": msf(elapsed),
+				}})
+		}
+	}
+	return w.Flush()
+}

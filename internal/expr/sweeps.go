@@ -230,6 +230,7 @@ var Experiments = []struct {
 	{"fig17", "effect of λ (Truck, Cattle)", Figure17},
 	{"fig19", "MC2 accuracy for convoys", Figure19},
 	{"scaling", "worker-count scaling (Truck, Car)", Scaling},
+	{"monitors", "standing-query fan-out, shared vs distinct keys (Truck)", Monitors},
 }
 
 // RunAll executes every experiment in paper order.

@@ -30,6 +30,15 @@ func Pt(x, y float64) Point { return Point{X: x, Y: y} }
 // String renders the point as "(x, y)" with compact formatting.
 func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
 
+// Finite reports whether f is a usable coordinate (not NaN, not ±Inf).
+// Non-finite values poison every downstream distance computation and can
+// panic the spatial index, so every ingestion surface (CSV/CTB readers,
+// the feed API) rejects them with this shared predicate.
+func Finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Finite reports whether both coordinates are finite.
+func (p Point) Finite() bool { return Finite(p.X) && Finite(p.Y) }
+
 // Add returns p + q componentwise.
 func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
 

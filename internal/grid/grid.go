@@ -81,9 +81,10 @@ func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
 }
 
 // finiteExtent reports whether a grid extent is usable: non-finite widths
-// arise from NaN/Inf input coordinates and would corrupt the cell math.
+// arise from NaN/Inf input coordinates and would corrupt the cell math
+// (the shared predicate is geom.Finite).
 func finiteExtent(w, h float64) bool {
-	return !math.IsNaN(w) && !math.IsInf(w, 0) && !math.IsNaN(h) && !math.IsInf(h, 0)
+	return geom.Finite(w) && geom.Finite(h)
 }
 
 func (idx *PointIndex) cellOf(p geom.Point) int {

@@ -11,6 +11,11 @@ type Config struct {
 	// MaxFeeds caps the number of concurrently registered feeds; feed
 	// creation beyond the cap fails with 507. Default 1024.
 	MaxFeeds int
+	// MaxMonitorsPerFeed caps the standing convoy queries registered on
+	// one feed (the implicit default monitor counts). Monitors sharing a
+	// clustering key (e, m) cost one DBSCAN pass per tick together, but
+	// each still chains its own candidates. Default 64.
+	MaxMonitorsPerFeed int
 	// FeedBuffer is the depth of each feed's command mailbox — the number
 	// of in-flight ingest/poll requests a feed absorbs before further
 	// senders block (the ingestion backpressure point). Default 64.
@@ -50,6 +55,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxFeeds <= 0 {
 		c.MaxFeeds = 1024
+	}
+	if c.MaxMonitorsPerFeed <= 0 {
+		c.MaxMonitorsPerFeed = 64
 	}
 	if c.FeedBuffer <= 0 {
 		c.FeedBuffer = 64

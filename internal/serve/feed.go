@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -13,11 +13,22 @@ import (
 	"repro/internal/model"
 )
 
-// A feed wraps one core.Streamer behind a dedicated worker goroutine with a
-// bounded command mailbox. All streamer state — the label→ID mapping, the
-// event history, the subscriber set — is owned by the worker and touched by
-// no one else, so the feed is race-free by construction; the mailbox depth
-// is the ingestion backpressure point (senders block once it fills).
+// A feed is one live position stream behind a dedicated worker goroutine
+// with a bounded command mailbox. It hosts a *table of monitors* — standing
+// convoy queries, each a core.Monitor with its own (m, k, e), added and
+// removed at runtime — over the single ingested stream. Per tick the worker
+// runs one clustering pass per *distinct* ClusterKey (e, m) among the live
+// monitors and fans the clusters out to every monitor in the group, so N
+// monitors sharing a key cost one DBSCAN pass, not N.
+//
+// All feed state — the monitor table, the label→ID mapping, the event
+// history, the subscriber set — is owned by the worker and touched by no
+// one else, so the feed is race-free by construction; the mailbox depth is
+// the ingestion backpressure point (senders block once it fills).
+
+// DefaultMonitorID names the monitor created implicitly from the feed's
+// creation parameters.
+const DefaultMonitorID = "default"
 
 // errFeedClosed reports an operation on a feed that has been deleted,
 // evicted or shut down.
@@ -36,9 +47,18 @@ type feedReply struct {
 	err error
 }
 
+// feedMonitor is one entry of the monitor table: a standing convoy query
+// over the feed's stream.
+type feedMonitor struct {
+	id     string
+	p      core.Params
+	mon    *core.Monitor
+	closed uint64 // events this monitor has emitted
+}
+
 type feed struct {
 	name string
-	p    core.Params
+	p    core.Params // creation params (the default monitor's)
 	cfg  Config
 
 	cmds chan feedCmd
@@ -50,10 +70,22 @@ type feed struct {
 	lastActive atomic.Int64
 
 	// Worker-owned state below; only the worker goroutine touches it.
-	s      *core.Streamer
-	ids    map[string]model.ObjectID // label → dense ID
-	labels []string                  // dense ID → label
-	ticks  int64                     // ingested tick batches
+	monitors map[string]*feedMonitor
+	// order holds the live monitors sorted by ID — maintained on
+	// add/remove so the per-tick fan-out and the status/drain paths walk a
+	// deterministic order without re-sorting in the ingestion hot path.
+	order []*feedMonitor
+	// sources holds one ClusterSource per distinct ClusterKey among the
+	// live monitors; entries are dropped when their last monitor goes.
+	sources map[core.ClusterKey]*core.ClusterSource
+	// clusterPasses counts snapshot clustering passes over the feed's whole
+	// life (sources come and go with their monitors; this does not).
+	clusterPasses int64
+	lastTick      model.Tick
+	started       bool
+	ids           map[string]model.ObjectID // label → dense ID
+	labels        []string                  // dense ID → label
+	ticks         int64                     // ingested tick batches
 
 	history  []Event // ring of the last cfg.HistoryLimit events
 	nextSeq  uint64  // seq of the next event to emit
@@ -62,23 +94,54 @@ type feed struct {
 }
 
 func newFeed(name string, p core.Params, cfg Config) (*feed, error) {
-	s, err := core.NewStreamer(p)
-	if err != nil {
-		return nil, err
-	}
 	f := &feed{
-		name: name,
-		p:    p,
-		cfg:  cfg,
-		cmds: make(chan feedCmd, cfg.FeedBuffer),
-		done: make(chan struct{}),
-		s:    s,
-		ids:  make(map[string]model.ObjectID),
-		subs: make(map[chan Event]struct{}),
+		name:     name,
+		p:        p,
+		cfg:      cfg,
+		cmds:     make(chan feedCmd, cfg.FeedBuffer),
+		done:     make(chan struct{}),
+		monitors: make(map[string]*feedMonitor),
+		sources:  make(map[core.ClusterKey]*core.ClusterSource),
+		ids:      make(map[string]model.ObjectID),
+		subs:     make(map[chan Event]struct{}),
+	}
+	// The worker goroutine doesn't run yet, so the table is safe to touch.
+	if err := f.insertMonitor(DefaultMonitorID, p); err != nil {
+		return nil, err
 	}
 	f.lastActive.Store(time.Now().UnixNano())
 	go f.run()
 	return f, nil
+}
+
+// insertMonitor adds a monitor to the table and ensures a cluster source
+// for its key exists (worker only, or before the worker starts).
+func (f *feed) insertMonitor(id string, p core.Params) error {
+	if _, ok := f.monitors[id]; ok {
+		return fmt.Errorf("%w: %q", errMonitorExists, id)
+	}
+	if len(f.monitors) >= f.cfg.MaxMonitorsPerFeed {
+		return fmt.Errorf("%w (%d)", errTooManyMonitors, f.cfg.MaxMonitorsPerFeed)
+	}
+	mon, err := core.NewMonitor(p)
+	if err != nil {
+		return badRequest(err)
+	}
+	key := p.ClusterKey()
+	if _, ok := f.sources[key]; !ok {
+		src, err := core.NewClusterSource(key)
+		if err != nil {
+			return badRequest(err)
+		}
+		f.sources[key] = src
+	}
+	fm := &feedMonitor{id: id, p: p, mon: mon}
+	f.monitors[id] = fm
+	at := sort.Search(len(f.order), func(i int) bool { return f.order[i].id >= id })
+	f.order = append(f.order, nil)
+	copy(f.order[at+1:], f.order[at:])
+	f.order[at] = fm
+	return nil
 }
 
 // run is the worker loop: execute commands until a close command flips
@@ -134,13 +197,15 @@ func (f *feed) do(ctx context.Context, op func(*feed) (any, error)) (any, error)
 	}
 }
 
-// emit appends one closed convoy to the history ring and fans it out to
-// subscribers. A subscriber whose buffer is full is cut off (its channel
-// closed); it can reconnect and replay with ?since=.
-func (f *feed) emit(c core.Convoy) {
+// emit appends one closed convoy to the history ring, tagged with the
+// monitor that closed it, and fans it out to subscribers. A subscriber
+// whose buffer is full is cut off (its channel closed); it can reconnect
+// and replay with ?since=.
+func (f *feed) emit(monitorID string, c core.Convoy) {
 	ev := Event{
-		Seq:  f.nextSeq,
-		Feed: f.name,
+		Seq:     f.nextSeq,
+		Feed:    f.name,
+		Monitor: monitorID,
 		Convoy: ConvoyToJSON(c, func(id model.ObjectID) string {
 			if id >= 0 && int(id) < len(f.labels) {
 				return f.labels[id]
@@ -164,9 +229,23 @@ func (f *feed) emit(c core.Convoy) {
 	}
 }
 
+// drainMonitor closes one monitor, emits its still-open convoys as tagged
+// events, and returns their wire forms (worker only).
+func (f *feed) drainMonitor(fm *feedMonitor) []ConvoyJSON {
+	out := []ConvoyJSON{}
+	for _, c := range fm.mon.Close() {
+		f.emit(fm.id, c)
+		fm.closed++
+		out = append(out, f.history[len(f.history)-1].Convoy)
+	}
+	return out
+}
+
 // ingest applies tick batches in order and returns the closed convoys.
 // The first bad tick aborts the batch; everything before it sticks (the
-// response reports how many were accepted).
+// response reports how many were accepted). Per batch, each distinct
+// clustering key among the live monitors runs exactly one DBSCAN pass; the
+// clusters fan out to every monitor in that key's group.
 func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, error) {
 	f.touch()
 	v, err := f.do(ctx, func(f *feed) (any, error) {
@@ -174,23 +253,27 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 		for _, b := range batches {
 			ids := make([]model.ObjectID, len(b.Positions))
 			pts := make([]geom.Point, len(b.Positions))
-			seen := make(map[string]struct{}, len(b.Positions))
+			// Labels interned for this batch are rolled back if any
+			// validation below rejects it, so rejected batches never grow
+			// the feed's label table.
+			base := len(f.labels)
+			reject := func(err error) error {
+				for _, label := range f.labels[base:] {
+					delete(f.ids, label)
+				}
+				f.labels = f.labels[:base]
+				return badRequest(err)
+			}
 			for i, pos := range b.Positions {
 				if pos.ID == "" {
-					return resp, badRequest(fmt.Errorf("tick %d: position %d has empty id", b.T, i))
+					return resp, reject(fmt.Errorf("tick %d: position %d has empty id", b.T, i))
 				}
-				if _, dup := seen[pos.ID]; dup {
-					// A repeated ID would cluster with itself and fake a
-					// convoy out of one real object.
-					return resp, badRequest(fmt.Errorf("tick %d: duplicate id %q", b.T, pos.ID))
-				}
-				if math.IsNaN(pos.X) || math.IsInf(pos.X, 0) || math.IsNaN(pos.Y) || math.IsInf(pos.Y, 0) {
+				if !geom.Finite(pos.X) || !geom.Finite(pos.Y) {
 					// NaN/Inf poisons distance math and could panic the
-					// clustering grid; the wire must never hand the
-					// streamer non-finite geometry.
-					return resp, badRequest(fmt.Errorf("tick %d: position %q has non-finite coordinates (%g, %g)", b.T, pos.ID, pos.X, pos.Y))
+					// clustering grid; the wire must never hand a monitor
+					// non-finite geometry.
+					return resp, reject(fmt.Errorf("tick %d: position %q has non-finite coordinates (%g, %g)", b.T, pos.ID, pos.X, pos.Y))
 				}
-				seen[pos.ID] = struct{}{}
 				id, ok := f.ids[pos.ID]
 				if !ok {
 					id = len(f.labels)
@@ -200,15 +283,39 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 				ids[i] = id
 				pts[i] = geom.Pt(pos.X, pos.Y)
 			}
-			closed, err := f.s.Advance(b.T, ids, pts)
-			if err != nil {
-				return resp, badRequest(err) // non-monotonic or malformed tick
+			if dup, ok := core.FirstDuplicateID(ids); ok {
+				// A repeated ID would cluster with itself and fake a convoy
+				// out of one real object (the same shared check the core
+				// Streamer runs).
+				label := f.labels[dup]
+				return resp, reject(fmt.Errorf("tick %d: duplicate id %q", b.T, label))
 			}
+			if f.started && b.T <= f.lastTick {
+				// Tick monotonicity is a feed-level invariant: it must fail
+				// before any monitor advances, or the table would desync.
+				return resp, reject(fmt.Errorf("tick %d not after %d", b.T, f.lastTick))
+			}
+			// One clustering pass per distinct (e, m) among live monitors.
+			clusters := make(map[core.ClusterKey][][]model.ObjectID, len(f.sources))
+			for key, src := range f.sources {
+				clusters[key] = src.Snapshot(ids, pts)
+				f.clusterPasses++
+			}
+			for _, fm := range f.order {
+				closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.p.ClusterKey()])
+				if err != nil {
+					// Unreachable after the feed-level tick check; surface
+					// as an internal error rather than corrupting the table.
+					return resp, fmt.Errorf("serve: monitor %q: %w", fm.id, err)
+				}
+				for _, c := range closed {
+					f.emit(fm.id, c)
+					fm.closed++
+					resp.Closed = append(resp.Closed, f.history[len(f.history)-1].Convoy)
+				}
+			}
+			f.lastTick, f.started = b.T, true
 			f.ticks++
-			for _, c := range closed {
-				f.emit(c)
-				resp.Closed = append(resp.Closed, f.history[len(f.history)-1].Convoy)
-			}
 			resp.Accepted++
 		}
 		return resp, nil
@@ -217,25 +324,122 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 	return resp, err
 }
 
-// status snapshots the feed counters.
+// monitorStatus snapshots one monitor's counters (worker only).
+func (f *feed) monitorStatus(fm *feedMonitor) MonitorStatus {
+	st := MonitorStatus{
+		ID:     fm.id,
+		Feed:   f.name,
+		Params: ParamsToJSON(fm.p),
+		Live:   fm.mon.Live(),
+		Closed: fm.closed,
+	}
+	if t, ok := fm.mon.LastTick(); ok {
+		st.LastTick = &t
+	}
+	return st
+}
+
+// status snapshots the feed counters, including the monitor table.
 func (f *feed) status(ctx context.Context) (FeedStatus, error) {
 	v, err := f.do(ctx, func(f *feed) (any, error) {
 		st := FeedStatus{
-			Name:    f.name,
-			Params:  ParamsToJSON(f.p),
-			Ticks:   f.ticks,
-			Objects: len(f.labels),
-			Live:    f.s.Live(),
-			Closed:  f.nextSeq,
-			NextSeq: f.nextSeq,
+			Name:          f.name,
+			Params:        ParamsToJSON(f.p),
+			Ticks:         f.ticks,
+			Objects:       len(f.labels),
+			Closed:        f.nextSeq,
+			NextSeq:       f.nextSeq,
+			Monitors:      make([]MonitorStatus, 0, len(f.monitors)),
+			ClusterGroups: len(f.sources),
+			ClusterPasses: f.clusterPasses,
 		}
-		if t, ok := f.s.LastTick(); ok {
+		for _, fm := range f.order {
+			st.Live += fm.mon.Live()
+			st.Monitors = append(st.Monitors, f.monitorStatus(fm))
+		}
+		if f.started {
+			t := f.lastTick
 			st.LastTick = &t
 		}
 		return st, nil
 	})
 	st, _ := v.(FeedStatus)
 	return st, err
+}
+
+// addMonitor registers a standing query on the feed at runtime. A monitor
+// added mid-stream starts chaining at the next ingested tick.
+func (f *feed) addMonitor(ctx context.Context, id string, p core.Params) (MonitorStatus, error) {
+	f.touch()
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		if err := f.insertMonitor(id, p); err != nil {
+			return MonitorStatus{}, err
+		}
+		return f.monitorStatus(f.monitors[id]), nil
+	})
+	st, _ := v.(MonitorStatus)
+	return st, err
+}
+
+// getMonitor snapshots one monitor's status.
+func (f *feed) getMonitor(ctx context.Context, id string) (MonitorStatus, error) {
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		fm, ok := f.monitors[id]
+		if !ok {
+			return MonitorStatus{}, fmt.Errorf("%w: %q", errNoMonitor, id)
+		}
+		return f.monitorStatus(fm), nil
+	})
+	st, _ := v.(MonitorStatus)
+	return st, err
+}
+
+// listMonitors snapshots the monitor table, ID-sorted.
+func (f *feed) listMonitors(ctx context.Context) ([]MonitorStatus, error) {
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		out := make([]MonitorStatus, 0, len(f.order))
+		for _, fm := range f.order {
+			out = append(out, f.monitorStatus(fm))
+		}
+		return out, nil
+	})
+	sts, _ := v.([]MonitorStatus)
+	return sts, err
+}
+
+// removeMonitor drains one monitor — its open candidates with sufficient
+// lifetime become tagged events — and drops it from the table, releasing
+// its cluster source when no other monitor shares the key.
+func (f *feed) removeMonitor(ctx context.Context, id string) (MonitorCloseResponse, error) {
+	f.touch()
+	v, err := f.do(ctx, func(f *feed) (any, error) {
+		fm, ok := f.monitors[id]
+		if !ok {
+			return MonitorCloseResponse{}, fmt.Errorf("%w: %q", errNoMonitor, id)
+		}
+		resp := MonitorCloseResponse{ID: id, Drained: f.drainMonitor(fm)}
+		delete(f.monitors, id)
+		for i, other := range f.order {
+			if other == fm {
+				f.order = append(f.order[:i], f.order[i+1:]...)
+				break
+			}
+		}
+		key := fm.p.ClusterKey()
+		shared := false
+		for _, other := range f.monitors {
+			if other.p.ClusterKey() == key {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			delete(f.sources, key)
+		}
+		return resp, nil
+	})
+	resp, _ := v.(MonitorCloseResponse)
+	return resp, err
 }
 
 // eventsSince returns the retained events with seq ≥ since.
@@ -286,15 +490,15 @@ func (f *feed) subscribe(ctx context.Context, since uint64) (replayed []Event, c
 	return v.([]Event), ch, cancel, nil
 }
 
-// close drains the streamer — open candidates with sufficient lifetime
-// become final events — closes every subscriber, and stops the worker.
-// Subsequent operations fail with errFeedClosed.
+// close drains every monitor in the table — open candidates with
+// sufficient lifetime become final tagged events — closes every
+// subscriber, and stops the worker. Subsequent operations fail with
+// errFeedClosed.
 func (f *feed) close(ctx context.Context) (FeedCloseResponse, error) {
 	v, err := f.do(ctx, func(f *feed) (any, error) {
 		resp := FeedCloseResponse{Drained: []ConvoyJSON{}}
-		for _, c := range f.s.Close() {
-			f.emit(c)
-			resp.Drained = append(resp.Drained, f.history[len(f.history)-1].Convoy)
+		for _, fm := range f.order {
+			resp.Drained = append(resp.Drained, f.drainMonitor(fm)...)
 		}
 		for ch := range f.subs {
 			delete(f.subs, ch)

@@ -30,8 +30,10 @@ type queryEngine struct {
 	sem chan struct{}
 	lru *lruCache
 
-	digestMu sync.Mutex
-	digests  map[string]pathDigestEntry // full path → stat-keyed digest memo
+	// digests memoizes full path → stat-keyed content digest. It is LRU
+	// bounded at maxPathDigests: query load referencing ever-new paths
+	// evicts the coldest entries instead of growing without limit.
+	digests *lruCache
 }
 
 var (
@@ -43,7 +45,7 @@ func newQueryEngine(cfg Config) *queryEngine {
 	e := &queryEngine{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.QueryWorkers),
-		digests: make(map[string]pathDigestEntry),
+		digests: newLRUCache(maxPathDigests),
 	}
 	if cfg.CacheEntries > 0 {
 		e.lru = newLRUCache(cfg.CacheEntries)
@@ -231,26 +233,26 @@ type pathDigestEntry struct {
 }
 
 func (e *queryEngine) pathDigest(full string, st os.FileInfo) (string, bool) {
-	e.digestMu.Lock()
-	defer e.digestMu.Unlock()
-	d, ok := e.digests[full]
-	if !ok || !d.mtime.Equal(st.ModTime()) || d.size != st.Size() {
+	v, ok := e.digests.get(full)
+	if !ok {
+		return "", false
+	}
+	d := v.(pathDigestEntry)
+	if !d.mtime.Equal(st.ModTime()) || d.size != st.Size() {
 		return "", false
 	}
 	return d.digest, true
 }
 
 func (e *queryEngine) storePathDigest(full string, st os.FileInfo, digest string) {
-	e.digestMu.Lock()
-	defer e.digestMu.Unlock()
-	if len(e.digests) >= maxPathDigests {
-		e.digests = make(map[string]pathDigestEntry) // crude reset; the memo is only an optimization
-	}
-	e.digests[full] = pathDigestEntry{mtime: st.ModTime(), size: st.Size(), digest: digest}
+	e.digests.put(full, pathDigestEntry{mtime: st.ModTime(), size: st.Size(), digest: digest})
 }
 
-// maxPathDigests bounds the digest memo (it resets when full).
-const maxPathDigests = 4096
+// maxPathDigests bounds the digest memo; the least recently used path is
+// evicted when it fills. Small on purpose — a miss only costs one
+// read+hash, so the memo needs to cover hot paths, not every path ever
+// referenced.
+const maxPathDigests = 256
 
 // compute parses the database and runs the planned algorithm; the caller
 // holds a worker slot.

@@ -22,12 +22,16 @@ type registry struct {
 	closed bool
 }
 
-// Registry errors, mapped to HTTP statuses by the handlers.
+// Registry and monitor-table errors, mapped to HTTP statuses by the
+// handlers.
 var (
-	errNoFeed        = errors.New("serve: no such feed")
-	errFeedExists    = errors.New("serve: feed already exists")
-	errTooManyFeeds  = errors.New("serve: feed limit reached")
-	errServerClosing = errors.New("serve: server shutting down")
+	errNoFeed          = errors.New("serve: no such feed")
+	errFeedExists      = errors.New("serve: feed already exists")
+	errTooManyFeeds    = errors.New("serve: feed limit reached")
+	errNoMonitor       = errors.New("serve: no such monitor")
+	errMonitorExists   = errors.New("serve: monitor already exists")
+	errTooManyMonitors = errors.New("serve: monitor limit reached")
+	errServerClosing   = errors.New("serve: server shutting down")
 )
 
 // badRequestError marks an error as the client's fault (400). Wrap with

@@ -3,13 +3,19 @@
 //
 // It hosts two engines:
 //
-//   - Feeds — named live position streams, each wrapping a core.Streamer
-//     behind its own goroutine and bounded mailbox. Clients create a feed
-//     with convoy parameters, push per-tick position batches, and observe
-//     convoys the moment they close, either by polling or by tailing an
-//     NDJSON event stream. Deleting a feed (or shutting the server down)
-//     drains open candidates through Streamer.Close, so no convoy that
-//     satisfied the lifetime bound is ever lost.
+//   - Feeds — named live position streams, each behind its own goroutine
+//     and bounded mailbox. A feed hosts a *monitor table*: standing convoy
+//     queries (core.Monitor, one per (m, k, e)) added and removed at
+//     runtime over HTTP. Clients push per-tick position batches once and
+//     observe, per monitor, convoys the moment they close — by polling or
+//     by tailing an NDJSON event stream (events are tagged with the
+//     monitor ID; ?monitor= filters). Per tick the feed worker runs one
+//     DBSCAN pass per *distinct* clustering key (e, m) among the live
+//     monitors and fans the clusters out to every monitor in the group, so
+//     the per-tick cost is O(distinct keys), not O(monitors). Deleting a
+//     monitor or a feed (or shutting the server down) drains open
+//     candidates, so no convoy that satisfied the lifetime bound is ever
+//     lost.
 //
 //   - Batch queries — POST a CSV/CTB database (or reference one under the
 //     server's data directory) plus (m, k, e) and an algorithm, and get the
@@ -18,16 +24,20 @@
 //
 // # HTTP API (all under /v1)
 //
-//	GET    /v1/healthz                 liveness + feed count
-//	GET    /v1/feeds                   list feed statuses
-//	POST   /v1/feeds                   create a feed     {name, params:{m,k,e}}
-//	GET    /v1/feeds/{name}            one feed's status
-//	DELETE /v1/feeds/{name}            drain + delete    → {drained:[...]}
-//	POST   /v1/feeds/{name}/ticks      ingest            {ticks:[{t, positions:[{id,x,y}]}]}
-//	GET    /v1/feeds/{name}/convoys    poll closed convoys (?since=seq)
-//	GET    /v1/feeds/{name}/events     NDJSON tail of closed convoys (?since=seq)
-//	POST   /v1/query                   batch query (body = CSV/CTB upload, params
-//	                                   in the query string; or JSON {path,...})
+//	GET    /v1/healthz                      liveness + feed count
+//	GET    /v1/feeds                        list feed statuses
+//	POST   /v1/feeds                        create a feed     {name, params:{m,k,e}}
+//	GET    /v1/feeds/{name}                 one feed's status (incl. monitor table)
+//	DELETE /v1/feeds/{name}                 drain + delete    → {drained:[...]}
+//	POST   /v1/feeds/{name}/ticks           ingest            {ticks:[{t, positions:[{id,x,y}]}]}
+//	GET    /v1/feeds/{name}/convoys         poll closed convoys (?since=seq&monitor=id)
+//	GET    /v1/feeds/{name}/events          NDJSON tail of closed convoys (?since=seq&monitor=id)
+//	GET    /v1/feeds/{name}/monitors        list the feed's standing queries
+//	POST   /v1/feeds/{name}/monitors        add a monitor     {id, params:{m,k,e}}
+//	GET    /v1/feeds/{name}/monitors/{id}   one monitor's status
+//	DELETE /v1/feeds/{name}/monitors/{id}   drain + remove    → {id, drained:[...]}
+//	POST   /v1/query                        batch query (body = CSV/CTB upload, params
+//	                                        in the query string; or JSON {path,...})
 //
 // Replaying a database tick-by-tick through a feed and canonicalizing the
 // emitted convoys equals the batch CMC answer on the same database — the
@@ -125,7 +135,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/feeds/{name}/ticks", s.handleTicks)
 	s.mux.HandleFunc("GET /v1/feeds/{name}/convoys", s.handlePoll)
 	s.mux.HandleFunc("GET /v1/feeds/{name}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/feeds/{name}/monitors", s.handleListMonitors)
+	s.mux.HandleFunc("POST /v1/feeds/{name}/monitors", s.handleAddMonitor)
+	s.mux.HandleFunc("GET /v1/feeds/{name}/monitors/{id}", s.handleMonitorStatus)
+	s.mux.HandleFunc("DELETE /v1/feeds/{name}/monitors/{id}", s.handleDeleteMonitor)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+}
+
+// validPathName reports whether a client-chosen name (feed name, monitor
+// ID) is usable as a URL path segment. "." and ".." are rejected because
+// ServeMux path-cleans them away, which would leave the resource's own
+// routes unreachable (created but impossible to query or delete).
+func validPathName(s string) bool {
+	return s != "" && s != "." && s != ".." && !strings.ContainsAny(s, "/ \t\n")
 }
 
 // writeJSON emits a JSON response body.
@@ -149,11 +171,11 @@ func statusFor(err error) int {
 		mbe *http.MaxBytesError
 	)
 	switch {
-	case errors.Is(err, errNoFeed), errors.Is(err, errDBNotFound):
+	case errors.Is(err, errNoFeed), errors.Is(err, errNoMonitor), errors.Is(err, errDBNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, errFeedExists):
+	case errors.Is(err, errFeedExists), errors.Is(err, errMonitorExists):
 		return http.StatusConflict
-	case errors.Is(err, errTooManyFeeds):
+	case errors.Is(err, errTooManyFeeds), errors.Is(err, errTooManyMonitors):
 		return http.StatusInsufficientStorage
 	case errors.Is(err, errFeedClosed), errors.Is(err, errServerClosing):
 		return http.StatusGone
@@ -187,7 +209,7 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest(fmt.Errorf("decode feed spec: %w", err)))
 		return
 	}
-	if spec.Name == "" || strings.ContainsAny(spec.Name, "/ \t\n") {
+	if !validPathName(spec.Name) {
 		writeErr(w, badRequest(fmt.Errorf("decode feed spec: invalid feed name %q", spec.Name)))
 		return
 	}
@@ -220,6 +242,71 @@ func (s *Server) handleFeedStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteFeed(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.reg.remove(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListMonitors(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out, err := f.listMonitors(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAddMonitor(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var spec MonitorSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, badRequest(fmt.Errorf("decode monitor spec: %w", err)))
+		return
+	}
+	if !validPathName(spec.ID) {
+		writeErr(w, badRequest(fmt.Errorf("decode monitor spec: invalid monitor id %q", spec.ID)))
+		return
+	}
+	st, err := f.addMonitor(r.Context(), spec.ID, spec.Params.Params())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleMonitorStatus(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := f.getMonitor(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDeleteMonitor(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := f.removeMonitor(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -294,12 +381,43 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	monitor, err := monitorParam(r, f)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	resp, err := f.eventsSince(r.Context(), since)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	if monitor != "" {
+		// NextSeq stays the feed-level cursor: a filtered poll resumed with
+		// ?since=NextSeq never re-reads or skips events.
+		kept := []Event{}
+		for _, ev := range resp.Events {
+			if ev.Monitor == monitor {
+				kept = append(kept, ev)
+			}
+		}
+		resp.Events = kept
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// monitorParam resolves the optional ?monitor= filter against the feed's
+// table: a filter naming a monitor that does not exist is a 404, not a
+// silently empty stream (a typo'd dispatcher must hear about it). History
+// of deleted monitors stays reachable unfiltered.
+func monitorParam(r *http.Request, f *feed) (string, error) {
+	monitor := r.URL.Query().Get("monitor")
+	if monitor == "" {
+		return "", nil
+	}
+	if _, err := f.getMonitor(r.Context(), monitor); err != nil {
+		return "", err
+	}
+	return monitor, nil
 }
 
 // handleEvents tails a feed as NDJSON: replayed history first, then live
@@ -313,6 +431,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	since, err := sinceParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	monitor, err := monitorParam(r, f)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -335,6 +458,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 	send := func(ev Event) bool {
+		if monitor != "" && ev.Monitor != monitor {
+			return true // tail only the requested monitor's events
+		}
 		if err := enc.Encode(ev); err != nil {
 			return false
 		}

@@ -109,15 +109,48 @@ type TicksError struct {
 	Closed   []ConvoyJSON `json:"closed"`
 }
 
-// FeedSpec is the body of POST /v1/feeds.
+// FeedSpec is the body of POST /v1/feeds. The params become the feed's
+// "default" monitor; further monitors are added under
+// /v1/feeds/{name}/monitors.
 type FeedSpec struct {
 	Name   string     `json:"name"`
 	Params ParamsJSON `json:"params"`
 }
 
+// MonitorSpec is the body of POST /v1/feeds/{name}/monitors: one standing
+// convoy query to register on the feed.
+type MonitorSpec struct {
+	ID     string     `json:"id"`
+	Params ParamsJSON `json:"params"`
+}
+
+// MonitorStatus describes one monitor of a feed (GET
+// /v1/feeds/{name}/monitors and .../monitors/{id}; embedded in FeedStatus).
+type MonitorStatus struct {
+	ID     string     `json:"id"`
+	Feed   string     `json:"feed"`
+	Params ParamsJSON `json:"params"`
+	// LastTick is the most recent tick this monitor advanced over; null
+	// before its first (monitors added mid-stream start at the next tick).
+	LastTick *model.Tick `json:"last_tick,omitempty"`
+	// Live counts the monitor's open convoy candidates.
+	Live int `json:"live"`
+	// Closed counts the events this monitor has emitted.
+	Closed uint64 `json:"closed"`
+}
+
+// MonitorCloseResponse is the answer of DELETE /v1/feeds/{name}/monitors/{id}:
+// the monitor's still-open convoys that satisfied the lifetime bound (also
+// appended to the feed's event log, tagged with the monitor ID).
+type MonitorCloseResponse struct {
+	ID      string       `json:"id"`
+	Drained []ConvoyJSON `json:"drained"`
+}
+
 // FeedStatus describes one feed (GET /v1/feeds and GET /v1/feeds/{name}).
 type FeedStatus struct {
-	Name   string     `json:"name"`
+	Name string `json:"name"`
+	// Params are the feed's creation parameters (the default monitor's).
 	Params ParamsJSON `json:"params"`
 	// LastTick is the most recently ingested tick; null before the first.
 	LastTick *model.Tick `json:"last_tick,omitempty"`
@@ -125,13 +158,21 @@ type FeedStatus struct {
 	Ticks int64 `json:"ticks"`
 	// Objects counts distinct object labels seen.
 	Objects int `json:"objects"`
-	// Live counts open convoy candidates inside the streamer.
+	// Live counts open convoy candidates across all monitors.
 	Live int `json:"live"`
-	// Closed counts convoys emitted so far.
+	// Closed counts convoys emitted so far (all monitors).
 	Closed uint64 `json:"closed"`
 	// NextSeq is the sequence number the next closed convoy will get;
 	// pass it as ?since= to poll only new events.
 	NextSeq uint64 `json:"next_seq"`
+	// Monitors lists the feed's standing queries, ID-sorted.
+	Monitors []MonitorStatus `json:"monitors"`
+	// ClusterGroups counts the distinct clustering keys (e, m) among the
+	// live monitors — the number of DBSCAN passes each tick costs.
+	ClusterGroups int `json:"cluster_groups"`
+	// ClusterPasses counts snapshot clustering passes over the feed's
+	// life: ticks × distinct keys, not ticks × monitors.
+	ClusterPasses int64 `json:"cluster_passes"`
 }
 
 // Event is one closed convoy on a feed's event log, as served by
@@ -141,6 +182,8 @@ type Event struct {
 	Seq uint64 `json:"seq"`
 	// Feed is the emitting feed's name.
 	Feed string `json:"feed"`
+	// Monitor is the ID of the monitor whose query closed this convoy.
+	Monitor string `json:"monitor,omitempty"`
 	// Convoy is the closed convoy.
 	Convoy ConvoyJSON `json:"convoy"`
 }

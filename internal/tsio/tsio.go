@@ -15,7 +15,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -24,10 +23,9 @@ import (
 	"repro/internal/model"
 )
 
-// finite reports whether f is a usable coordinate (not NaN, not ±Inf).
-// Non-finite coordinates poison every downstream distance computation and
-// can panic the grid index, so both readers reject them at parse time.
-func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+// finite is the shared coordinate-usability predicate (see geom.Finite);
+// both readers reject non-finite coordinates at parse time.
+func finite(f float64) bool { return geom.Finite(f) }
 
 // header is the mandatory first CSV line.
 var header = []string{"obj", "t", "x", "y"}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64]
+//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64] [-request-timeout 30s]
 //
 // Quick start against a running server:
 //
@@ -44,13 +44,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8764", "listen address")
-		dataDir  = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
-		idle     = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
-		workers  = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
-		cache    = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
-		history  = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
-		monitors = flag.Int("max-monitors", 0, "standing queries allowed per feed (0 = default 64)")
+		addr       = flag.String("addr", ":8764", "listen address")
+		dataDir    = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
+		idle       = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
+		workers    = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
+		history    = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
+		monitors   = flag.Int("max-monitors", 0, "standing queries allowed per feed (0 = default 64)")
+		reqTimeout = flag.Duration("request-timeout", 0, "server-side cap on one batch query's wall time; queries past it abort mid-run and answer 504 (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		CacheEntries:       *cache,
 		HistoryLimit:       *history,
 		MaxMonitorsPerFeed: *monitors,
+		QueryTimeout:       *reqTimeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

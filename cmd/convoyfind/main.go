@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ] [-workers N] [-stats] [-format text|json]
+//	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ]
+//	           [-workers N] [-limit N] [-timeout 30s] [-stats] [-format text|json|jsonl|json-array]
 //
 // The input format is "obj,t,x,y" with a header line (see the tsio
 // package). The convoy parameters follow the paper: m is the minimum group
@@ -12,17 +13,26 @@
 //
 // -format json emits one JSON object per convoy (NDJSON) in the same wire
 // schema the convoyd server speaks (objects, start, end, lifetime), so
-// pipelines can mix CLI and server output. -format json-array (and its
-// older spelling, the -json flag) wraps the same objects in one indented
-// JSON array.
+// pipelines can mix CLI and server output; -format jsonl is the streaming
+// variant, printing each convoy the moment the scan closes it instead of
+// waiting for the full answer (with -limit the scan stops after that many).
+// -format json-array (and its older spelling, the -json flag) wraps the
+// same objects in one indented JSON array.
+//
+// -timeout bounds the whole discovery; SIGINT (Ctrl-C) aborts it the same
+// way. Both cancel the clustering pipeline mid-run — with -format jsonl
+// the convoys already printed remain valid answers — and exit nonzero.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	convoys "repro"
@@ -38,9 +48,11 @@ func main() {
 		delta   = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
 		lambda  = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
 		stats   = flag.Bool("stats", false, "print phase timings and filter statistics")
-		format  = flag.String("format", "text", "output format: text, json (NDJSON, server wire schema) or json-array")
+		format  = flag.String("format", "text", "output format: text, json (NDJSON), jsonl (NDJSON, streamed as found) or json-array")
 		asJSON  = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
 		workers = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
+		limit   = flag.Int("limit", 0, "stop after this many convoys, abandoning the remaining scan (0 = all)")
+		timeout = flag.Duration("timeout", 0, "abort discovery after this long (0 = no deadline)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -63,10 +75,48 @@ func main() {
 	if *workers <= 0 {
 		*workers = convoys.DefaultWorkers()
 	}
-	if err := run(os.Stdout, *input, *m, *k, *e, *algo, *delta, *lambda, *workers, *stats, *format); err != nil {
-		fmt.Fprintln(os.Stderr, "convoyfind:", err)
+
+	// Ctrl-C cancels the discovery pipeline (the run returns ctx.Err()
+	// within about one clustering pass per worker); a second Ctrl-C kills
+	// the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := options{
+		input: *input, m: *m, k: *k, e: *e, algo: *algo,
+		delta: *delta, lambda: *lambda, workers: *workers,
+		limit: *limit, stats: *stats, format: *format,
+	}
+	if err := run(ctx, os.Stdout, opts); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "convoyfind: interrupted")
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "convoyfind: timed out after %v\n", *timeout)
+		} else {
+			fmt.Fprintln(os.Stderr, "convoyfind:", err)
+		}
 		os.Exit(1)
 	}
+}
+
+// options carries one invocation's settings.
+type options struct {
+	input   string
+	m       int
+	k       int64
+	e       float64
+	algo    string
+	delta   float64
+	lambda  int64
+	workers int
+	limit   int
+	stats   bool
+	format  string
 }
 
 // loadDB picks the reader by file extension.
@@ -77,37 +127,70 @@ func loadDB(input string) (*convoys.DB, error) {
 	return convoys.LoadCSV(input)
 }
 
-func run(out io.Writer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, workers int, stats bool, format string) error {
-	switch strings.ToLower(format) {
-	case "text", "json", "json-array":
-	default:
-		return fmt.Errorf("unknown format %q (want text, json or json-array)", format)
+// buildQuery assembles the Query for the options, directing statistics
+// into st.
+func buildQuery(o options, st *convoys.Stats) (*convoys.Query, error) {
+	opts := []convoys.QueryOption{
+		convoys.M(o.m), convoys.K(o.k), convoys.Eps(o.e),
+		convoys.WithDelta(o.delta), convoys.WithLambda(o.lambda),
+		convoys.WithWorkers(o.workers), convoys.WithStats(st),
 	}
-	db, err := loadDB(input)
-	if err != nil {
-		return err
+	if o.limit > 0 {
+		opts = append(opts, convoys.WithLimit(o.limit))
 	}
-	p := convoys.Params{M: m, K: k, Eps: e}
-
-	var res convoys.Result
-	var st convoys.Stats
-	switch strings.ToLower(algo) {
+	switch strings.ToLower(o.algo) {
 	case "cmc":
-		res, err = convoys.CMCWith(db, p, workers)
+		opts = append(opts, convoys.WithCMC())
 	case "cuts":
-		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSVariant, Delta: delta, Lambda: lambda, Workers: workers})
+		opts = append(opts, convoys.WithVariant(convoys.CuTSVariant))
 	case "cuts+":
-		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSPlusVariant, Delta: delta, Lambda: lambda, Workers: workers})
+		opts = append(opts, convoys.WithVariant(convoys.CuTSPlusVariant))
 	case "cuts*":
-		res, st, err = convoys.DiscoverWith(db, p, convoys.Config{Variant: convoys.CuTSStarVariant, Delta: delta, Lambda: lambda, Workers: workers})
+		opts = append(opts, convoys.WithVariant(convoys.CuTSStarVariant))
 	default:
-		return fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", algo)
+		return nil, fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", o.algo)
 	}
+	return convoys.NewQuery(opts...), nil
+}
+
+func run(ctx context.Context, out io.Writer, o options) error {
+	switch strings.ToLower(o.format) {
+	case "text", "json", "jsonl", "json-array":
+	default:
+		return fmt.Errorf("unknown format %q (want text, json, jsonl or json-array)", o.format)
+	}
+	var st convoys.Stats
+	q, err := buildQuery(o, &st)
+	if err != nil {
+		return err
+	}
+	db, err := loadDB(o.input)
 	if err != nil {
 		return err
 	}
 
-	switch strings.ToLower(format) {
+	if strings.ToLower(o.format) == "jsonl" {
+		// Streaming: print each convoy the moment the scan closes it.
+		// Breaking on a write error (or the -limit inside the query)
+		// abandons the remaining clustering work.
+		enc := json.NewEncoder(out)
+		for c, serr := range q.Seq(ctx, db) {
+			if serr != nil {
+				return serr
+			}
+			if err := enc.Encode(convoys.ConvoyToJSON(c, db)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	res, err := q.Run(ctx, db)
+	if err != nil {
+		return err
+	}
+
+	switch strings.ToLower(o.format) {
 	case "json":
 		// One wire-schema object per line, like a feed's event payloads.
 		enc := json.NewEncoder(out)
@@ -129,12 +212,12 @@ func run(out io.Writer, input string, m int, k int64, e float64, algo string, de
 	}
 
 	fmt.Fprintf(out, "%d convoy(s) with m=%d k=%d e=%g in %s (%d objects)\n",
-		len(res), m, k, e, input, db.Len())
+		len(res), o.m, o.k, o.e, o.input, db.Len())
 	for _, c := range res {
 		fmt.Fprintf(out, "  {%s} ticks [%d, %d] (%d points)\n",
 			strings.Join(convoys.ConvoyToJSON(c, db).Objects, ", "), c.Start, c.End, c.Lifetime())
 	}
-	if stats && strings.ToLower(algo) != "cmc" {
+	if o.stats && strings.ToLower(o.algo) != "cmc" {
 		fmt.Fprintf(out, "algorithm %v: δ=%.3g λ=%d workers=%d partitions=%d candidates=%d refinement-units=%.0f\n",
 			st.Variant, st.Delta, st.Lambda, st.Workers, st.NumPartitions, st.NumCandidates, st.RefineUnits)
 		fmt.Fprintf(out, "timings: simplify=%v filter=%v refine=%v total=%v (vertex reduction %.1f%%)\n",

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,16 @@ import (
 
 	convoys "repro"
 )
+
+// runArgs invokes run with the historical positional settings, keeping
+// the pre-options tests readable.
+func runArgs(out *bytes.Buffer, input string, m int, k int64, e float64, algo string, delta float64, lambda int64, workers int, stats bool, format string) error {
+	return run(context.Background(), out, options{
+		input: input, m: m, k: k, e: e, algo: algo,
+		delta: delta, lambda: lambda, workers: workers,
+		stats: stats, format: format,
+	})
+}
 
 // writeFixture stores a small two-convoy dataset in the given format and
 // returns its path.
@@ -45,7 +57,7 @@ func TestRunTextOutputAllAlgorithms(t *testing.T) {
 	path := writeFixture(t, dir, "two.csv")
 	for _, algo := range []string{"cmc", "cuts", "cuts+", "cuts*", "CUTS*"} {
 		var buf bytes.Buffer
-		if err := run(&buf, path, 2, 5, 1, algo, 0, 0, 2, true, "text"); err != nil {
+		if err := runArgs(&buf, path, 2, 5, 1, algo, 0, 0, 2, true, "text"); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		out := buf.String()
@@ -65,7 +77,7 @@ func TestRunBinaryInput(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.ctb")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "text"); err != nil {
+	if err := runArgs(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "text"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "2 convoy(s)") {
@@ -77,7 +89,7 @@ func TestRunJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "json"); err != nil {
+	if err := runArgs(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "json"); err != nil {
 		t.Fatal(err)
 	}
 	// One wire-schema JSON object per line.
@@ -105,7 +117,7 @@ func TestRunJSONArrayOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "json-array"); err != nil {
+	if err := runArgs(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "json-array"); err != nil {
 		t.Fatal(err)
 	}
 	var payload []convoys.ConvoyJSON
@@ -121,7 +133,7 @@ func TestRunRejectsUnknownFormat(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "yaml"); err == nil {
+	if err := runArgs(&buf, path, 2, 5, 1, "cuts*", 0, 0, 2, false, "yaml"); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -130,13 +142,13 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFixture(t, dir, "two.csv")
 	var buf bytes.Buffer
-	if err := run(&buf, filepath.Join(dir, "missing.csv"), 2, 5, 1, "cuts*", 0, 0, 2, false, "text"); err == nil {
+	if err := runArgs(&buf, filepath.Join(dir, "missing.csv"), 2, 5, 1, "cuts*", 0, 0, 2, false, "text"); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(&buf, path, 2, 5, 1, "nope", 0, 0, 2, false, "text"); err == nil {
+	if err := runArgs(&buf, path, 2, 5, 1, "nope", 0, 0, 2, false, "text"); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&buf, path, 0, 5, 1, "cmc", 0, 0, 2, false, "text"); err == nil {
+	if err := runArgs(&buf, path, 0, 5, 1, "cmc", 0, 0, 2, false, "text"); err == nil {
 		t.Error("invalid m accepted")
 	}
 	// Corrupt CSV.
@@ -144,7 +156,86 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not,a,header\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, bad, 2, 5, 1, "cmc", 0, 0, 2, false, "text"); err == nil {
+	if err := runArgs(&buf, bad, 2, 5, 1, "cmc", 0, 0, 2, false, "text"); err == nil {
 		t.Error("corrupt CSV accepted")
+	}
+}
+
+// -format jsonl streams one wire-schema object per line, same payloads as
+// -format json.
+func TestRunJSONLStreamingOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.csv")
+	var batch, stream bytes.Buffer
+	if err := runArgs(&batch, path, 2, 5, 1, "cmc", 0, 0, 2, false, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(&stream, path, 2, 5, 1, "cmc", 0, 0, 2, false, "jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	decode := func(buf *bytes.Buffer) []convoys.ConvoyJSON {
+		var out []convoys.ConvoyJSON
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			var c convoys.ConvoyJSON
+			if err := json.Unmarshal([]byte(line), &c); err != nil {
+				t.Fatalf("invalid JSONL line %q: %v", line, err)
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	got, want := decode(&stream), decode(&batch)
+	if len(got) != len(want) {
+		t.Fatalf("jsonl streamed %d convoys, json printed %d", len(got), len(want))
+	}
+	for _, g := range got {
+		found := false
+		for _, w := range want {
+			if g.Start == w.Start && g.End == w.End && strings.Join(g.Objects, ",") == strings.Join(w.Objects, ",") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("streamed convoy %+v missing from the batch answer %+v", g, want)
+		}
+	}
+}
+
+// -limit stops the scan after n convoys in every format.
+func TestRunLimit(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.csv")
+	for _, format := range []string{"json", "jsonl"} {
+		var buf bytes.Buffer
+		err := run(context.Background(), &buf, options{
+			input: path, m: 2, k: 5, e: 1, algo: "cmc",
+			workers: 1, limit: 1, format: format,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 1 {
+			t.Fatalf("%s with -limit 1 printed %d convoys", format, len(lines))
+		}
+	}
+}
+
+// A cancelled context aborts the run with the context error, in both the
+// batch and streaming paths.
+func TestRunCancelled(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFixture(t, dir, "two.csv")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, format := range []string{"text", "jsonl"} {
+		var buf bytes.Buffer
+		err := run(ctx, &buf, options{
+			input: path, m: 2, k: 5, e: 1, algo: "cmc",
+			workers: 1, format: format,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", format, err)
+		}
 	}
 }

@@ -28,8 +28,25 @@
 // DP*-simplified trajectories with CPA distance bounds) — with the paper's
 // automatic δ/λ parameter guidelines. All four algorithms of the paper
 // (CMC, CuTS, CuTS+, CuTS*) are exposed and return identical answers; they
-// differ only in speed. Use DiscoverWith to pick an algorithm and tune the
-// internal parameters, and CMC for the baseline.
+// differ only in speed.
+//
+// # Cancellation and streaming results
+//
+// NewQuery is the context-first form of the same query — the one to reach
+// for in servers and pipelines. A Query is built from functional options
+// and executed with Run (the batch answer, honoring ctx at tick, partition
+// and candidate granularity) or Seq (an iterator yielding convoys as the
+// scan closes them; breaking out stops the remaining clustering work):
+//
+//	q := convoys.NewQuery(convoys.M(3), convoys.K(180), convoys.Eps(8),
+//	    convoys.WithWorkers(convoys.DefaultWorkers()))
+//	for c, err := range q.Seq(ctx, db) {
+//	    if err != nil { ... } // ctx cancellation arrives here
+//	    fmt.Println(c)        // delivered the moment it is final
+//	}
+//
+// Discover, DiscoverWith, CMC and CMCWith are thin wrappers over Query and
+// return identical answers.
 //
 // # Serving
 //
@@ -49,6 +66,7 @@
 package convoys
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -143,30 +161,111 @@ func Pt(x, y float64) Point { return geom.Pt(x, y) }
 // S constructs a Sample at tick t.
 func S(t Tick, x, y float64) Sample { return Sample{T: t, P: geom.Pt(x, y)} }
 
+// Context-first query API.
+type (
+	// Query is one convoy discovery question — parameters, algorithm,
+	// worker count, optional result limit — built with NewQuery and
+	// executed with Run (batch) or Seq (streaming). Both honor their
+	// context at tick/partition/candidate granularity, so cancelling a
+	// query aborts its clustering pipeline within about one unit of work
+	// per worker.
+	Query = core.Query
+	// QueryOption configures a Query under construction.
+	QueryOption = core.Option
+)
+
+// NewQuery builds a convoy query from options:
+//
+//	q := convoys.NewQuery(convoys.M(3), convoys.K(180), convoys.Eps(8),
+//	    convoys.WithVariant(convoys.CuTSStarVariant),
+//	    convoys.WithWorkers(convoys.DefaultWorkers()))
+//	result, err := q.Run(ctx, db)
+//
+// The m, k and e parameters are mandatory (Run/Seq fail validation
+// otherwise); the algorithm defaults to CuTS* with the automatic δ/λ
+// guidelines, running serially.
+func NewQuery(opts ...QueryOption) *Query { return core.NewQuery(opts...) }
+
+// M sets the minimum number of objects in a convoy.
+func M(m int) QueryOption { return core.M(m) }
+
+// K sets the minimum convoy lifetime in consecutive time points.
+func K(k int64) QueryOption { return core.K(k) }
+
+// Eps sets the density-connection distance threshold e.
+func Eps(e float64) QueryOption { return core.Eps(e) }
+
+// WithParams sets all three convoy query parameters at once.
+func WithParams(p Params) QueryOption { return core.WithParams(p) }
+
+// WithVariant selects a CuTS family member (default CuTS*).
+func WithVariant(v Variant) QueryOption { return core.WithVariant(v) }
+
+// WithCMC selects the Coherent Moving Cluster baseline instead of the
+// CuTS filter-refinement family.
+func WithCMC() QueryOption { return core.WithCMC() }
+
+// WithDelta overrides the automatic simplification-tolerance guideline.
+func WithDelta(delta float64) QueryOption { return core.WithDelta(delta) }
+
+// WithLambda overrides the automatic time-partition-length guideline.
+func WithLambda(lambda int64) QueryOption { return core.WithLambda(lambda) }
+
+// WithWorkers sets the goroutines per pipeline stage (≤ 1 = serial); the
+// answer set is identical for every worker count.
+func WithWorkers(n int) QueryOption { return core.WithWorkers(n) }
+
+// WithLimit stops discovery after n convoys have been delivered,
+// abandoning the remaining clustering work.
+func WithLimit(n int) QueryOption { return core.WithLimit(n) }
+
+// WithStats directs run statistics (phase timings, candidate counts,
+// clustering passes) into st, written once per Run/Seq completion.
+func WithStats(st *Stats) QueryOption { return core.WithStats(st) }
+
+// WithConfig applies a legacy Config wholesale — the bridge from
+// DiscoverWith-style configuration to the Query API.
+func WithConfig(cfg Config) QueryOption { return core.WithConfig(cfg) }
+
 // Discover answers the convoy query with the paper's best algorithm
-// (CuTS*) using the automatic δ/λ guidelines of Section 7.4.
+// (CuTS*) using the automatic δ/λ guidelines of Section 7.4. It is the
+// uncancellable one-liner; use NewQuery for contexts, streaming and
+// limits.
 func Discover(db *DB, p Params) (Result, error) {
-	res, _, err := core.Run(db, p, core.Config{Variant: core.VariantCuTSStar})
-	return res, err
+	return core.NewQuery(core.WithParams(p)).Run(context.Background(), db)
 }
 
 // DiscoverWith answers the convoy query with an explicit algorithm
 // configuration and returns run statistics alongside the result.
+//
+// Deprecated: build a Query instead — NewQuery(WithParams(p),
+// WithConfig(cfg), WithStats(&st)).Run(ctx, db) is the same discovery
+// with cancellation, streaming (Seq) and result limits. DiscoverWith
+// remains answer-for-answer identical and is kept for compatibility.
 func DiscoverWith(db *DB, p Params, cfg Config) (Result, Stats, error) {
-	return core.Run(db, p, cfg)
+	var st Stats
+	res, err := core.NewQuery(core.WithParams(p), core.WithConfig(cfg), core.WithStats(&st)).
+		Run(context.Background(), db)
+	return res, st, err
 }
 
 // CMC answers the convoy query with the Coherent Moving Cluster baseline
 // (Algorithm 1): snapshot DBSCAN at every tick, no filter step. Slower but
 // useful as a reference.
-func CMC(db *DB, p Params) (Result, error) { return core.CMC(db, p) }
+func CMC(db *DB, p Params) (Result, error) { return CMCWith(db, p, 1) }
 
 // CMCWith is CMC on a bounded worker pool: snapshots cluster concurrently
 // while candidate chaining folds them in tick order, so the answer set is
 // identical to the serial run for every worker count. workers ≤ 1 runs
 // serially; DefaultWorkers() uses every core.
+//
+// Deprecated: build a Query instead — NewQuery(WithParams(p), WithCMC(),
+// WithWorkers(n)).Run(ctx, db) is the same scan with cancellation and
+// streaming. CMCWith remains answer-for-answer identical and is kept for
+// compatibility.
 func CMCWith(db *DB, p Params, workers int) (Result, error) {
-	return core.CMCParallel(db, p, workers)
+	return core.NewQuery(core.WithParams(p), core.WithCMC(), core.WithWorkers(workers)).
+		Run(context.Background(), db)
 }
 
 // DefaultWorkers returns the natural per-stage worker count for this

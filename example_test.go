@@ -1,6 +1,7 @@
 package convoys_test
 
 import (
+	"context"
 	"fmt"
 
 	convoys "repro"
@@ -23,6 +24,56 @@ func ExampleDiscover() {
 	}
 	// Output:
 	// ⟨o0,o1,[0,7]⟩
+}
+
+// The context-first form of the same query: build it from options, run it
+// under a cancellable context, and read the run's statistics.
+func ExampleNewQuery() {
+	db := convoys.NewDB()
+	for i, y := range []float64{0, 0.4, 99} {
+		var samples []convoys.Sample
+		for t := convoys.Tick(0); t < 8; t++ {
+			samples = append(samples, convoys.S(t, float64(t), y))
+		}
+		tr, _ := convoys.NewTrajectory(fmt.Sprintf("scooter-%d", i+1), samples)
+		db.Add(tr)
+	}
+	var st convoys.Stats
+	q := convoys.NewQuery(convoys.M(2), convoys.K(5), convoys.Eps(1), convoys.WithStats(&st))
+	result, _ := q.Run(context.Background(), db)
+	fmt.Println(result[0], "candidates:", st.NumCandidates > 0)
+	// Output:
+	// ⟨o0,o1,[0,7]⟩ candidates: true
+}
+
+// Seq yields convoys as they close instead of materializing the full
+// result; breaking out of the loop abandons the remaining clustering work
+// (so does cancelling the context — the error arrives as the final yield).
+func ExampleQuery_Seq() {
+	db := convoys.NewDB()
+	for i, y := range []float64{0, 0.4} {
+		var samples []convoys.Sample
+		for t := convoys.Tick(0); t < 12; t++ {
+			x, yy := float64(t), y
+			if t >= 6 && i == 1 {
+				yy += 500 // the pair separates at tick 6, closing the convoy
+			}
+			samples = append(samples, convoys.S(t, x, yy))
+		}
+		tr, _ := convoys.NewTrajectory("", samples)
+		db.Add(tr)
+	}
+	q := convoys.NewQuery(convoys.M(2), convoys.K(3), convoys.Eps(1), convoys.WithCMC())
+	for c, err := range q.Seq(context.Background(), db) {
+		if err != nil {
+			fmt.Println("aborted:", err)
+			break
+		}
+		fmt.Println("closed:", c)
+		break // stop the scan after the first answer
+	}
+	// Output:
+	// closed: ⟨o0,o1,[0,5]⟩
 }
 
 func ExampleCMC() {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,9 +29,12 @@ func main() {
 	// Commute window to qualify for a carpool suggestion: the profile's k.
 	k := prof.K
 	for _, e := range []float64{prof.Eps / 2, prof.Eps, prof.Eps * 2} {
-		result, stats, err := convoys.DiscoverWith(db,
-			convoys.Params{M: 2, K: k, Eps: e},
-			convoys.Config{Variant: convoys.CuTSStarVariant})
+		var stats convoys.Stats
+		result, err := convoys.NewQuery(
+			convoys.M(2), convoys.K(k), convoys.Eps(e),
+			convoys.WithVariant(convoys.CuTSStarVariant),
+			convoys.WithStats(&stats),
+		).Run(context.Background(), db)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,9 +35,11 @@ func main() {
 	}
 
 	// A convoy = at least 2 objects within distance 1 of each other
-	// (density-connected) for at least 5 consecutive ticks.
+	// (density-connected) for at least 5 consecutive ticks. NewQuery is
+	// the context-first form — cancel the ctx and the run aborts mid-scan.
 	params := convoys.Params{M: 2, K: 5, Eps: 1}
-	result, err := convoys.Discover(db, params)
+	q := convoys.NewQuery(convoys.M(2), convoys.K(5), convoys.Eps(1))
+	result, err := q.Run(context.Background(), db)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,7 +36,10 @@ func main() {
 
 	// The filter-refinement family.
 	for _, variant := range []convoys.Variant{convoys.CuTSVariant, convoys.CuTSPlusVariant, convoys.CuTSStarVariant} {
-		res, rs, err := convoys.DiscoverWith(db, params, convoys.Config{Variant: variant})
+		var rs convoys.Stats
+		res, err := convoys.NewQuery(
+			convoys.WithParams(params), convoys.WithVariant(variant), convoys.WithStats(&rs),
+		).Run(context.Background(), db)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,12 @@ func main() {
 
 	// Step 3: discover sub-herds. CuTS* computes λ automatically too.
 	params := convoys.Params{M: prof.M, K: prof.K, Eps: prof.Eps}
-	res, rs, err := convoys.DiscoverWith(db, params, convoys.Config{Variant: convoys.CuTSStarVariant})
+	var rs convoys.Stats
+	res, err := convoys.NewQuery(
+		convoys.WithParams(params),
+		convoys.WithVariant(convoys.CuTSStarVariant),
+		convoys.WithStats(&rs),
+	).Run(context.Background(), db)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"sync/atomic"
+
 	"repro/internal/dbscan"
 	"repro/internal/geom"
 	"repro/internal/model"
@@ -159,44 +162,88 @@ func flushCandidates(live []*candidate, k int64, out *[]Convoy, emit func(*candi
 	}
 }
 
-// cmcWindow runs the CMC scan over ticks [lo, hi], optionally restricted to
-// the given ascending object subset, and returns the raw (uncanonicalized)
-// convoys found.
-func cmcWindow(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID) []Convoy {
-	return cmcWindowWorkers(db, p, lo, hi, subset, 1)
-}
-
-// cmcWindowWorkers is cmcWindow with a bounded worker pool: the per-tick
-// DBSCAN runs (the quadratic part) execute concurrently while the candidate
-// chaining folds the resulting snapshot clusters strictly in tick order — a
-// pipeline, not a per-tick barrier. Because chainStep consumes exactly the
-// clusters the serial scan would, in exactly the same order, the output is
-// identical to the serial scan by construction.
-func cmcWindowWorkers(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int) []Convoy {
-	var out []Convoy
-	var live []*candidate
+// cmcScan runs the CMC scan over ticks [lo, hi], optionally restricted to
+// the given ascending object subset, pushing every batch of raw
+// (uncanonicalized) convoys that close at one tick — plus the final flush
+// batch — into emit. emit returning false abandons the scan (no error);
+// cancelling ctx aborts it with ctx.Err() at tick granularity. passes,
+// when non-nil, is atomically incremented once per snapshot clustering
+// pass, the work meter behind Stats.ClusterPasses.
+//
+// With workers > 1 the per-tick DBSCAN runs (the quadratic part) execute
+// concurrently while the candidate chaining folds the resulting snapshot
+// clusters strictly in tick order — a pipeline, not a per-tick barrier.
+// Because chainStep consumes exactly the clusters the serial scan would,
+// in exactly the same order, the emitted convoys are identical to the
+// serial scan by construction.
+func cmcScan(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int, passes *int64, emit func([]Convoy) bool) error {
 	span := int64(hi-lo) + 1
-	if span <= 0 || span > int64(maxPipelineSpan) {
+	if span <= 0 {
+		return nil
+	}
+	if span > int64(maxPipelineSpan) {
 		// Overflowing or absurd time domains take the plain loop; ticks are
 		// still scanned one by one either way.
 		workers = 1
 	}
+	produce := func(i int) [][]model.ObjectID {
+		if passes != nil {
+			atomic.AddInt64(passes, 1)
+		}
+		return snapshotClusters(db, p, lo+model.Tick(i), subset)
+	}
+	var live []*candidate
+	stopped := false
+	consume := func(i int, clusters [][]model.ObjectID) bool {
+		t := lo + model.Tick(i)
+		var batch []Convoy
+		live = chainStep(live, clusters, p.M, p.K, t, t, false, &batch, nil)
+		if len(batch) > 0 && !emit(batch) {
+			stopped = true
+			return false
+		}
+		return true
+	}
 	if workers <= 1 {
-		for t := lo; t <= hi; t++ {
-			clusters := snapshotClusters(db, p, t, subset)
-			live = chainStep(live, clusters, p.M, p.K, t, t, false, &out, nil)
+		i := 0
+		for t := lo; ; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !consume(i, produce(i)) {
+				return nil
+			}
+			i++
+			if t == hi {
+				break
+			}
 		}
 	} else {
-		orderedPipeline(int(span), workers,
-			func(i int) [][]model.ObjectID {
-				return snapshotClusters(db, p, lo+model.Tick(i), subset)
-			},
-			func(i int, clusters [][]model.ObjectID) {
-				t := lo + model.Tick(i)
-				live = chainStep(live, clusters, p.M, p.K, t, t, false, &out, nil)
-			})
+		if err := orderedPipeline(ctx, int(span), workers, produce, consume); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
 	}
-	flushCandidates(live, p.K, &out, nil)
+	var batch []Convoy
+	flushCandidates(live, p.K, &batch, nil)
+	if len(batch) > 0 {
+		emit(batch)
+	}
+	return nil
+}
+
+// cmcWindow collects the raw convoys of a serial, uncancellable CMC scan
+// over [lo, hi] — the refinement step's per-candidate unit of work (the
+// streaming/cancellation granularity is the candidate, so the window scan
+// itself runs to completion).
+func cmcWindow(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, passes *int64) []Convoy {
+	var out []Convoy
+	cmcScan(context.Background(), db, p, lo, hi, subset, 1, passes, func(batch []Convoy) bool {
+		out = append(out, batch...)
+		return true
+	})
 	return out
 }
 
@@ -212,15 +259,9 @@ func CMC(db *model.DB, p Params) (Result, error) {
 }
 
 // CMCParallel is CMC with a bounded worker pool clustering ticks
-// concurrently (see cmcWindowWorkers); workers ≤ 1 is the serial scan and
-// the answer set is identical for every worker count.
+// concurrently (see cmcScan); workers ≤ 1 is the serial scan and the
+// answer set is identical for every worker count. It is a thin wrapper
+// over Query; use Query directly for cancellation and streaming results.
 func CMCParallel(db *model.DB, p Params, workers int) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	lo, hi, ok := db.TimeRange()
-	if !ok {
-		return nil, nil
-	}
-	return Canonicalize(cmcWindowWorkers(db, p, lo, hi, nil, workers)), nil
+	return NewQuery(WithParams(p), WithCMC(), WithWorkers(workers)).Run(context.Background(), db)
 }

@@ -21,6 +21,17 @@
 // All four algorithms return exactly this set (canonically sorted), which
 // the cross-algorithm equivalence tests rely on.
 //
+// # Context-first execution
+//
+// Query is the primary execution surface: built from functional options
+// (NewQuery(M(3), K(180), Eps(8), WithVariant(...), WithWorkers(n))) and
+// run with Run(ctx, db) — the batch answer — or Seq(ctx, db) — an
+// incremental iterator yielding convoys as the scan closes them.
+// Cancellation is observed at tick, λ-partition and candidate
+// granularity; breaking out of Seq (or WithLimit) abandons the remaining
+// clustering work. The historical entry points (CMC, CMCParallel, Run,
+// CuTS, CuTS+, CuTS*) are thin wrappers over Query.
+//
 // # Parallel execution
 //
 // Every stage of the discovery pipeline is parallel on a bounded worker

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dbscan"
@@ -164,6 +166,13 @@ type Stats struct {
 	SimplifyTime  time.Duration // phase timings (Figure 13)
 	FilterTime    time.Duration
 	RefineTime    time.Duration
+	// ClusterPasses counts clustering passes actually run: snapshot DBSCAN
+	// passes (CMC scans and refinement windows) plus filter λ-partition
+	// TRAJ-DBSCAN passes. It is the work meter behind the cancellation and
+	// early-stop guarantees — an aborted or limit-stopped run shows
+	// strictly fewer passes than a full one. Filled even when a run is
+	// cancelled mid-way.
+	ClusterPasses int64
 }
 
 // TotalTime returns the end-to-end discovery time.
@@ -179,12 +188,22 @@ func (s Stats) VertexReduction() float64 {
 
 // Filter runs the CuTS filter step over already-simplified trajectories and
 // returns the candidate set. Exposed separately so the experiment harness
-// can time and instrument the phases; most callers use Run.
+// can time and instrument the phases; most callers use Query (or the Run
+// wrapper).
 func Filter(db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig) []Candidate {
+	cands, _ := filterScan(context.Background(), db, p, sts, fc, nil)
+	return cands
+}
+
+// filterScan is Filter with a context and a clustering-pass meter:
+// cancelling ctx aborts the partition scan at λ-partition granularity and
+// returns ctx.Err() with a nil candidate set; passes, when non-nil, is
+// atomically incremented once per partition TRAJ-DBSCAN pass.
+func filterScan(ctx context.Context, db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig, passes *int64) ([]Candidate, error) {
 	lambda, bound := fc.Lambda, fc.Bound
 	lo, hi, ok := db.TimeRange()
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	distParams := dbscan.PolylineDistanceParams{
 		Eps:         p.Eps,
@@ -231,6 +250,9 @@ func Filter(db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig)
 	// which is exactly why the paper calls the CuTS* filter tighter
 	// (Section 6.2).
 	partitionClusters := func(w window) [][]model.ObjectID {
+		if passes != nil {
+			atomic.AddInt64(passes, 1)
+		}
 		var polys []dbscan.Polyline
 		var polyObj []model.ObjectID
 		for _, st := range sts {
@@ -265,13 +287,16 @@ func Filter(db *model.DB, p Params, sts []*simplify.Trajectory, fc FilterConfig)
 	}
 
 	var live []*candidate
-	orderedPipeline(len(wins), fc.Workers,
+	if err := orderedPipeline(ctx, len(wins), fc.Workers,
 		func(i int) [][]model.ObjectID { return partitionClusters(wins[i]) },
-		func(i int, clusters [][]model.ObjectID) {
+		func(i int, clusters [][]model.ObjectID) bool {
 			live = chainStep(live, clusters, p.M, p.K, wins[i].w0, wins[i].w1, true, nil, collect)
-		})
+			return true
+		}); err != nil {
+		return nil, err
+	}
 	flushCandidates(live, p.K, nil, collect)
-	return dedupCandidates(out, fc.NoCandidatePruning)
+	return dedupCandidates(out, fc.NoCandidatePruning), nil
 }
 
 // dedupCandidates drops candidates whose refinement is covered by another
@@ -330,76 +355,37 @@ func Refine(db *model.DB, p Params, cands []Candidate) Result {
 // so their window-restricted CMC runs execute concurrently; the union is
 // canonicalized, making the answer identical to the serial run.
 func RefineParallel(db *model.DB, p Params, cands []Candidate, workers int) Result {
-	perCand := make([][]Convoy, len(cands))
-	parallelFor(len(cands), workers, func(i int) {
-		c := cands[i]
-		perCand[i] = cmcWindow(db, p, c.Start, c.End, c.Support)
-	})
 	var all []Convoy
-	for _, cs := range perCand {
-		all = append(all, cs...)
-	}
+	refineScan(context.Background(), db, p, cands, workers, nil, func(_ int, raw []Convoy) bool {
+		all = append(all, raw...)
+		return true
+	})
 	return Canonicalize(all)
+}
+
+// refineScan runs the refinement step one candidate at a time on a worker
+// pool, pushing every candidate's raw window convoys into emit strictly in
+// candidate order (an ordered pipeline, like the tick and partition
+// scans). emit returning false abandons the remaining candidates;
+// cancelling ctx aborts with ctx.Err() at candidate granularity. passes
+// meters the snapshot clustering passes of the refinement windows.
+func refineScan(ctx context.Context, db *model.DB, p Params, cands []Candidate, workers int, passes *int64, emit func(i int, raw []Convoy) bool) error {
+	return orderedPipeline(ctx, len(cands), workers,
+		func(i int) []Convoy {
+			c := cands[i]
+			return cmcWindow(db, p, c.Start, c.End, c.Support, passes)
+		},
+		emit)
 }
 
 // Run executes the chosen CuTS variant end to end and returns the canonical
 // convoy result plus run statistics. Delta/Lambda ≤ 0 in cfg invoke the
-// Section 7.4 guidelines.
+// Section 7.4 guidelines. It is a thin wrapper over Query; use Query
+// directly for cancellation, streaming results and result limits.
 func Run(db *model.DB, p Params, cfg Config) (Result, Stats, error) {
-	st := Stats{Variant: cfg.Variant, Workers: cfg.Workers}
-	if st.Workers < 1 {
-		st.Workers = 1
-	}
-	if err := p.Validate(); err != nil {
-		return nil, st, err
-	}
-	method := cfg.Variant.SimplifyMethod()
-
-	delta := cfg.Delta
-	if delta <= 0 {
-		delta = ComputeDelta(db, p.Eps)
-	}
-	st.Delta = delta
-
-	t0 := time.Now()
-	sts := simplify.SimplifyAllWorkers(db, delta, method, cfg.Workers)
-	st.SimplifyTime = time.Since(t0)
-	for _, s := range sts {
-		st.VertexKept += s.Len()
-		st.VertexTotal += s.Orig.Len()
-	}
-
-	lambda := cfg.Lambda
-	if lambda <= 0 {
-		lambda = ComputeLambda(db, sts, p.K)
-	}
-	st.Lambda = lambda
-	if lo, hi, ok := db.TimeRange(); ok {
-		span := int64(hi-lo) + 1
-		st.NumPartitions = int((span + lambda - 1) / lambda)
-	}
-
-	t1 := time.Now()
-	cands := Filter(db, p, sts, FilterConfig{
-		Lambda:             lambda,
-		Bound:              cfg.Variant.Bound(),
-		Tolerance:          cfg.Tolerance,
-		Delta:              delta,
-		NoBoxPrune:         cfg.NoBoxPrune,
-		NoClipTime:         cfg.NoClipTime,
-		NoCandidatePruning: cfg.NoCandidatePruning,
-		Workers:            cfg.Workers,
-	})
-	st.FilterTime = time.Since(t1)
-	st.NumCandidates = len(cands)
-	for _, c := range cands {
-		st.RefineUnits += c.RefinementUnits()
-	}
-
-	t2 := time.Now()
-	res := RefineParallel(db, p, cands, cfg.Workers)
-	st.RefineTime = time.Since(t2)
-	return res, st, nil
+	var st Stats
+	res, err := NewQuery(WithParams(p), WithConfig(cfg), WithStats(&st)).Run(context.Background(), db)
+	return res, st, err
 }
 
 // CuTS answers the convoy query with the base CuTS algorithm (DP + DLL).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/par"
@@ -13,12 +14,10 @@ import (
 // DefaultWorkers returns the natural worker count for this machine.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// parallelFor runs independent jobs writing to distinct result slots
-// (simplification, candidate refinement).
-func parallelFor(n, workers int, fn func(i int)) { par.For(n, workers, fn) }
-
 // orderedPipeline computes jobs concurrently but folds results strictly in
-// index order (the CMC tick scan, the filter's partition scan).
-func orderedPipeline[T any](n, workers int, produce func(i int) T, consume func(i int, v T)) {
-	par.OrderedPipeline(n, workers, produce, consume)
+// index order (the CMC tick scan, the filter's partition scan, candidate
+// refinement in streaming order). The consumer stops the pipeline by
+// returning false; cancelling ctx aborts it with ctx.Err().
+func orderedPipeline[T any](ctx context.Context, n, workers int, produce func(i int) T, consume func(i int, v T) bool) error {
+	return par.OrderedPipeline(ctx, n, workers, produce, consume)
 }

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"context"
+	"iter"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dbscan"
+	"repro/internal/model"
+	"repro/internal/simplify"
+)
+
+// Query is the context-first convoy discovery API: one value describing
+// what to discover (the (m, k, e) parameters), how (algorithm variant,
+// internal knobs, worker count) and how much (an optional result limit),
+// built with functional options and executed against any database with
+// Run — the batch answer — or Seq — an incremental stream that yields
+// convoys as the scan closes them and stops the whole pipeline the moment
+// the consumer breaks out.
+//
+// A Query is immutable after NewQuery and safe for concurrent use by
+// multiple goroutines against the same or different databases — except
+// when it carries a WithStats target, which is written unsynchronized at
+// the end of each run: run such a Query from one goroutine at a time (or
+// build one Query per goroutine, each with its own Stats target). Both
+// Run and Seq honor their context at tick,
+// λ-partition and candidate granularity, so cancelling mid-run returns
+// ctx.Err() within roughly one unit of clustering work per worker; a
+// cancelled run never returns a partial Result.
+//
+// The legacy entry points (CMC, CMCParallel, Run, CuTS…) are thin wrappers
+// over Query and remain answer-for-answer identical.
+type Query struct {
+	p        Params
+	useCMC   bool
+	variant  Variant
+	delta    float64
+	lambda   int64
+	tol      dbscan.ToleranceMode
+	workers  int
+	limit    int
+	statsOut *Stats
+
+	// Ablation switches, carried for WithConfig round-trips.
+	noBoxPrune    bool
+	noClipTime    bool
+	noCandPruning bool
+}
+
+// Option configures a Query under construction.
+type Option func(*Query)
+
+// NewQuery builds a convoy query from options. There are no default
+// parameters: set m, k and e (via M, K, Eps or WithParams) or Run/Seq fail
+// validation. The algorithm defaults to CuTS* — the paper's fastest — with
+// the automatic δ/λ guidelines; the run is serial unless WithWorkers says
+// otherwise.
+func NewQuery(opts ...Option) *Query {
+	q := &Query{variant: VariantCuTSStar}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// M sets the minimum number of objects in a convoy.
+func M(m int) Option { return func(q *Query) { q.p.M = m } }
+
+// K sets the minimum convoy lifetime in consecutive time points.
+func K(k int64) Option { return func(q *Query) { q.p.K = k } }
+
+// Eps sets the density-connection distance threshold e.
+func Eps(e float64) Option { return func(q *Query) { q.p.Eps = e } }
+
+// WithParams sets all three convoy query parameters at once.
+func WithParams(p Params) Option { return func(q *Query) { q.p = p } }
+
+// WithVariant selects a CuTS family member (the default is CuTS*),
+// replacing a previously selected CMC baseline.
+func WithVariant(v Variant) Option {
+	return func(q *Query) { q.variant, q.useCMC = v, false }
+}
+
+// WithCMC selects the Coherent Moving Cluster baseline: a plain per-tick
+// scan with no filter step. δ/λ settings are ignored.
+func WithCMC() Option { return func(q *Query) { q.useCMC = true } }
+
+// WithDelta overrides the automatic simplification-tolerance guideline
+// (values ≤ 0 restore it).
+func WithDelta(delta float64) Option { return func(q *Query) { q.delta = delta } }
+
+// WithLambda overrides the automatic time-partition-length guideline
+// (values ≤ 0 restore it).
+func WithLambda(lambda int64) Option { return func(q *Query) { q.lambda = lambda } }
+
+// WithTolerance selects the filter's tolerance mode (actual — the tighter
+// default — or global, Figure 14).
+func WithTolerance(t dbscan.ToleranceMode) Option { return func(q *Query) { q.tol = t } }
+
+// WithWorkers sets the number of goroutines every pipeline stage may use;
+// ≤ 1 runs serially. The answer set is identical for every worker count.
+func WithWorkers(n int) Option { return func(q *Query) { q.workers = n } }
+
+// WithLimit stops discovery after n convoys have been delivered: Seq ends
+// its iteration and Run returns only those answers, in both cases
+// abandoning the remaining clustering work (≤ 0 means unlimited). Limited
+// answers are served in stream order — the order convoys close in time —
+// which is a prefix of the work, not of the canonically sorted Result.
+func WithLimit(n int) Option { return func(q *Query) { q.limit = n } }
+
+// WithStats directs the run's statistics (phase timings, filter counters,
+// clustering passes) into st. The target is written once per Run/Seq
+// completion — also after a cancelled or limit-stopped run, where
+// Stats.ClusterPasses meters how much work the abort saved.
+func WithStats(st *Stats) Option { return func(q *Query) { q.statsOut = st } }
+
+// WithConfig applies a legacy Config wholesale — the bridge the old
+// Run/DiscoverWith entry points use. Config.Variant always applies (Query
+// has no "unset" variant), so combine WithConfig with WithCMC only after
+// it.
+func WithConfig(cfg Config) Option {
+	return func(q *Query) {
+		q.variant, q.useCMC = cfg.Variant, false
+		q.delta, q.lambda, q.tol = cfg.Delta, cfg.Lambda, cfg.Tolerance
+		q.workers = cfg.Workers
+		q.noBoxPrune, q.noClipTime, q.noCandPruning = cfg.NoBoxPrune, cfg.NoClipTime, cfg.NoCandidatePruning
+	}
+}
+
+// Params returns the query's (m, k, e) parameters.
+func (q *Query) Params() Params { return q.p }
+
+// Run answers the query over the whole database and returns the canonical
+// result. Cancelling ctx aborts the discovery pipeline at tick/partition/
+// candidate granularity and returns ctx.Err(); with WithLimit the run
+// stops early and returns the first convoys delivered (canonicalized
+// among themselves).
+func (q *Query) Run(ctx context.Context, db *model.DB) (Result, error) {
+	var out []Convoy
+	var err error
+	if q.limit > 0 {
+		// A limited run is a collected stream: the canonical filter in the
+		// streaming path guarantees the delivered prefix is maximal.
+		err = q.stream(ctx, db, func(c Convoy) bool {
+			out = append(out, c)
+			return true
+		})
+	} else {
+		err = q.collect(ctx, db, &out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Canonicalize(out), nil
+}
+
+// Seq answers the query incrementally: it returns an iterator yielding
+// convoys as the scan closes them — CMC candidates the tick their chain
+// dies, CuTS candidates as their refinement windows complete — instead of
+// materializing the full Result first. Breaking out of the loop stops the
+// underlying pipeline (in-flight clustering finishes, nothing new starts),
+// so an early exit does strictly less clustering work than a full run;
+// WithLimit breaks automatically after n convoys.
+//
+// Collecting the whole sequence yields exactly the convoys of Run, in
+// stream order rather than canonical order: every yielded convoy is an
+// exact maximal answer and none is yielded twice. On failure — including
+// ctx cancellation — the iterator yields one final (zero Convoy, error)
+// pair and stops.
+func (q *Query) Seq(ctx context.Context, db *model.DB) iter.Seq2[Convoy, error] {
+	return func(yield func(Convoy, error) bool) {
+		broke := false
+		err := q.stream(ctx, db, func(c Convoy) bool {
+			if !yield(c, nil) {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(Convoy{}, err)
+		}
+	}
+}
+
+// config reassembles the legacy Config equivalent of the query.
+func (q *Query) config() Config {
+	return Config{
+		Variant:            q.variant,
+		Delta:              q.delta,
+		Lambda:             q.lambda,
+		Tolerance:          q.tol,
+		NoBoxPrune:         q.noBoxPrune,
+		NoClipTime:         q.noClipTime,
+		NoCandidatePruning: q.noCandPruning,
+		Workers:            q.workers,
+	}
+}
+
+// run is the shared execution core behind Run and Seq. raw selects the
+// emission mode: raw emissions (batch collection, canonicalized by the
+// caller at the end) versus canonical streaming (each emitted convoy is
+// final — see canonFilter). emit receives convoys one at a time and
+// returns false to stop the pipeline.
+func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convoy) bool) error {
+	st := Stats{Variant: q.variant, Workers: q.workers}
+	if st.Workers < 1 {
+		st.Workers = 1
+	}
+	var passes int64
+	defer func() {
+		if q.statsOut != nil {
+			st.ClusterPasses = atomic.LoadInt64(&passes)
+			*q.statsOut = st
+		}
+	}()
+	if err := q.p.Validate(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q.useCMC {
+		return q.runCMC(ctx, db, raw, &passes, emit)
+	}
+	return q.runCuTS(ctx, db, raw, &st, &passes, emit)
+}
+
+// stream executes the query with canonical streaming emissions, applying
+// the result limit.
+func (q *Query) stream(ctx context.Context, db *model.DB, emit func(Convoy) bool) error {
+	delivered := 0
+	return q.run(ctx, db, false, func(c Convoy) bool {
+		if !emit(c) {
+			return false
+		}
+		delivered++
+		return q.limit <= 0 || delivered < q.limit
+	})
+}
+
+// collect executes the query with raw emissions appended to out — the
+// batch path, answer-for-answer identical to the pre-Query algorithms.
+func (q *Query) collect(ctx context.Context, db *model.DB, out *[]Convoy) error {
+	return q.run(ctx, db, true, func(c Convoy) bool {
+		*out = append(*out, c)
+		return true
+	})
+}
+
+// runCMC scans the whole time domain with the CMC algorithm, pushing
+// closed convoys through the chosen emission mode.
+func (q *Query) runCMC(ctx context.Context, db *model.DB, raw bool, passes *int64, emit func(Convoy) bool) error {
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		return nil
+	}
+	sink := emitBatches(raw, emit)
+	return cmcScan(ctx, db, q.p, lo, hi, nil, q.workers, passes, sink)
+}
+
+// emitBatches adapts a per-convoy emit to cmcScan's per-tick batch
+// emissions. In raw mode batches pass through unfiltered; in streaming
+// mode each batch is reduced by a canonFilter first, so every convoy
+// handed to emit is final (maximal, never repeated).
+func emitBatches(raw bool, emit func(Convoy) bool) func([]Convoy) bool {
+	var f canonFilter
+	return func(batch []Convoy) bool {
+		if !raw {
+			batch = f.reduce(batch)
+		}
+		for _, c := range batch {
+			if !emit(c) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// runCuTS executes the filter-refinement pipeline: simplify (cancellable
+// per trajectory), filter (cancellable per λ-partition), then refinement
+// (cancellable per candidate). In streaming mode candidates are refined in
+// ascending window-start order and discovered convoys are released as soon
+// as no unprocessed candidate window could still dominate them — the
+// start-watermark argument documented on flushReady.
+func (q *Query) runCuTS(ctx context.Context, db *model.DB, raw bool, st *Stats, passes *int64, emit func(Convoy) bool) error {
+	delta := q.delta
+	if delta <= 0 {
+		delta = ComputeDelta(db, q.p.Eps)
+	}
+	st.Delta = delta
+
+	t0 := time.Now()
+	sts, err := simplify.SimplifyAllWorkers(ctx, db, delta, q.variant.SimplifyMethod(), q.workers)
+	st.SimplifyTime = time.Since(t0)
+	if err != nil {
+		return err
+	}
+	for _, s := range sts {
+		st.VertexKept += s.Len()
+		st.VertexTotal += s.Orig.Len()
+	}
+
+	lambda := q.lambda
+	if lambda <= 0 {
+		lambda = ComputeLambda(db, sts, q.p.K)
+	}
+	st.Lambda = lambda
+	if lo, hi, ok := db.TimeRange(); ok {
+		span := int64(hi-lo) + 1
+		st.NumPartitions = int((span + lambda - 1) / lambda)
+	}
+
+	t1 := time.Now()
+	cands, err := filterScan(ctx, db, q.p, sts, FilterConfig{
+		Lambda:             lambda,
+		Bound:              q.variant.Bound(),
+		Tolerance:          q.tol,
+		Delta:              delta,
+		NoBoxPrune:         q.noBoxPrune,
+		NoClipTime:         q.noClipTime,
+		NoCandidatePruning: q.noCandPruning,
+		Workers:            q.workers,
+	}, passes)
+	st.FilterTime = time.Since(t1)
+	if err != nil {
+		return err
+	}
+	st.NumCandidates = len(cands)
+	for _, c := range cands {
+		st.RefineUnits += c.RefinementUnits()
+	}
+
+	t2 := time.Now()
+	defer func() { st.RefineTime = time.Since(t2) }()
+	if raw {
+		return refineScan(ctx, db, q.p, cands, q.workers, passes, func(_ int, raw []Convoy) bool {
+			for _, c := range raw {
+				if !emit(c) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return q.refineStreaming(ctx, db, cands, passes, emit)
+}
+
+// refineStreaming refines candidates in ascending window-start order and
+// streams each discovered convoy the moment it becomes final.
+//
+// Why this is sound: every convoy discovered by refining candidate c lies
+// inside c's window, so its start is ≥ c.Start. A convoy v can therefore
+// only be dominated by output of candidates whose Start is ≤ v.Start.
+// Processing candidates in ascending Start order, once the next unrefined
+// candidate's Start exceeds v.Start, every potential dominator of v has
+// already been produced — v is final and safe to release. The canonFilter
+// keeps the released set maximal and duplicate-free, so collecting the
+// stream equals the canonical batch answer.
+func (q *Query) refineStreaming(ctx context.Context, db *model.DB, cands []Candidate, passes *int64, emit func(Convoy) bool) error {
+	ordered := make([]Candidate, len(cands))
+	copy(ordered, cands)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].End < ordered[j].End
+	})
+
+	var f canonFilter
+	var pending []Convoy
+	flushReady := func(watermark model.Tick, all bool) bool {
+		var ready, still []Convoy
+		for _, c := range pending {
+			if all || c.Start < watermark {
+				ready = append(ready, c)
+			} else {
+				still = append(still, c)
+			}
+		}
+		pending = still
+		for _, c := range f.reduce(ready) {
+			if !emit(c) {
+				return false
+			}
+		}
+		return true
+	}
+
+	stopped := false
+	err := refineScan(ctx, db, q.p, ordered, q.workers, passes, func(i int, raw []Convoy) bool {
+		pending = append(pending, raw...)
+		if i+1 < len(ordered) && !flushReady(ordered[i+1].Start, false) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if !stopped {
+		flushReady(0, true)
+	}
+	return nil
+}
+
+// canonFilter turns raw convoy emissions into canonical streaming output:
+// reduce canonicalizes each batch and drops convoys dominated by an
+// already-released answer. Its soundness contract is that the producer
+// never emits a convoy that dominates an earlier batch's survivor — true
+// for the CMC tick scan (a dominator must outlive its subsets, so it
+// closes at the same tick or never) and for the start-ordered refinement
+// stream (see refineStreaming); the Seq ≡ Run property tests pin it down.
+type canonFilter struct {
+	released []Convoy
+}
+
+// reduce canonicalizes the batch against itself and the released set, and
+// records the survivors as released.
+func (f *canonFilter) reduce(batch []Convoy) []Convoy {
+	if len(batch) == 0 {
+		return nil
+	}
+	canon := Canonicalize(batch)
+	out := canon[:0]
+	for _, c := range canon {
+		dominated := false
+		for _, y := range f.released {
+			if c.DominatedBy(y) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	f.released = append(f.released, out...)
+	return out
+}

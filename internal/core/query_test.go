@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// queryAlgos enumerates the four paper algorithms as Query options.
+var queryAlgos = []struct {
+	name string
+	opt  Option
+}{
+	{"cmc", WithCMC()},
+	{"cuts", WithVariant(VariantCuTS)},
+	{"cuts+", WithVariant(VariantCuTSPlus)},
+	{"cuts*", WithVariant(VariantCuTSStar)},
+}
+
+// collectSeq drains a query's Seq, failing the test on any yielded error.
+func collectSeq(t *testing.T, q *Query, ctx context.Context, db *model.DB) []Convoy {
+	t.Helper()
+	var out []Convoy
+	for c, err := range q.Seq(ctx, db) {
+		if err != nil {
+			t.Fatalf("Seq error: %v", err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Query.Run must equal the legacy entry points answer-for-answer, for all
+// four algorithms across worker counts.
+func TestPropQueryRunEqualsLegacyAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 6; iter++ {
+		db := randomDB(r, 4+r.Intn(5), 12+r.Intn(12))
+		p := Params{M: 2, K: int64(2 + r.Intn(3)), Eps: 1 + r.Float64()*2}
+		refCMC, err := CMCParallel(db, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range queryAlgos {
+			for _, workers := range []int{1, 3} {
+				q := NewQuery(WithParams(p), algo.opt, WithWorkers(workers))
+				got, err := q.Run(context.Background(), db)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", algo.name, workers, err)
+				}
+				if !got.Equal(refCMC) {
+					t.Fatalf("%s workers=%d: Query.Run differs from CMC reference\ngot:  %v\nwant: %v",
+						algo.name, workers, got, refCMC)
+				}
+			}
+		}
+		// The legacy Config path must round-trip through WithConfig.
+		cfg := Config{Variant: VariantCuTSStar, Delta: 0.7, Lambda: 3, Workers: 2}
+		legacy, legacySt, err := Run(db, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		viaQuery, err := NewQuery(WithParams(p), WithConfig(cfg), WithStats(&st)).Run(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !legacy.Equal(viaQuery) {
+			t.Fatal("WithConfig query differs from legacy Run")
+		}
+		if st.NumCandidates != legacySt.NumCandidates || st.Lambda != legacySt.Lambda || st.Delta != legacySt.Delta {
+			t.Fatalf("stats mismatch: %+v vs %+v", st, legacySt)
+		}
+	}
+}
+
+// Collecting Seq must reproduce the batch Result exactly — every yielded
+// convoy a maximal answer, none repeated, none missing — for all four
+// algorithms across worker counts.
+func TestPropSeqCollectEqualsRun(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 6; iter++ {
+		db := randomDB(r, 4+r.Intn(5), 12+r.Intn(12))
+		p := Params{M: 2, K: int64(2 + r.Intn(3)), Eps: 1 + r.Float64()*2}
+		for _, algo := range queryAlgos {
+			for _, workers := range []int{1, 4} {
+				q := NewQuery(WithParams(p), algo.opt, WithWorkers(workers))
+				batch, err := q.Run(context.Background(), db)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", algo.name, workers, err)
+				}
+				streamed := collectSeq(t, q, context.Background(), db)
+				if len(streamed) != len(batch) {
+					t.Fatalf("%s workers=%d: Seq yielded %d convoys, batch has %d\nseq:   %v\nbatch: %v",
+						algo.name, workers, len(streamed), len(batch), streamed, batch)
+				}
+				if !Canonicalize(streamed).Equal(batch) {
+					t.Fatalf("%s workers=%d: Seq collection differs from batch\nseq:   %v\nbatch: %v",
+						algo.name, workers, Canonicalize(streamed), batch)
+				}
+			}
+		}
+	}
+}
+
+// earlyConvoyDB builds a database whose only convoy closes near the start
+// of a long time domain: o0 and o1 ride together for `togetherTicks`
+// ticks, then separate while everyone keeps reporting until `total`.
+func earlyConvoyDB(t *testing.T, togetherTicks, total int) *model.DB {
+	t.Helper()
+	rows := make([][]geom.Point, 2)
+	for o := range rows {
+		rows[o] = make([]geom.Point, total)
+		for i := 0; i < total; i++ {
+			y := 0.5 * float64(o)
+			if i >= togetherTicks && o == 1 {
+				y = 1000 // separated: convoy closes at tick togetherTicks
+			}
+			rows[o][i] = geom.Pt(float64(i), y)
+		}
+	}
+	return buildDB(t, 0, rows...)
+}
+
+// Breaking out of Seq after the first convoy must abandon the scan: the
+// clustering-pass meter stays near the break point instead of covering the
+// whole time domain. This is the early-stop acceptance bound.
+func TestSeqEarlyBreakDoesLessClusteringWork(t *testing.T) {
+	const together, total = 5, 400
+	db := earlyConvoyDB(t, together, total)
+	p := Params{M: 2, K: 3, Eps: 1}
+	for _, workers := range []int{1, 4} {
+		var full, early Stats
+		if _, err := NewQuery(WithParams(p), WithCMC(), WithWorkers(workers), WithStats(&full)).Run(context.Background(), db); err != nil {
+			t.Fatal(err)
+		}
+		if full.ClusterPasses != int64(total) {
+			t.Fatalf("workers=%d: full run made %d passes, want %d", workers, full.ClusterPasses, total)
+		}
+		q := NewQuery(WithParams(p), WithCMC(), WithWorkers(workers), WithStats(&early))
+		var got []Convoy
+		for c, err := range q.Seq(context.Background(), db) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, c)
+			break
+		}
+		if len(got) != 1 || got[0].End != model.Tick(together-1) {
+			t.Fatalf("workers=%d: first yield = %v, want the [0,%d] convoy", workers, got, together-1)
+		}
+		// The convoy closes at tick `together`; the pipeline may overrun by
+		// its bounded window (~3 jobs per worker).
+		bound := int64(together + 1 + 3*workers + 2)
+		if early.ClusterPasses > bound {
+			t.Fatalf("workers=%d: early break still made %d passes (bound %d, full %d)",
+				workers, early.ClusterPasses, bound, full.ClusterPasses)
+		}
+		if early.ClusterPasses >= full.ClusterPasses {
+			t.Fatalf("workers=%d: early break did no less work: %d vs %d",
+				workers, early.ClusterPasses, full.ClusterPasses)
+		}
+	}
+}
+
+// WithLimit must deliver the limited prefix and abandon the remaining
+// work, for the streaming CuTS path too: the limited run's pass meter
+// stays strictly below the full run's.
+func TestWithLimitStopsCuTSRefinementEarly(t *testing.T) {
+	// Group A convoys early, group B late; everyone reports over the whole
+	// domain so the filter produces (at least) two candidate windows far
+	// apart in start time.
+	const total = 200
+	rows := make([][]geom.Point, 4)
+	for o := range rows {
+		rows[o] = make([]geom.Point, total)
+		for i := 0; i < total; i++ {
+			base := 100.0 * float64(o)
+			y := base
+			switch {
+			case o < 2 && i <= 10: // A together on [0,10]
+				y = 0.3 * float64(o)
+			case o >= 2 && i >= 150 && i <= 160: // B together on [150,160]
+				y = 50 + 0.3*float64(o-2)
+			}
+			rows[o][i] = geom.Pt(float64(i), y)
+		}
+	}
+	db := buildDB(t, 0, rows...)
+	p := Params{M: 2, K: 3, Eps: 1}
+	for _, algo := range queryAlgos[1:] { // the three CuTS variants
+		var full, limited Stats
+		fullRes, err := NewQuery(WithParams(p), algo.opt, WithLambda(5), WithStats(&full)).Run(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fullRes) != 2 {
+			t.Fatalf("%s: fixture yields %d convoys, want 2: %v", algo.name, len(fullRes), fullRes)
+		}
+		if full.NumCandidates < 2 {
+			t.Fatalf("%s: fixture produced %d candidates, need ≥ 2 for the early-stop claim", algo.name, full.NumCandidates)
+		}
+		got, err := NewQuery(WithParams(p), algo.opt, WithLambda(5), WithLimit(1), WithStats(&limited)).Run(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("%s: limit=1 returned %d convoys", algo.name, len(got))
+		}
+		if !got[0].Equal(fullRes[0]) {
+			t.Fatalf("%s: limited answer %v is not the earliest convoy %v", algo.name, got[0], fullRes[0])
+		}
+		if limited.ClusterPasses >= full.ClusterPasses {
+			t.Fatalf("%s: limit=1 did no less clustering work: %d vs %d",
+				algo.name, limited.ClusterPasses, full.ClusterPasses)
+		}
+	}
+}
+
+// Cancelling mid-run must surface ctx.Err() within about one tick of work
+// per worker: the pass meter stops near the cancellation point instead of
+// covering the whole domain. This is the cancellation-latency bound.
+func TestSeqCancelLatencyBound(t *testing.T) {
+	const together, total = 5, 400
+	db := earlyConvoyDB(t, together, total)
+	p := Params{M: 2, K: 3, Eps: 1}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var st Stats
+		q := NewQuery(WithParams(p), WithCMC(), WithWorkers(workers), WithStats(&st))
+		var seqErr error
+		yields := 0
+		for _, err := range q.Seq(ctx, db) {
+			if err != nil {
+				seqErr = err
+				continue
+			}
+			yields++
+			cancel() // cancel the moment the first convoy arrives
+		}
+		cancel()
+		if yields != 1 {
+			t.Fatalf("workers=%d: got %d convoys before cancellation", workers, yields)
+		}
+		if !errors.Is(seqErr, context.Canceled) {
+			t.Fatalf("workers=%d: Seq error = %v, want context.Canceled", workers, seqErr)
+		}
+		bound := int64(together + 1 + 3*workers + 2)
+		if st.ClusterPasses > bound {
+			t.Fatalf("workers=%d: cancellation still made %d passes (bound %d, domain %d)",
+				workers, st.ClusterPasses, bound, total)
+		}
+	}
+}
+
+// A cancelled Run returns the context error and no partial result, on
+// every algorithm.
+func TestRunPreCancelledReturnsError(t *testing.T) {
+	db := earlyConvoyDB(t, 5, 30)
+	p := Params{M: 2, K: 3, Eps: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range queryAlgos {
+		res, err := NewQuery(WithParams(p), algo.opt).Run(ctx, db)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", algo.name, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: cancelled run returned a partial result: %v", algo.name, res)
+		}
+	}
+}
+
+// Invalid parameters fail Run and Seq up front with the validation error.
+func TestQueryValidation(t *testing.T) {
+	db := earlyConvoyDB(t, 3, 10)
+	if _, err := NewQuery().Run(context.Background(), db); err == nil {
+		t.Fatal("Run with unset parameters succeeded")
+	}
+	seen := false
+	for _, err := range NewQuery(M(2)).Seq(context.Background(), db) {
+		if err == nil {
+			t.Fatal("Seq with unset parameters yielded a convoy")
+		}
+		seen = true
+	}
+	if !seen {
+		t.Fatal("Seq with unset parameters yielded nothing")
+	}
+}
+
+// A limited CMC run returns the earliest-closing convoys and they are
+// members of the full canonical answer.
+func TestWithLimitPrefixIsSubsetOfFullAnswer(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	db := randomDB(r, 8, 30)
+	p := Params{M: 2, K: 2, Eps: 2}
+	full, err := NewQuery(WithParams(p), WithCMC()).Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Skipf("fixture produced only %d convoys", len(full))
+	}
+	limited, err := NewQuery(WithParams(p), WithCMC(), WithLimit(2)).Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 2 {
+		t.Fatalf("limit=2 returned %d convoys", len(limited))
+	}
+	for _, c := range limited {
+		found := false
+		for _, f := range full {
+			if c.Equal(f) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("limited answer %v not in the full result %v", c, full)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package expr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// The cancel experiment (not in the paper): how quickly an in-flight
+// discovery run honors cancellation, and how much clustering work the
+// abort saves. For each profile and method the full run is measured first
+// (wall time and Stats.ClusterPasses), then repeated with a deadline at
+// 25%, 50% and 75% of the full wall time. Two metrics matter:
+//
+//   - abort_ms — how long past its deadline the run kept working before
+//     returning ctx.Err(); the context-first pipeline bounds this by
+//     roughly one clustering pass per worker.
+//   - passes / passes_full — the work actually done versus the full run;
+//     the gap is what a disconnected client no longer burns.
+//
+// benchrunner -json turns the rows into BENCH_cancel.json; the CI smoke
+// additionally asserts the file appears and parses.
+
+// cancelFracs are the deadline positions, as fractions of the full run.
+var cancelFracs = []float64{0.25, 0.5, 0.75}
+
+// cancelProfiles mirrors the scaling experiment's Truck and Car choice.
+func cancelProfiles(o Options) []datagen.Profile {
+	var out []datagen.Profile
+	for _, prof := range o.profiles() {
+		if prof.Name == "Truck" || prof.Name == "Car" {
+			out = append(out, prof)
+		}
+	}
+	if len(out) == 0 {
+		out = []datagen.Profile{datagen.Truck(o.Scale, o.Seed), datagen.Car(o.Scale, o.Seed)}
+	}
+	return out
+}
+
+// cancelQuery builds the query for one method at the experiment's worker
+// count.
+func cancelQuery(method string, p core.Params, workers int, st *core.Stats) *core.Query {
+	opts := []core.Option{core.WithParams(p), core.WithWorkers(workers), core.WithStats(st)}
+	if method == "CMC" {
+		opts = append(opts, core.WithCMC())
+	} else {
+		opts = append(opts, core.WithVariant(core.VariantCuTSStar))
+	}
+	return core.NewQuery(opts...)
+}
+
+// Cancel prints and records the cancellation sweep.
+func Cancel(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Cancel: time-to-abort and wasted work vs cancel point")
+	fmt.Fprintln(w, "dataset\tmethod\tcancel@\tfull (ms)\telapsed (ms)\tabort (ms)\tpasses\tof full\tfinished")
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for _, prof := range cancelProfiles(o) {
+		db := prof.Generate()
+		p := params(prof)
+		for _, method := range []string{"CMC", "CuTS*"} {
+			var fullStats core.Stats
+			t0 := time.Now()
+			if _, err := cancelQuery(method, p, workers, &fullStats).Run(context.Background(), db); err != nil {
+				return fmt.Errorf("expr: Cancel %s %s full run: %w", prof.Name, method, err)
+			}
+			fullTime := time.Since(t0)
+			o.record(Record{Exp: "cancel", Dataset: prof.Name, Method: method,
+				Param: "cancel_frac", Value: 1,
+				Metrics: map[string]float64{
+					"time_ms":     msf(fullTime),
+					"passes":      float64(fullStats.ClusterPasses),
+					"passes_full": float64(fullStats.ClusterPasses),
+					"finished":    1,
+				}})
+			fmt.Fprintf(w, "%s\t%s\t—\t%s\t%s\t—\t%d\t100%%\tyes\n",
+				prof.Name, method, ms(fullTime), ms(fullTime), fullStats.ClusterPasses)
+
+			for _, frac := range cancelFracs {
+				deadline := time.Duration(frac * float64(fullTime))
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				var st core.Stats
+				t1 := time.Now()
+				_, err := cancelQuery(method, p, workers, &st).Run(ctx, db)
+				elapsed := time.Since(t1)
+				cancel()
+				finished := err == nil // the run can beat a late deadline
+				if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					// A genuine failure, not the planned abort.
+					return fmt.Errorf("expr: Cancel %s %s frac=%.2f: %w", prof.Name, method, frac, err)
+				}
+				abort := elapsed - deadline
+				if abort < 0 || finished {
+					abort = 0
+				}
+				share := 0.0
+				if fullStats.ClusterPasses > 0 {
+					share = float64(st.ClusterPasses) / float64(fullStats.ClusterPasses)
+				}
+				yn := "no"
+				if finished {
+					yn = "yes"
+				}
+				fmt.Fprintf(w, "%s\t%s\t%.0f%%\t%s\t%s\t%s\t%d\t%.0f%%\t%s\n",
+					prof.Name, method, frac*100, ms(fullTime), ms(elapsed), ms(abort), st.ClusterPasses, share*100, yn)
+				metrics := map[string]float64{
+					"time_ms":     msf(elapsed),
+					"abort_ms":    msf(abort),
+					"passes":      float64(st.ClusterPasses),
+					"passes_full": float64(fullStats.ClusterPasses),
+					"finished":    0,
+				}
+				if finished {
+					metrics["finished"] = 1
+				}
+				o.record(Record{Exp: "cancel", Dataset: prof.Name, Method: method,
+					Param: "cancel_frac", Value: frac, Metrics: metrics})
+			}
+		}
+	}
+	return w.Flush()
+}

@@ -111,11 +111,14 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 10 {
-		t.Errorf("expected 10 experiments, got %d", len(Experiments))
+	if len(Experiments) != 11 {
+		t.Errorf("expected 11 experiments, got %d", len(Experiments))
 	}
 	if _, ok := Lookup("monitors"); !ok {
 		t.Error("monitors not found")
+	}
+	if _, ok := Lookup("cancel"); !ok {
+		t.Error("cancel not found")
 	}
 	var buf bytes.Buffer
 	if err := RunAll(tinyOptions(&buf)); err != nil {
@@ -230,5 +233,33 @@ func TestFigure12ParallelWorkers(t *testing.T) {
 	o.Workers = 4
 	if err := Figure12(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCancelRecordsRows(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	var recs []Record
+	o.Record = func(r Record) { recs = append(recs, r) }
+	if err := Cancel(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Cancel: time-to-abort") {
+		t.Errorf("Cancel output:\n%s", buf.String())
+	}
+	// 2 profiles × 2 methods × (1 full + 3 cancel points) = 16 rows.
+	if len(recs) != 16 {
+		t.Fatalf("recorded %d rows, want 16", len(recs))
+	}
+	for _, r := range recs {
+		if r.Exp != "cancel" || r.Param != "cancel_frac" {
+			t.Fatalf("bad record %+v", r)
+		}
+		if r.Metrics["passes_full"] <= 0 {
+			t.Fatalf("record without full pass count: %+v", r)
+		}
+		if r.Metrics["passes"] > r.Metrics["passes_full"] {
+			t.Fatalf("cancelled run did more work than the full run: %+v", r)
+		}
 	}
 }

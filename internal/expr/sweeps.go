@@ -231,6 +231,7 @@ var Experiments = []struct {
 	{"fig19", "MC2 accuracy for convoys", Figure19},
 	{"scaling", "worker-count scaling (Truck, Car)", Scaling},
 	{"monitors", "standing-query fan-out, shared vs distinct keys (Truck)", Monitors},
+	{"cancel", "time-to-abort and wasted work vs cancel point (Truck, Car)", Cancel},
 }
 
 // RunAll executes every experiment in paper order.

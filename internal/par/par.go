@@ -13,9 +13,18 @@
 // Both degenerate to plain loops at workers ≤ 1, which is why serial and
 // parallel runs of the pipeline are equal by construction: the same pure
 // per-job results are folded by the same consumer in the same order.
+//
+// Both primitives are context-first: cancellation is observed between
+// jobs (serial) or between job pickups (parallel), so an aborted run
+// returns after at most one in-flight job per worker. OrderedPipeline
+// additionally stops early when its consumer declines further results —
+// the hook streaming consumers use to abandon a scan mid-way.
 package par
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // norm resolves a requested worker count against the job count: values
 // ≤ 0 mean "serial" (1), and more workers than jobs are pointless.
@@ -34,14 +43,19 @@ func norm(workers, jobs int) int {
 
 // For runs fn(i) for i in [0, n) on the given number of worker goroutines.
 // fn must only touch state owned by index i (e.g. a distinct result slot).
-// With workers ≤ 1 it degenerates to a plain loop.
-func For(n, workers int, fn func(i int)) {
+// With workers ≤ 1 it degenerates to a plain loop. Cancelling ctx stops
+// the run between jobs; For then returns ctx.Err() after every in-flight
+// job has finished (results for unstarted indices are simply absent).
+func For(ctx context.Context, n, workers int, fn func(i int)) error {
 	workers = norm(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -50,15 +64,24 @@ func For(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without running; the feeder is stopping
+				}
 				fn(i)
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // OrderedPipeline computes produce(i) for i in [0, n) on a bounded worker
@@ -68,14 +91,29 @@ func For(n, workers int, fn func(i int)) {
 // calling goroutine only, so it may fold into unsynchronized state. The
 // window of outstanding results is bounded (~2×workers), which bounds
 // memory and applies backpressure to the producers when the fold is slow.
-func OrderedPipeline[T any](n, workers int, produce func(i int) T, consume func(i int, v T)) {
+//
+// consume returns whether the pipeline should continue; returning false
+// abandons the remaining jobs (in-flight produce calls finish and their
+// results are discarded) and OrderedPipeline returns nil. Cancelling ctx
+// has the same draining behavior but returns ctx.Err(). Either way the
+// call returns within roughly one produce per worker of the stop signal.
+func OrderedPipeline[T any](ctx context.Context, n, workers int, produce func(i int) T, consume func(i int, v T) bool) error {
 	workers = norm(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			consume(i, produce(i))
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !consume(i, produce(i)) {
+				return nil
+			}
 		}
-		return
+		return nil
 	}
+	// pctx tears the pipeline down on external cancellation or when the
+	// consumer declines further results.
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type job struct {
 		i   int
 		out chan T
@@ -83,13 +121,21 @@ func OrderedPipeline[T any](n, workers int, produce func(i int) T, consume func(
 	jobs := make(chan job)
 	order := make(chan chan T, 2*workers) // in-order result slots; caps the window
 	go func() {
+		defer close(jobs)
+		defer close(order)
 		for i := 0; i < n; i++ {
 			j := job{i: i, out: make(chan T, 1)}
-			order <- j.out // blocks when the window is full (backpressure)
-			jobs <- j
+			select {
+			case order <- j.out: // blocks when the window is full (backpressure)
+			case <-pctx.Done():
+				return
+			}
+			select {
+			case jobs <- j:
+			case <-pctx.Done():
+				return
+			}
 		}
-		close(jobs)
-		close(order)
 	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -97,14 +143,48 @@ func OrderedPipeline[T any](n, workers int, produce func(i int) T, consume func(
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				j.out <- produce(j.i)
+				if pctx.Err() != nil {
+					j.out <- *new(T) // unblock a consumer that already chose this slot
+					continue
+				}
+				j.out <- produce(j.i) // buffered: never blocks
 			}
 		}()
 	}
+	var ret error
+	live := true
 	i := 0
 	for out := range order {
-		consume(i, <-out)
-		i++
+		if live {
+			select {
+			case v := <-out:
+				if err := ctx.Err(); err != nil {
+					ret, live = err, false
+					cancel()
+				} else if !consume(i, v) {
+					live = false
+					cancel()
+				}
+			case <-ctx.Done():
+				ret, live = ctx.Err(), false
+				cancel()
+			}
+			i++
+			continue
+		}
+		select { // tearing down: discard without ever blocking
+		case <-out:
+		default:
+		}
 	}
 	wg.Wait()
+	if ret == nil && live && i < n {
+		// The feeder tore down before every job was enqueued (e.g. a
+		// pre-cancelled ctx): surface the cancellation. A run whose n
+		// results were all consumed returns nil even if ctx expired at the
+		// very end — exactly like the serial branch, so worker count never
+		// decides whether a completed run counts as cancelled.
+		ret = ctx.Err()
+	}
+	return ret
 }

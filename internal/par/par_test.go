@@ -1,8 +1,11 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // OrderedPipeline must deliver results to the consumer strictly in index
@@ -12,12 +15,12 @@ func TestOrderedPipelineOrdering(t *testing.T) {
 		const n = 500
 		var produced atomic.Int64
 		next := 0
-		OrderedPipeline(n, workers,
+		err := OrderedPipeline(context.Background(), n, workers,
 			func(i int) int {
 				produced.Add(1)
 				return i * i
 			},
-			func(i int, v int) {
+			func(i int, v int) bool {
 				if i != next {
 					t.Fatalf("workers=%d: consumed index %d, want %d", workers, i, next)
 				}
@@ -25,7 +28,11 @@ func TestOrderedPipelineOrdering(t *testing.T) {
 					t.Fatalf("workers=%d: index %d carried %d", workers, i, v)
 				}
 				next++
+				return true
 			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		if next != n || produced.Load() != n {
 			t.Fatalf("workers=%d: consumed %d, produced %d (want %d)", workers, next, produced.Load(), n)
 		}
@@ -33,20 +40,149 @@ func TestOrderedPipelineOrdering(t *testing.T) {
 }
 
 func TestOrderedPipelineEmpty(t *testing.T) {
-	OrderedPipeline(0, 4,
+	err := OrderedPipeline(context.Background(), 0, 4,
 		func(i int) int { t.Fatal("produce called"); return 0 },
-		func(i int, v int) { t.Fatal("consume called") })
+		func(i int, v int) bool { t.Fatal("consume called"); return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A consumer that declines further results stops the pipeline early: no
+// index past the stop point is consumed and only a bounded window of extra
+// jobs is produced.
+func TestOrderedPipelineEarlyStop(t *testing.T) {
+	for _, workers := range []int{1, 4, 9} {
+		const n, stopAt = 1000, 10
+		var produced atomic.Int64
+		consumed := 0
+		err := OrderedPipeline(context.Background(), n, workers,
+			func(i int) int { produced.Add(1); return i },
+			func(i int, v int) bool {
+				consumed++
+				return consumed < stopAt
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if consumed != stopAt {
+			t.Fatalf("workers=%d: consumed %d, want %d", workers, consumed, stopAt)
+		}
+		// Serial produces exactly stopAt; parallel may overrun by the
+		// outstanding window (~2×workers) plus one in-flight per worker.
+		if max := int64(stopAt + 3*workers + 1); produced.Load() > max {
+			t.Fatalf("workers=%d: produced %d jobs after stopping at %d (cap %d)",
+				workers, produced.Load(), stopAt, max)
+		}
+	}
+}
+
+// Cancelling the context mid-scan aborts the pipeline with ctx.Err() and
+// stops consuming at the cancellation point.
+func TestOrderedPipelineCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n, cancelAt = 1000, 7
+		ctx, cancel := context.WithCancel(context.Background())
+		consumedAfter := 0
+		err := OrderedPipeline(ctx, n, workers,
+			func(i int) int { return i },
+			func(i int, v int) bool {
+				if i == cancelAt {
+					cancel()
+				}
+				if i > cancelAt {
+					consumedAfter++
+				}
+				return true
+			})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if consumedAfter != 0 {
+			t.Fatalf("workers=%d: consumed %d results after cancellation", workers, consumedAfter)
+		}
+	}
+}
+
+// A pre-cancelled context aborts before any job runs.
+func TestOrderedPipelinePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := OrderedPipeline(ctx, 100, workers,
+			func(i int) int { return i },
+			func(i int, v int) bool { t.Fatal("consume called"); return true })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
 }
 
 func TestForCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 4, 32} {
 		const n = 300
 		hits := make([]atomic.Int32, n)
-		For(n, workers, func(i int) { hits[i].Add(1) })
+		if err := For(context.Background(), n, workers, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatal(err)
+		}
 		for i := range hits {
 			if got := hits[i].Load(); got != 1 {
 				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
 			}
 		}
+	}
+}
+
+// Cancelling For stops scheduling new jobs; every job that did run ran to
+// completion and the call reports ctx.Err().
+func TestForCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := For(ctx, n, workers, func(i int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancellation", workers, got)
+		}
+	}
+}
+
+// The pipeline must not deadlock when cancellation races a slow producer:
+// the consumer abandons the in-flight result instead of waiting for it.
+func TestOrderedPipelineCancelWhileProducing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- OrderedPipeline(ctx, 50, 4,
+			func(i int) int {
+				if i > 0 {
+					<-release // jobs past the first hang until released
+				}
+				return i
+			},
+			func(i int, v int) bool {
+				cancel() // cancel while later produces are still blocked
+				return true
+			})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline deadlocked after cancellation")
 	}
 }

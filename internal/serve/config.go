@@ -38,6 +38,12 @@ type Config struct {
 	// Clients asking for more are clamped, not rejected. Default
 	// GOMAXPROCS; negative forces every query serial.
 	MaxWorkersPerQuery int
+	// QueryTimeout caps the wall time of one batch query — queueing plus
+	// discovery. A query past the cap aborts its clustering pipeline,
+	// frees its worker slot and answers 504. Clients may request tighter
+	// deadlines per query via the timeout_ms field; this is the server's
+	// upper bound on both. 0 disables the cap.
+	QueryTimeout time.Duration
 	// CacheEntries is the capacity of the batch-query LRU cache, keyed by
 	// (database digest, params, algorithm). 0 means the default 64;
 	// negative disables caching.

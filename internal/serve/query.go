@@ -9,10 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +27,14 @@ import (
 // δ, λ): the digest covers the raw database bytes, so re-uploading the
 // same file — or referencing it by path again — is a hit regardless of how
 // it arrived.
+//
+// The engine is context-first end to end: the request context flows
+// through queueing (acquire), deduplication (flights) and into the core
+// discovery run itself, so a disconnected or timed-out client aborts its
+// clustering pipeline and frees its worker slot instead of burning it
+// until the algorithm finishes. A cancelled run never populates the
+// cache. Identical concurrent queries (same cache key) collapse into one
+// in-flight discovery run shared by every waiter.
 type queryEngine struct {
 	cfg Config
 	sem chan struct{}
@@ -34,6 +44,17 @@ type queryEngine struct {
 	// bounded at maxPathDigests: query load referencing ever-new paths
 	// evicts the coldest entries instead of growing without limit.
 	digests *lruCache
+
+	// flights dedupes identical in-flight queries by cache key.
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	// computes counts discovery runs actually started — the observable the
+	// dedup and queued-cancellation tests assert on.
+	computes atomic.Int64
+	// onComputeStart, when non-nil, is called as a compute begins (tests
+	// use it to synchronize cancellation with a run in progress).
+	onComputeStart func()
 }
 
 var (
@@ -46,6 +67,7 @@ func newQueryEngine(cfg Config) *queryEngine {
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.QueryWorkers),
 		digests: newLRUCache(maxPathDigests),
+		flights: make(map[string]*flight),
 	}
 	if cfg.CacheEntries > 0 {
 		e.lru = newLRUCache(cfg.CacheEntries)
@@ -111,6 +133,14 @@ func plan(req QueryRequest, maxWorkers int) (queryPlan, error) {
 	if req.Workers < 0 {
 		return queryPlan{}, badRequest(fmt.Errorf("serve: workers must be ≥ 0 (got %d)", req.Workers))
 	}
+	// timeout_ms must be a usable duration: finite, non-negative and small
+	// enough that the milliseconds→Duration conversion cannot overflow
+	// (NaN/Inf pass a plain "< 0" check and would silently mean "no
+	// deadline").
+	if req.TimeoutMS < 0 || math.IsNaN(req.TimeoutMS) || math.IsInf(req.TimeoutMS, 0) ||
+		req.TimeoutMS > float64(math.MaxInt64)/float64(time.Millisecond) {
+		return queryPlan{}, badRequest(fmt.Errorf("serve: timeout_ms must be a finite duration in milliseconds ≥ 0 (got %g)", req.TimeoutMS))
+	}
 	workers := req.Workers
 	if workers > maxWorkers {
 		workers = maxWorkers
@@ -166,34 +196,60 @@ func (e *queryEngine) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// requestCtx applies the per-request deadline: the client's timeout_ms
+// field and the server's QueryTimeout cap, whichever is tighter. The
+// returned cancel must always be called.
+func (e *queryEngine) requestCtx(ctx context.Context, req QueryRequest) (context.Context, context.CancelFunc) {
+	var d time.Duration
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS * float64(time.Millisecond))
+	}
+	if e.cfg.QueryTimeout > 0 && (d == 0 || e.cfg.QueryTimeout < d) {
+		d = e.cfg.QueryTimeout
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // run answers one batch query over uploaded database bytes: cache first,
-// then parse+compute under a worker slot.
+// then parse+compute under a worker slot, deduplicating identical
+// concurrent queries.
 func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (QueryResponse, error) {
 	pl, err := plan(req, e.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	ctx, cancel := e.requestCtx(ctx, req)
+	defer cancel()
 	digest := hashBytes(data)
 	if resp, ok := e.cached(pl.key(digest)); ok {
 		return resp, nil
 	}
-	release, err := e.acquire(ctx)
-	if err != nil {
-		return QueryResponse{}, err
-	}
-	defer release()
-	return e.compute(digest, data, pl)
+	return e.shared(ctx, pl.key(digest), func(fctx context.Context) (QueryResponse, error) {
+		release, err := e.acquire(fctx)
+		if err != nil {
+			return QueryResponse{}, err
+		}
+		defer release()
+		return e.compute(fctx, digest, data, pl)
+	})
 }
 
 // runPath answers a path-referencing query. A memo of path → (stat,
 // digest) lets repeat queries against an unchanged file hit the cache
 // without touching the disk at all; only a miss (or a changed file) pays
-// the read+hash, and it does so holding a worker slot.
+// the read+hash, and every disk read happens under a worker slot so a
+// burst of cold-path queries cannot hold more than QueryWorkers database
+// files in memory at once.
 func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
 	pl, err := plan(req, e.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	ctx, cancel := e.requestCtx(ctx, req)
+	defer cancel()
 	full, err := e.resolve(req.Path)
 	if err != nil {
 		return QueryResponse{}, err
@@ -202,26 +258,121 @@ func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryRespo
 	if err != nil {
 		return QueryResponse{}, readErr(req.Path, err)
 	}
-	if digest, ok := e.pathDigest(full, st); ok {
-		if resp, hit := e.cached(pl.key(digest)); hit {
-			return resp, nil
+	digest, ok := e.pathDigest(full, st)
+	if !ok {
+		// Cold memo: the digest (the cache and dedup key) requires reading
+		// the file. Hash under a briefly-held worker slot and drop the
+		// bytes — the flight re-reads below, so cold queries queued for a
+		// compute slot never pin file contents in memory while they wait.
+		release, aerr := e.acquire(ctx)
+		if aerr != nil {
+			return QueryResponse{}, aerr
 		}
+		data, rerr := os.ReadFile(full)
+		release()
+		if rerr != nil {
+			return QueryResponse{}, readErr(req.Path, rerr)
+		}
+		digest = hashBytes(data)
+		e.storePathDigest(full, st, digest)
 	}
-	release, err := e.acquire(ctx)
-	if err != nil {
-		return QueryResponse{}, err
-	}
-	defer release()
-	data, err := os.ReadFile(full)
-	if err != nil {
-		return QueryResponse{}, readErr(req.Path, err)
-	}
-	digest := hashBytes(data)
-	e.storePathDigest(full, st, digest)
 	if resp, hit := e.cached(pl.key(digest)); hit {
-		return resp, nil // raced another worker, or the memo was cold
+		return resp, nil
 	}
-	return e.compute(digest, data, pl)
+	return e.shared(ctx, pl.key(digest), func(fctx context.Context) (QueryResponse, error) {
+		release, err := e.acquire(fctx)
+		if err != nil {
+			return QueryResponse{}, err
+		}
+		defer release()
+		data, rerr := os.ReadFile(full) // under the compute slot
+		if rerr != nil {
+			return QueryResponse{}, readErr(req.Path, rerr)
+		}
+		// The file may have changed since the digest was memoized; hash
+		// what was actually read, so the answer is always cached under its
+		// true content digest and can never poison another content's key.
+		return e.compute(fctx, hashBytes(data), data, pl)
+	})
+}
+
+// flight is one in-flight discovery run shared by every concurrent query
+// with the same cache key. The run is detached from any single request's
+// context: it lives while at least one waiter is interested and is
+// cancelled when the last waiter walks away, so one impatient client's
+// disconnect never poisons the answer for the rest.
+type flight struct {
+	done   chan struct{}
+	resp   QueryResponse
+	err    error
+	refs   int
+	cancel context.CancelFunc
+}
+
+// shared collapses concurrent identical queries: the first caller starts
+// fn on a detached context (capped by the server's QueryTimeout) and
+// every caller with the same key joins the run, receiving the shared
+// answer — marked Cache "dedup" for joiners — or the shared error. A
+// caller whose own ctx expires leaves with its own ctx.Err(); when the
+// last caller leaves, the run itself is cancelled, its worker slot freed
+// and its (cancelled) result discarded.
+func (e *queryEngine) shared(ctx context.Context, key string, fn func(context.Context) (QueryResponse, error)) (QueryResponse, error) {
+	e.fmu.Lock()
+	if f, ok := e.flights[key]; ok && f.refs > 0 {
+		f.refs++
+		e.fmu.Unlock()
+		return e.await(ctx, f, true)
+	}
+	// No flight, or only a doomed one (every waiter already left, so its
+	// cancellation is in progress): start a fresh run rather than inherit
+	// a stranger's ctx error. The doomed flight's map entry is replaced
+	// here and its goroutine's delete below is conditional, so the
+	// replacement is never clobbered.
+	base := context.Background()
+	var fctx context.Context
+	var cancel context.CancelFunc
+	if e.cfg.QueryTimeout > 0 {
+		fctx, cancel = context.WithTimeout(base, e.cfg.QueryTimeout)
+	} else {
+		fctx, cancel = context.WithCancel(base)
+	}
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	e.flights[key] = f
+	e.fmu.Unlock()
+	go func() {
+		defer cancel()
+		resp, err := fn(fctx)
+		e.fmu.Lock()
+		if e.flights[key] == f {
+			delete(e.flights, key)
+		}
+		f.resp, f.err = resp, err
+		e.fmu.Unlock()
+		close(f.done)
+	}()
+	return e.await(ctx, f, false)
+}
+
+// await blocks until the flight completes or the caller's context
+// expires, whichever comes first.
+func (e *queryEngine) await(ctx context.Context, f *flight, joined bool) (QueryResponse, error) {
+	select {
+	case <-f.done:
+		resp, err := f.resp, f.err
+		if err == nil && joined {
+			resp.Cache = "dedup"
+		}
+		return resp, err
+	case <-ctx.Done():
+		e.fmu.Lock()
+		f.refs--
+		last := f.refs == 0
+		e.fmu.Unlock()
+		if last {
+			f.cancel() // nobody is listening anymore: abort the run
+		}
+		return QueryResponse{}, ctx.Err()
+	}
 }
 
 // pathDigestEntry memoizes a file's content digest keyed by its stat, so
@@ -254,9 +405,14 @@ func (e *queryEngine) storePathDigest(full string, st os.FileInfo, digest string
 // referenced.
 const maxPathDigests = 256
 
-// compute parses the database and runs the planned algorithm; the caller
-// holds a worker slot.
-func (e *queryEngine) compute(digest string, data []byte, pl queryPlan) (QueryResponse, error) {
+// compute parses the database and runs the planned algorithm under the
+// given context; the caller holds a worker slot. Cancelled computations
+// return the context error and never touch the cache.
+func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, pl queryPlan) (QueryResponse, error) {
+	e.computes.Add(1)
+	if e.onComputeStart != nil {
+		e.onComputeStart()
+	}
 	t0 := time.Now()
 	db, err := parseDB(data)
 	if err != nil {
@@ -268,24 +424,24 @@ func (e *queryEngine) compute(digest string, data []byte, pl queryPlan) (QueryRe
 		Digest: digest,
 		Cache:  "miss",
 	}
-	var res core.Result
+	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
 	if pl.isCMC {
-		res, err = core.CMCParallel(db, pl.p, pl.workers)
+		opts = append(opts, core.WithCMC())
 	} else {
-		var st core.Stats
-		res, st, err = core.Run(db, pl.p, core.Config{
-			Variant: pl.variant,
-			Delta:   pl.req.Delta,
-			Lambda:  pl.req.Lambda,
-			Workers: pl.workers,
-		})
-		if err == nil {
-			js := StatsToJSON(st)
-			resp.Stats = &js
-		}
+		opts = append(opts,
+			core.WithVariant(pl.variant),
+			core.WithDelta(pl.req.Delta),
+			core.WithLambda(pl.req.Lambda))
 	}
+	var st core.Stats
+	opts = append(opts, core.WithStats(&st))
+	res, err := core.NewQuery(opts...).Run(ctx, db)
 	if err != nil {
 		return QueryResponse{}, err
+	}
+	if !pl.isCMC {
+		js := StatsToJSON(st)
+		resp.Stats = &js
 	}
 	labels := DBLabels(db)
 	resp.Convoys = make([]ConvoyJSON, len(res))

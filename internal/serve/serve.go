@@ -21,6 +21,10 @@
 //     server's data directory) plus (m, k, e) and an algorithm, and get the
 //     canonical answer with run statistics. Queries run on a bounded worker
 //     pool and land in an LRU cache keyed by (db digest, params, variant).
+//     The engine is context-first: a client that disconnects or exceeds its
+//     timeout_ms (or the server's -request-timeout cap) aborts its
+//     discovery run mid-clustering and frees the worker slot, and identical
+//     concurrent queries collapse into one shared run (Cache: "dedup").
 //
 // # HTTP API (all under /v1)
 //
@@ -45,6 +49,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -181,6 +186,14 @@ func statusFor(err error) int {
 		return http.StatusGone
 	case errors.Is(err, errPathRefDisabled):
 		return http.StatusForbidden
+	case errors.Is(err, context.DeadlineExceeded):
+		// The query's timeout_ms (or the server's -request-timeout cap)
+		// expired; the discovery run was aborted and its slot freed.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away mid-query; nobody reads this response, but
+		// the nginx-convention 499 keeps access logs honest.
+		return 499
 	case errors.As(err, &bre), errors.As(err, &mbe):
 		return http.StatusBadRequest
 	}
@@ -580,6 +593,11 @@ func queryFromURL(r *http.Request) (QueryRequest, error) {
 			return req, badRequest(fmt.Errorf("decode query: bad workers=%q (want an integer)", raw))
 		}
 		req.Workers = int(w)
+	}
+	if raw := q.Get("timeout_ms"); raw != "" {
+		if req.TimeoutMS, err = strconv.ParseFloat(raw, 64); err != nil {
+			return req, badRequest(fmt.Errorf("decode query: bad timeout_ms=%q", raw))
+		}
 	}
 	return req, nil
 }

@@ -218,6 +218,12 @@ type QueryRequest struct {
 	// value at its MaxWorkersPerQuery config. The answer set is identical
 	// for every worker count, so workers is not part of the cache key.
 	Workers int `json:"workers,omitempty"`
+	// TimeoutMS aborts the query after this many milliseconds — queueing
+	// and discovery both count — answering 504. 0/absent means no
+	// client-side deadline; the server's QueryTimeout cap (convoyd
+	// -request-timeout) applies either way. Aborted runs free their worker
+	// slot immediately and are never cached.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
 }
 
 // StatsJSON is the wire form of the CuTS run statistics.
@@ -229,6 +235,7 @@ type StatsJSON struct {
 	NumPartitions int     `json:"partitions"`
 	NumCandidates int     `json:"candidates"`
 	RefineUnits   float64 `json:"refine_units"`
+	ClusterPasses int64   `json:"cluster_passes"`
 	SimplifyMS    float64 `json:"simplify_ms"`
 	FilterMS      float64 `json:"filter_ms"`
 	RefineMS      float64 `json:"refine_ms"`
@@ -246,6 +253,7 @@ func StatsToJSON(st core.Stats) StatsJSON {
 		NumPartitions: st.NumPartitions,
 		NumCandidates: st.NumCandidates,
 		RefineUnits:   st.RefineUnits,
+		ClusterPasses: st.ClusterPasses,
 		SimplifyMS:    ms(st.SimplifyTime),
 		FilterMS:      ms(st.FilterTime),
 		RefineMS:      ms(st.RefineTime),
@@ -262,7 +270,9 @@ type QueryResponse struct {
 	Stats *StatsJSON `json:"stats,omitempty"`
 	// Digest identifies the database contents (sha256, hex).
 	Digest string `json:"digest"`
-	// Cache is "hit" or "miss".
+	// Cache is "hit" (served from the LRU), "miss" (computed by this
+	// request) or "dedup" (this request joined an identical concurrent
+	// query's in-flight run and shares its answer).
 	Cache string `json:"cache"`
 	// ElapsedMS is the wall time of this request's engine work (0 on a
 	// cache hit).

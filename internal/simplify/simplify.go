@@ -24,6 +24,7 @@
 package simplify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -296,20 +297,24 @@ func Simplify(tr *model.Trajectory, delta float64, m Method) *Trajectory {
 // SimplifyAll simplifies every trajectory of the database with the same
 // tolerance and method, in ID order.
 func SimplifyAll(db *model.DB, delta float64, m Method) []*Trajectory {
-	return SimplifyAllWorkers(db, delta, m, 1)
+	out, _ := SimplifyAllWorkers(context.Background(), db, delta, m, 1)
+	return out
 }
 
 // SimplifyAllWorkers is SimplifyAll on a bounded worker pool: trajectories
 // are independent, and each worker writes only its own ID slot, so the
 // result is identical (and identically ordered) for every worker count.
-// workers ≤ 1 runs serially.
-func SimplifyAllWorkers(db *model.DB, delta float64, m Method, workers int) []*Trajectory {
+// workers ≤ 1 runs serially. Cancelling ctx aborts between trajectories
+// and returns ctx.Err() with a nil slice.
+func SimplifyAllWorkers(ctx context.Context, db *model.DB, delta float64, m Method, workers int) ([]*Trajectory, error) {
 	trajs := db.Trajectories()
 	out := make([]*Trajectory, len(trajs))
-	par.For(len(trajs), workers, func(id int) {
+	if err := par.For(ctx, len(trajs), workers, func(id int) {
 		out[id] = Simplify(trajs[id], delta, m)
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SplitDistances runs the division process with δ = 0 and returns the split

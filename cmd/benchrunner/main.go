@@ -11,9 +11,10 @@
 //	benchrunner -list                           # list experiment ids
 //
 // Experiment ids follow the paper — table3, fig12 … fig17, fig19 — plus
-// the repository's own "scaling" sweep (workers ∈ {1,2,4,NumCPU}) and
+// the repository's own "scaling" sweep (workers ∈ {1,2,4,NumCPU}),
 // "monitors" sweep (1..64 standing queries over one feed, shared vs
-// distinct clustering keys). Scale
+// distinct clustering keys) and "soak" (HTTP load scenarios against an
+// in-process convoyd). Scale
 // multiplies the time-domain length of every dataset (1 reproduces the
 // Table 3 sizes; expect minutes of runtime at full scale).
 //
@@ -21,6 +22,15 @@
 // the machine-readable measurement rows behind the printed tables, tagged
 // with scale and seed — the perf-trajectory files that later runs compare
 // against.
+//
+// -check-regression compares two scaling bench files by their
+// machine-independent key ratios (parallel speedup per dataset, method
+// and worker count) and exits 1 when the candidate regressed more than
+// -tolerance below the baseline — the CI perf gate:
+//
+//	benchrunner -exp scaling -scale 0.02 -json /tmp/bench
+//	benchrunner -check-regression -baseline bench/BENCH_scaling.json \
+//	    -candidate /tmp/bench/BENCH_scaling.json -tolerance 0.25
 package main
 
 import (
@@ -33,25 +43,24 @@ import (
 	"repro/internal/expr"
 )
 
-// benchFile is the BENCH_<exp>.json schema.
-type benchFile struct {
-	Exp     string        `json:"exp"`
-	Scale   float64       `json:"scale"`
-	Seed    int64         `json:"seed"`
-	Workers int           `json:"workers,omitempty"`
-	Records []expr.Record `json:"records"`
-}
-
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling, monitors) or 'all'")
-		scale   = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
-		seed    = flag.Int64("seed", 1, "random seed for data generation")
-		workers = flag.Int("workers", 1, "goroutines per discovery stage for the experiments (scaling sweeps its own counts)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		jsonDir = flag.String("json", "", "directory to write BENCH_<exp>.json measurement files into")
+		exp       = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling, monitors, cancel, soak) or 'all'")
+		scale     = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
+		seed      = flag.Int64("seed", 1, "random seed for data generation")
+		workers   = flag.Int("workers", 1, "goroutines per discovery stage for the experiments (scaling sweeps its own counts)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		jsonDir   = flag.String("json", "", "directory to write BENCH_<exp>.json measurement files into")
+		check     = flag.Bool("check-regression", false, "compare -candidate against -baseline instead of running experiments")
+		baseline  = flag.String("baseline", "bench/BENCH_scaling.json", "committed scaling bench file (with -check-regression)")
+		candidate = flag.String("candidate", "", "freshly measured scaling bench file (with -check-regression)")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional speedup regression before failing (with -check-regression)")
 	)
 	flag.Parse()
+
+	if *check {
+		os.Exit(checkRegression(*baseline, *candidate, *tolerance))
+	}
 
 	if *list {
 		for _, e := range expr.Experiments {
@@ -92,7 +101,7 @@ func main() {
 		}
 		fmt.Println()
 		if *jsonDir != "" {
-			if err := writeBench(*jsonDir, benchFile{Exp: id, Scale: *scale, Seed: *seed, Workers: *workers, Records: records}); err != nil {
+			if err := writeBench(*jsonDir, expr.BenchFile{Exp: id, Scale: *scale, Seed: *seed, Workers: *workers, Records: records}); err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner:", err)
 				os.Exit(1)
 			}
@@ -100,8 +109,38 @@ func main() {
 	}
 }
 
+// checkRegression loads both scaling bench files, compares their key
+// ratios and reports; exit status 1 flags a regression, 2 a usage error.
+func checkRegression(baselinePath, candidatePath string, tol float64) int {
+	if candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchrunner: -check-regression needs -candidate")
+		return 2
+	}
+	base, err := expr.ReadBenchFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		return 2
+	}
+	cand, err := expr.ReadBenchFile(candidatePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		return 2
+	}
+	regs := expr.CompareScaling(base, cand, tol)
+	if len(regs) == 0 {
+		fmt.Printf("benchrunner: no speedup regressions beyond %.0f%% (%s vs %s)\n",
+			tol*100, candidatePath, baselinePath)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "benchrunner: %d speedup regression(s) beyond %.0f%%:\n", len(regs), tol*100)
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "  "+r.String())
+	}
+	return 1
+}
+
 // writeBench writes one experiment's measurement file.
-func writeBench(dir string, bf benchFile) error {
+func writeBench(dir string, bf expr.BenchFile) error {
 	path := filepath.Join(dir, "BENCH_"+bf.Exp+".json")
 	data, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {

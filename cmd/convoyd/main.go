@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64] [-request-timeout 30s]
+//	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64] [-request-timeout 30s] [-metrics-addr :9090] [-pprof]
 //
 // Quick start against a running server:
 //
@@ -23,6 +23,22 @@
 //	curl 'localhost:8764/v1/feeds/fleet/convoys?monitor=long-haul'
 //	curl -X DELETE localhost:8764/v1/feeds/fleet/monitors/long-haul
 //
+// # Observability
+//
+// The server meters itself (see internal/serve's metric catalogue) and
+// exposes:
+//
+//	GET /metrics      Prometheus text exposition (convoyd_* families)
+//	GET /debug/vars   expvar mirror of the same instruments
+//	GET /v1/stats     read-only JSON counter snapshot
+//
+// By default /metrics and /debug/vars are mounted on the main address;
+// -metrics-addr moves them (plus -pprof's /debug/pprof/*) onto a separate
+// listener, the usual arrangement when the API port is public:
+//
+//	convoyd -addr :8764 -metrics-addr 127.0.0.1:9090 -pprof
+//	curl 127.0.0.1:9090/metrics
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish and every
 // feed is drained, flushing still-open convoys to its event log.
 package main
@@ -30,31 +46,37 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8764", "listen address")
-		dataDir    = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
-		idle       = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
-		workers    = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
-		cache      = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
-		history    = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
-		monitors   = flag.Int("max-monitors", 0, "standing queries allowed per feed (0 = default 64)")
-		reqTimeout = flag.Duration("request-timeout", 0, "server-side cap on one batch query's wall time; queries past it abort mid-run and answer 504 (0 = uncapped)")
+		addr        = flag.String("addr", ":8764", "listen address")
+		dataDir     = flag.String("data", "", "directory of databases available to path-referencing /v1/query (empty = uploads only)")
+		idle        = flag.Duration("idle", 0, "evict feeds idle for this long (0 = never)")
+		workers     = flag.Int("query-workers", 0, "max concurrent batch queries (0 = GOMAXPROCS)")
+		cache       = flag.Int("cache", 0, "batch-query LRU cache entries (0 = default 64, negative = off)")
+		history     = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
+		monitors    = flag.Int("max-monitors", 0, "standing queries allowed per feed (0 = default 64)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "server-side cap on one batch query's wall time; queries past it abort mid-run and answer 504 (0 = uncapped)")
+		metricsAddr = flag.String("metrics-addr", "", "separate listen address for /metrics, /debug/vars and -pprof (empty = mount /metrics and /debug/vars on the main address)")
+		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof/* on the metrics address (or the main address when -metrics-addr is empty)")
 	)
 	flag.Parse()
 
+	reg := metrics.NewRegistry()
 	srv := serve.New(serve.Config{
 		DataDir:            *dataDir,
 		IdleTimeout:        *idle,
@@ -63,15 +85,45 @@ func main() {
 		HistoryLimit:       *history,
 		MaxMonitorsPerFeed: *monitors,
 		QueryTimeout:       *reqTimeout,
+		Metrics:            reg,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	reg.PublishExpvar("convoyd")
+
+	// The API mux: everything the serve package routes lives under /v1,
+	// so the observability endpoints can share the listener without the
+	// request-metering middleware counting scrapes as API traffic.
+	apiMux := http.NewServeMux()
+	apiMux.Handle("/v1/", srv)
+
+	obsMux := apiMux // default: observability on the main address
+	if *metricsAddr != "" {
+		obsMux = http.NewServeMux()
+	}
+	obsMux.Handle("GET /metrics", reg.Handler())
+	obsMux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofOn {
+		obsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		obsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		obsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		obsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		obsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: apiMux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("convoyd: listening on %s", *addr)
+
+	var obsSrv *http.Server
+	if *metricsAddr != "" {
+		obsSrv = &http.Server{Addr: *metricsAddr, Handler: obsMux}
+		go func() { errc <- obsSrv.ListenAndServe() }()
+		log.Printf("convoyd: metrics on %s", *metricsAddr)
+	}
 
 	select {
 	case <-ctx.Done():
@@ -80,6 +132,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("convoyd: shutdown: %v", err)
+		}
+		if obsSrv != nil {
+			if err := obsSrv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("convoyd: metrics shutdown: %v", err)
+			}
 		}
 		srv.Close()
 	case err := <-errc:

@@ -74,6 +74,7 @@ import (
 	"repro/internal/dbscan"
 	"repro/internal/flock"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/simplify"
@@ -344,11 +345,23 @@ type (
 	MonitorStatus = serve.MonitorStatus
 	// QueryResponse is the batch query answer.
 	QueryResponse = serve.QueryResponse
+	// ServerStats is the read-only counter snapshot returned by
+	// Server.Snapshot and GET /v1/stats.
+	ServerStats = serve.ServerStats
+	// MetricsRegistry holds metric instruments and renders them in the
+	// Prometheus text format (mount its Handler as /metrics). Pass one in
+	// ServeConfig.Metrics to receive the server's convoyd_* families.
+	MetricsRegistry = metrics.Registry
 )
 
 // NewServer builds a convoy-monitoring server; mount it on any mux (it is
 // an http.Handler) and Close it on the way out.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry to hand to
+// ServeConfig.Metrics; srv.MetricsRegistry().Handler() serves the
+// exposition (cmd/convoyd wires this up behind -metrics-addr).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // ConvoyToJSON renders a convoy in the wire schema, resolving member
 // labels from the database (falling back to "o<ID>").

@@ -16,25 +16,38 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 
 	convoys "repro"
 )
 
 func main() {
-	// Host the server in-process on a loopback port.
-	srv := convoys.NewServer(convoys.ServeConfig{})
+	// Host the server in-process on a loopback port, with its instrument
+	// registry mounted as /metrics next to the API — the same layout
+	// `convoyd` serves by default.
+	reg := convoys.NewMetricsRegistry()
+	srv := convoys.NewServer(convoys.ServeConfig{Metrics: reg})
 	defer srv.Close()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv)
+	mux.Handle("GET /metrics", reg.Handler())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, srv)
+	go http.Serve(ln, mux)
 	base := "http://" + ln.Addr().String()
 	fmt.Println("convoyd serving on", base)
 
+	decode := func(r io.Reader, v any) {
+		if err := json.NewDecoder(r).Decode(v); err != nil {
+			log.Fatal(err)
+		}
+	}
 	post := func(path string, body any) *http.Response {
 		data, err := json.Marshal(body)
 		if err != nil {
@@ -101,7 +114,7 @@ func main() {
 		var tr struct {
 			Closed []convoys.ConvoyJSON `json:"closed"`
 		}
-		json.NewDecoder(resp.Body).Decode(&tr)
+		decode(resp.Body, &tr)
 		resp.Body.Close()
 		for range tr.Closed {
 			ev := <-alerts
@@ -116,7 +129,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var st convoys.FeedStatus
-	json.NewDecoder(status.Body).Decode(&st)
+	decode(status.Body, &st)
 	status.Body.Close()
 	fmt.Printf("shared clustering: %d monitors, %d ticks, %d DBSCAN passes (%d key group)\n",
 		len(st.Monitors), st.Ticks, st.ClusterPasses, st.ClusterGroups)
@@ -131,11 +144,29 @@ func main() {
 	var del struct {
 		Drained []convoys.ConvoyJSON `json:"drained"`
 	}
-	json.NewDecoder(resp.Body).Decode(&del)
+	decode(resp.Body, &del)
 	resp.Body.Close()
 	for _, c := range del.Drained {
 		fmt.Printf("  feed end: convoy %v still open, together since tick %d (%d ticks)\n",
 			c.Objects, c.Start, c.Lifetime)
 	}
+	// Finally, read the same story off the observability surface: the
+	// exported snapshot and a real /metrics scrape agree on the shared
+	// clustering saving.
+	snap := srv.Snapshot()
+	fmt.Printf("snapshot: %d ticks, %d events, %d passes run vs %d naive (saved %d)\n",
+		snap.Ticks, snap.Events, snap.ClusterPasses, snap.ClusterPassesNaive,
+		snap.ClusterPassesNaive-snap.ClusterPasses)
+	scrape, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc2 := bufio.NewScanner(scrape.Body)
+	for sc2.Scan() {
+		if line := sc2.Text(); strings.HasPrefix(line, "convoyd_feed_cluster_passes") {
+			fmt.Println("  " + line)
+		}
+	}
+	scrape.Body.Close()
 	fmt.Println("done — one feed, one clustering pass per tick, any number of standing queries")
 }

@@ -1,0 +1,21 @@
+package core
+
+// Each enumerates the Stats counters under canonical snake_case metric
+// names — the bridge between a discovery run's Stats and any metrics
+// sink. The serving layer folds these into its per-algorithm counter
+// families without hardcoding the field list, so a Stats field added here
+// shows up on /metrics without touching the server.
+//
+// Durations are reported in seconds (the Prometheus base unit); counts
+// and unit sums are reported as-is.
+func (s Stats) Each(f func(name string, value float64)) {
+	f("cluster_passes", float64(s.ClusterPasses))
+	f("partitions", float64(s.NumPartitions))
+	f("candidates", float64(s.NumCandidates))
+	f("refine_units", s.RefineUnits)
+	f("vertex_kept", float64(s.VertexKept))
+	f("vertex_total", float64(s.VertexTotal))
+	f("simplify_seconds", s.SimplifyTime.Seconds())
+	f("filter_seconds", s.FilterTime.Seconds())
+	f("refine_seconds", s.RefineTime.Seconds())
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStatsEach(t *testing.T) {
+	st := Stats{
+		ClusterPasses: 7,
+		NumPartitions: 3,
+		NumCandidates: 5,
+		RefineUnits:   2.5,
+		VertexKept:    10,
+		VertexTotal:   40,
+		SimplifyTime:  250 * time.Millisecond,
+		FilterTime:    500 * time.Millisecond,
+		RefineTime:    time.Second,
+	}
+	got := map[string]float64{}
+	st.Each(func(name string, v float64) {
+		if _, dup := got[name]; dup {
+			t.Errorf("Each emitted %q twice", name)
+		}
+		got[name] = v
+	})
+	want := map[string]float64{
+		"cluster_passes":   7,
+		"partitions":       3,
+		"candidates":       5,
+		"refine_units":     2.5,
+		"vertex_kept":      10,
+		"vertex_total":     40,
+		"simplify_seconds": 0.25,
+		"filter_seconds":   0.5,
+		"refine_seconds":   1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Each emitted %d names, want %d: %v", len(got), len(want), got)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("Each(%q) = %g, want %g", name, got[name], v)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchFile is the schema of the BENCH_<exp>.json measurement files
+// benchrunner writes — exported so the regression checker (benchrunner
+// -check-regression, run by CI) and external tooling can read them back.
+type BenchFile struct {
+	Exp     string   `json:"exp"`
+	Scale   float64  `json:"scale"`
+	Seed    int64    `json:"seed"`
+	Workers int      `json:"workers,omitempty"`
+	Records []Record `json:"records"`
+}
+
+// ReadBenchFile loads one measurement file.
+func ReadBenchFile(path string) (BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return BenchFile{}, fmt.Errorf("expr: parse %s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// A Regression is one key ratio that degraded beyond tolerance.
+type Regression struct {
+	Key       string  // dataset/method/param=value
+	Metric    string  // the compared metric
+	Baseline  float64 // committed value
+	Candidate float64 // freshly measured value
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.3f → %.3f", r.Key, r.Metric, r.Baseline, r.Candidate)
+}
+
+// recordKey identifies a measurement row across runs.
+func recordKey(r Record) string {
+	return fmt.Sprintf("%s/%s/%s=%g", r.Dataset, r.Method, r.Param, r.Value)
+}
+
+// CompareScaling compares the machine-independent key ratios of two
+// scaling bench runs: the parallel speedup per (dataset, method, worker
+// count). Absolute times are useless across machines — the committed
+// snapshot may come from a laptop and the candidate from a CI runner —
+// but the *ratio* of a parallel run to its own serial run is comparable.
+// A candidate speedup below baseline × (1 − tol) is a regression. Keys
+// present in only one file are ignored: different machines sweep
+// different worker counts (NumCPU is part of the sweep).
+func CompareScaling(baseline, candidate BenchFile, tol float64) []Regression {
+	base := make(map[string]float64)
+	for _, r := range baseline.Records {
+		if r.Exp != "scaling" || r.Param != "workers" {
+			continue
+		}
+		if v, ok := r.Metrics["speedup"]; ok {
+			base[recordKey(r)] = v
+		}
+	}
+	var out []Regression
+	for _, r := range candidate.Records {
+		if r.Exp != "scaling" || r.Param != "workers" {
+			continue
+		}
+		cand, ok := r.Metrics["speedup"]
+		if !ok {
+			continue
+		}
+		key := recordKey(r)
+		b, ok := base[key]
+		if !ok {
+			continue
+		}
+		if cand < b*(1-tol) {
+			out = append(out, Regression{Key: key, Metric: "speedup", Baseline: b, Candidate: cand})
+		}
+	}
+	return out
+}

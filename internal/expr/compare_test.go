@@ -1,0 +1,124 @@
+package expr
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func scalingRecord(dataset, method string, workers, speedup float64) Record {
+	return Record{
+		Exp: "scaling", Dataset: dataset, Method: method,
+		Param: "workers", Value: workers,
+		Metrics: map[string]float64{"speedup": speedup, "time_ms": 10 / speedup},
+	}
+}
+
+func TestCompareScaling(t *testing.T) {
+	baseline := BenchFile{Exp: "scaling", Records: []Record{
+		scalingRecord("Truck", "CMC", 1, 1),
+		scalingRecord("Truck", "CMC", 2, 1.8),
+		scalingRecord("Truck", "CMC", 4, 3.0),
+		scalingRecord("Truck", "CMC", 16, 6.0), // CI runner has no 16-core point
+	}}
+	candidate := BenchFile{Exp: "scaling", Records: []Record{
+		scalingRecord("Truck", "CMC", 1, 1),
+		scalingRecord("Truck", "CMC", 2, 1.7),  // within 25% of 1.8
+		scalingRecord("Truck", "CMC", 4, 2.0),  // 33% below 3.0 → regression
+		scalingRecord("Truck", "CMC", 8, 3.5),  // no baseline → ignored
+		scalingRecord("Car", "CuTS*", 2, 0.01), // no baseline → ignored
+	}}
+
+	regs := CompareScaling(baseline, candidate, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the workers=4 point", regs)
+	}
+	if regs[0].Key != "Truck/CMC/workers=4" || regs[0].Candidate != 2.0 {
+		t.Errorf("regression = %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "speedup") {
+		t.Errorf("String() = %q", regs[0].String())
+	}
+
+	// A looser tolerance absorbs the same gap.
+	if regs := CompareScaling(baseline, candidate, 0.5); len(regs) != 0 {
+		t.Errorf("tol=0.5 regressions = %v, want none", regs)
+	}
+}
+
+func TestReadBenchFile(t *testing.T) {
+	bf := BenchFile{Exp: "scaling", Scale: 0.3, Seed: 1, Records: []Record{
+		scalingRecord("Truck", "CMC", 2, 1.5),
+	}}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exp != "scaling" || len(got.Records) != 1 || got.Records[0].Metrics["speedup"] != 1.5 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadBenchFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(bad); err == nil {
+		t.Error("malformed file did not error")
+	}
+}
+
+// TestSoakSmoke runs the soak experiment at a tiny scale end to end and
+// checks the recorded rows carry the percentile metrics and that every
+// scenario's request accounting matched the server's.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak spins real HTTP servers")
+	}
+	var records []Record
+	o := Options{Scale: 0.004, Seed: 7, Workers: 2,
+		Record: func(r Record) { records = append(records, r) }}
+	var sb strings.Builder
+	o.Out = &sb
+	if err := Soak(o); err != nil {
+		t.Fatal(err)
+	}
+	perScenario := 0
+	for _, r := range records {
+		if r.Exp != "soak" {
+			t.Fatalf("record exp = %q", r.Exp)
+		}
+		if r.Method != "" {
+			continue // per-op row
+		}
+		perScenario++
+		if r.Metrics["requests"] <= 0 {
+			t.Errorf("%s: no requests", r.Dataset)
+		}
+		if r.Metrics["server_match"] != 1 {
+			t.Errorf("%s: request accounting mismatched", r.Dataset)
+		}
+		for _, m := range []string{"p50_ms", "p95_ms", "p99_ms", "throughput_rps"} {
+			if r.Metrics[m] <= 0 {
+				t.Errorf("%s: metric %s = %g, want > 0", r.Dataset, m, r.Metrics[m])
+			}
+		}
+	}
+	if perScenario != 5 {
+		t.Errorf("scenario rows = %d, want 5", perScenario)
+	}
+	if !strings.Contains(sb.String(), "Soak:") {
+		t.Errorf("table output missing header:\n%s", sb.String())
+	}
+}

@@ -111,14 +111,17 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 11 {
-		t.Errorf("expected 11 experiments, got %d", len(Experiments))
+	if len(Experiments) != 12 {
+		t.Errorf("expected 12 experiments, got %d", len(Experiments))
 	}
 	if _, ok := Lookup("monitors"); !ok {
 		t.Error("monitors not found")
 	}
 	if _, ok := Lookup("cancel"); !ok {
 		t.Error("cancel not found")
+	}
+	if _, ok := Lookup("soak"); !ok {
+		t.Error("soak not found")
 	}
 	var buf bytes.Buffer
 	if err := RunAll(tinyOptions(&buf)); err != nil {

@@ -1,0 +1,105 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// The soak experiment (not in the paper): sustained HTTP load against the
+// serving layer itself. For every loadgen scenario preset it hosts a
+// fresh in-process convoyd (serve.New with its /metrics registry) on a
+// loopback listener and drives it with the closed-loop generator for
+// Scale × 10 seconds, recording client-observed p50/p95/p99 latency and
+// throughput per scenario (and per operation) plus the server's own
+// meters — the shape every scaling PR is judged against.
+//
+// benchrunner -json turns the rows into BENCH_soak.json; CI smokes the
+// experiment at -scale 0.01 and the nightly workflow runs the full-scale
+// pass and uploads the file as an artifact.
+
+// soakBaseDuration is the per-scenario load window at Scale 1.
+const soakBaseDuration = 10 * time.Second
+
+// Soak prints and records the load sweep over every scenario preset.
+func Soak(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Soak: load-generator scenarios against an in-process convoyd")
+	fmt.Fprintln(w, "scenario\treqs\terrs\trps\tp50 (ms)\tp95 (ms)\tp99 (ms)\taccounting")
+	dur := time.Duration(o.Scale * float64(soakBaseDuration))
+	if dur < 100*time.Millisecond {
+		dur = 100 * time.Millisecond
+	}
+	workers := o.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	for _, name := range loadgen.ScenarioNames() {
+		rep, err := soakOne(name, dur, workers, o)
+		if err != nil {
+			return fmt.Errorf("expr: Soak %s: %w", name, err)
+		}
+		match := "match"
+		matchVal := 1.0
+		if !rep.ServerMatch {
+			match = "MISMATCH"
+			matchVal = 0
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.2f\t%.2f\t%.2f\t%s\n",
+			name, rep.Requests, rep.Errors, rep.ThroughputRPS, rep.P50MS, rep.P95MS, rep.P99MS, match)
+		o.record(Record{Exp: "soak", Dataset: name, Metrics: map[string]float64{
+			"requests":       float64(rep.Requests),
+			"errors":         float64(rep.Errors),
+			"throughput_rps": rep.ThroughputRPS,
+			"mean_ms":        rep.MeanMS,
+			"p50_ms":         rep.P50MS,
+			"p95_ms":         rep.P95MS,
+			"p99_ms":         rep.P99MS,
+			"server_match":   matchVal,
+			"cluster_passes_saved": rep.Server["convoyd_feed_cluster_passes_naive_total"] -
+				rep.Server["convoyd_feed_cluster_passes_total"],
+		}})
+		for _, op := range rep.Ops {
+			o.record(Record{Exp: "soak", Dataset: name, Method: op.Op, Metrics: map[string]float64{
+				"requests": float64(op.Requests),
+				"mean_ms":  op.MeanMS,
+				"p50_ms":   op.P50MS,
+				"p95_ms":   op.P95MS,
+				"p99_ms":   op.P99MS,
+			}})
+		}
+	}
+	return w.Flush()
+}
+
+// soakOne hosts one fresh server (API plus /metrics, the cmd/convoyd
+// layout) on a loopback port and runs one scenario against it.
+func soakOne(name string, dur time.Duration, workers int, o Options) (loadgen.Report, error) {
+	reg := metrics.NewRegistry()
+	srv := serve.New(serve.Config{Metrics: reg})
+	defer srv.Close()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv)
+	mux.Handle("GET /metrics", reg.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.Report{}, err
+	}
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	return loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Scenario:    name,
+		Duration:    dur,
+		Concurrency: workers,
+		Seed:        o.Seed,
+		Scale:       o.Scale,
+	})
+}

@@ -232,6 +232,7 @@ var Experiments = []struct {
 	{"scaling", "worker-count scaling (Truck, Car)", Scaling},
 	{"monitors", "standing-query fan-out, shared vs distinct keys (Truck)", Monitors},
 	{"cancel", "time-to-abort and wasted work vs cancel point (Truck, Car)", Cancel},
+	{"soak", "HTTP load scenarios against an in-process convoyd", Soak},
 }
 
 // RunAll executes every experiment in paper order.

@@ -1,0 +1,311 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/tsio"
+)
+
+// A scenario is one traffic shape. setup runs once (its requests are
+// counted like any other); worker returns worker id's step function —
+// the runner guarantees one step function is never called concurrently
+// with itself, so steps may keep per-worker state (tick counters, local
+// RNGs) without locking.
+type scenario struct {
+	desc   string
+	setup  func(ctx context.Context, c *client, o Options) error
+	worker func(c *client, id int, o Options) func(ctx context.Context, i int)
+}
+
+// scenarios is the preset table, keyed by name.
+var scenarios = map[string]*scenario{
+	"batch":   batchScenario,
+	"monitor": monitorScenario,
+	"mixed":   mixedScenario,
+	"churn":   churnScenario,
+	"cancel":  cancelScenario,
+}
+
+// ScenarioNames lists the presets, sorted.
+func ScenarioNames() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScenarioDesc describes one preset ("" for unknown names).
+func ScenarioDesc(name string) string {
+	if sc, ok := scenarios[name]; ok {
+		return sc.desc
+	}
+	return ""
+}
+
+// --- payload helpers -------------------------------------------------
+
+// synthCSV builds a deterministic CSV database of nObj objects over
+// nTicks ticks: objects travel in loose bands so small-e queries find
+// real convoys and the discovery run does nontrivial work.
+func synthCSV(nObj, nTicks int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	db := model.NewDB()
+	for o := 0; o < nObj; o++ {
+		y := float64(o) * 0.7
+		x := r.Float64() * 2
+		samples := make([]model.Sample, 0, nTicks)
+		for t := 0; t < nTicks; t++ {
+			x += 0.8 + r.Float64()*0.4
+			y += (r.Float64() - 0.5) * 0.2
+			samples = append(samples, model.Sample{T: model.Tick(t), P: geom.Pt(x, y)})
+		}
+		tr, err := model.NewTrajectory(fmt.Sprintf("o%d", o), samples)
+		if err != nil {
+			panic(err) // deterministic generator; cannot happen
+		}
+		db.Add(tr)
+	}
+	var buf bytes.Buffer
+	if err := tsio.WriteCSV(&buf, db); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// scaled maps the option scale onto an integer size within [lo, hi].
+func scaled(base int, scale float64, lo, hi int) int {
+	n := int(float64(base) * scale)
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	return n
+}
+
+// jsonBody marshals a request body, panicking on the impossible.
+func jsonBody(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// tickBody builds one tick batch of n objects walking in two bands.
+func tickBody(t int64, n int, r *rand.Rand) []byte {
+	pos := make([]serve.Position, n)
+	for i := range pos {
+		band := float64(i%2) * 40
+		pos[i] = serve.Position{
+			ID: fmt.Sprintf("v%d", i),
+			X:  float64(t) + r.Float64()*0.3,
+			Y:  band + float64(i/2)*0.6,
+		}
+	}
+	return jsonBody(serve.TicksRequest{Ticks: []serve.TickBatch{{T: t, Positions: pos}}})
+}
+
+// --- batch-heavy -----------------------------------------------------
+
+// batchQuerySet is the rotation of (database, parameter) combinations a
+// batch-heavy worker cycles through; repeats hit the result cache, the
+// algo mix exercises both engines.
+type batchQuerySet struct {
+	dbs   [][]byte
+	algos []string
+}
+
+func newBatchQuerySet(o Options) *batchQuerySet {
+	ticks := scaled(60, o.Scale, 12, 600)
+	objs := scaled(12, o.Scale, 6, 60)
+	set := &batchQuerySet{algos: []string{"cuts*", "cmc", "cuts+"}}
+	for i := int64(0); i < 3; i++ {
+		set.dbs = append(set.dbs, synthCSV(objs, ticks, o.Seed+i))
+	}
+	return set
+}
+
+func (s *batchQuerySet) step(ctx context.Context, c *client, i int) {
+	db := s.dbs[i%len(s.dbs)]
+	algo := s.algos[(i/len(s.dbs))%len(s.algos)]
+	// QueryEscape matters: a raw "cuts+" in a query string decodes as
+	// "cuts " and the server rejects it.
+	path := "/v1/query?m=3&k=4&e=1.5&algo=" + url.QueryEscape(algo)
+	_, _ = c.do(ctx, "query", "POST", path, "text/csv", db)
+}
+
+var batchScenario = &scenario{
+	desc: "batch-query firehose: rotating uploads and algorithms, cache hits and misses mixed",
+	setup: func(ctx context.Context, c *client, o Options) error {
+		return nil
+	},
+	worker: func(c *client, id int, o Options) func(context.Context, int) {
+		set := newBatchQuerySet(o)
+		return func(ctx context.Context, i int) { set.step(ctx, c, i) }
+	},
+}
+
+// --- monitor-heavy ---------------------------------------------------
+
+// monitorScenario: one feed with a deep monitor table across a few
+// distinct clustering keys; worker 0 ingests ticks, the others poll
+// convoys, statuses and the monitor table — the standing-query dashboard
+// shape.
+var monitorScenario = &scenario{
+	desc: "standing-query fan-out: one ingesting tracker plus dashboard pollers over a deep monitor table",
+	setup: func(ctx context.Context, c *client, o Options) error {
+		if _, err := c.do(ctx, "feed_create", "POST", "/v1/feeds", "application/json",
+			jsonBody(serve.FeedSpec{Name: "load-mon", Params: serve.ParamsJSON{M: 2, K: 3, Eps: 1}})); err != nil {
+			return err
+		}
+		// 9 extra monitors over 3 distinct keys: shared clustering must
+		// keep per-tick cost at 3 passes, not 10.
+		for i := 0; i < 9; i++ {
+			spec := serve.MonitorSpec{
+				ID: fmt.Sprintf("mon-%d", i),
+				Params: serve.ParamsJSON{
+					M:   2 + i%3, // three distinct (e, m) keys
+					K:   int64(3 + i),
+					Eps: 1,
+				},
+			}
+			if _, err := c.do(ctx, "monitor_add", "POST", "/v1/feeds/load-mon/monitors", "application/json", jsonBody(spec)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	worker: func(c *client, id int, o Options) func(context.Context, int) {
+		r := seededRand(o.Seed, id)
+		objs := scaled(24, o.Scale, 8, 200)
+		var tick int64
+		return func(ctx context.Context, i int) {
+			if id == 0 {
+				_, _ = c.do(ctx, "ticks", "POST", "/v1/feeds/load-mon/ticks", "application/json", tickBody(tick, objs, r))
+				tick++
+				return
+			}
+			switch i % 3 {
+			case 0:
+				_, _ = c.do(ctx, "poll", "GET", "/v1/feeds/load-mon/convoys", "", nil)
+			case 1:
+				_, _ = c.do(ctx, "feed_status", "GET", "/v1/feeds/load-mon", "", nil)
+			default:
+				_, _ = c.do(ctx, "monitors_list", "GET", "/v1/feeds/load-mon/monitors", "", nil)
+			}
+		}
+	},
+}
+
+// --- mixed ingest+query ----------------------------------------------
+
+// mixedScenario is the acceptance shape: every worker owns a feed it
+// ingests into and polls, interleaved with batch queries that mix cache
+// hits and misses. No streaming tails, no client-side aborts — the
+// request accounting stays exact.
+var mixedScenario = &scenario{
+	desc: "mixed ingest+query: per-worker feeds with interleaved ticks, polls, statuses and batch queries",
+	setup: func(ctx context.Context, c *client, o Options) error {
+		return nil
+	},
+	worker: func(c *client, id int, o Options) func(context.Context, int) {
+		r := seededRand(o.Seed, id)
+		feed := fmt.Sprintf("mix-%d", id)
+		set := newBatchQuerySet(o)
+		objs := scaled(16, o.Scale, 6, 120)
+		var tick int64
+		created := false
+		return func(ctx context.Context, i int) {
+			if !created {
+				_, err := c.do(ctx, "feed_create", "POST", "/v1/feeds", "application/json",
+					jsonBody(serve.FeedSpec{Name: feed, Params: serve.ParamsJSON{M: 2, K: 4, Eps: 1}}))
+				created = err == nil
+				return
+			}
+			switch i % 6 {
+			case 0, 1, 2:
+				_, _ = c.do(ctx, "ticks", "POST", "/v1/feeds/"+feed+"/ticks", "application/json", tickBody(tick, objs, r))
+				tick++
+			case 3:
+				_, _ = c.do(ctx, "poll", "GET", "/v1/feeds/"+feed+"/convoys", "", nil)
+			case 4:
+				set.step(ctx, c, i)
+			default:
+				_, _ = c.do(ctx, "feed_status", "GET", "/v1/feeds/"+feed, "", nil)
+			}
+		}
+	},
+}
+
+// --- feed churn ------------------------------------------------------
+
+// churnScenario stresses the registry: create a feed, ingest a couple of
+// ticks, delete it, repeat — the lifecycle path (and its drain logic)
+// under load.
+var churnScenario = &scenario{
+	desc: "feed churn: create → ingest → delete cycles hammering the registry and drain paths",
+	setup: func(ctx context.Context, c *client, o Options) error {
+		return nil
+	},
+	worker: func(c *client, id int, o Options) func(context.Context, int) {
+		r := seededRand(o.Seed, id)
+		objs := scaled(8, o.Scale, 4, 60)
+		return func(ctx context.Context, i int) {
+			feed := fmt.Sprintf("churn-%d-%d", id, i)
+			if _, err := c.do(ctx, "feed_create", "POST", "/v1/feeds", "application/json",
+				jsonBody(serve.FeedSpec{Name: feed, Params: serve.ParamsJSON{M: 2, K: 2, Eps: 1}})); err != nil {
+				return
+			}
+			for t := int64(0); t < 2; t++ {
+				_, _ = c.do(ctx, "ticks", "POST", "/v1/feeds/"+feed+"/ticks", "application/json", tickBody(t, objs, r))
+			}
+			_, _ = c.do(ctx, "feed_delete", "DELETE", "/v1/feeds/"+feed, "", nil)
+		}
+	},
+}
+
+// --- cancel storm ----------------------------------------------------
+
+// cancelScenario floods the query engine with server-side deadlines most
+// runs cannot meet: the timeout path (504, aborted discovery, freed
+// slots) under pressure, with a trickle of deadline-free queries proving
+// the pool still serves real work. Deadlines are enforced by the server
+// (timeout_ms), never by aborting client-side, so request accounting
+// stays exact.
+var cancelScenario = &scenario{
+	desc: "cancel storm: tiny timeout_ms deadlines forcing mid-run aborts, plus a trickle of real queries",
+	setup: func(ctx context.Context, c *client, o Options) error {
+		return nil
+	},
+	worker: func(c *client, id int, o Options) func(context.Context, int) {
+		// A heavier database than batch-heavy's, so the tiny deadlines
+		// genuinely interrupt clustering work.
+		ticks := scaled(200, o.Scale, 40, 2000)
+		objs := scaled(24, o.Scale, 12, 120)
+		db := synthCSV(objs, ticks, o.Seed+int64(id))
+		timeouts := []string{"0.05", "0.2", "1"}
+		return func(ctx context.Context, i int) {
+			if i%4 == 3 {
+				// The trickle: no deadline, same database — this compute can
+				// land in the cache and later storms hit it.
+				_, _ = c.do(ctx, "query_ok", "POST", "/v1/query?m=3&k=4&e=1.5", "text/csv", db)
+				return
+			}
+			path := "/v1/query?m=3&k=4&e=1.5&timeout_ms=" + timeouts[i%len(timeouts)]
+			_, _ = c.do(ctx, "query_storm", "POST", path, "text/csv", db)
+		}
+	},
+}

@@ -1,0 +1,40 @@
+package metrics_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/metrics"
+)
+
+// ExampleRegistry_Handler registers a few instruments, serves them over
+// HTTP the way cmd/convoyd's -metrics-addr does, and scrapes the
+// exposition back with ParseText.
+func ExampleRegistry_Handler() {
+	reg := metrics.NewRegistry()
+	queries := reg.CounterVec("convoyd_queries_total", "Batch queries by outcome.", "outcome")
+	latency := reg.Histogram("convoyd_query_seconds", "Query latency.", nil)
+
+	queries.With("ok").Inc()
+	queries.With("ok").Inc()
+	queries.With("timeout").Inc()
+	latency.Observe(0.042)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+
+	samples, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ok=%g total=%g observations=%g\n",
+		samples[`convoyd_queries_total{outcome="ok"}`],
+		metrics.Sum(samples, "convoyd_queries_total"),
+		samples["convoyd_query_seconds_count"])
+	// Output: ok=2 total=3 observations=1
+}

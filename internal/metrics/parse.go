@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text exposition (the format WriteProm
+// emits; any 0.0.4 exposition works) into series-name → value, keyed
+// exactly like Snapshot: `name` or `name{label="v",...}`. Comment and
+// blank lines are skipped; a malformed sample line is an error. The load
+// generator uses this to read back the server's own request accounting.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Label values may contain spaces, so the series key cannot be
+		// found by splitting on whitespace alone: when a label set is
+		// present the key runs to its closing brace (the last '}' on the
+		// line — the fields after it are numeric), otherwise to the first
+		// whitespace. The value is the first field after the key; an
+		// optional trailing timestamp is ignored.
+		var key, rest string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("metrics: parse line %d: unterminated label set in %q", lineNo, line)
+			}
+			key, rest = line[:j+1], line[j+1:]
+		} else if cut := strings.IndexAny(line, " \t"); cut >= 0 {
+			key, rest = line[:cut], line[cut:]
+		} else {
+			return nil, fmt.Errorf("metrics: parse line %d: no value in %q", lineNo, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("metrics: parse line %d: no value in %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: bad value in %q: %v", lineNo, line, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: parse: %w", err)
+	}
+	return out, nil
+}
+
+// FamilyName extracts the family of a parsed series key — the part before
+// the label set.
+func FamilyName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Sum adds up every series of exactly the given family in a ParseText
+// result: `family` and `family{...}` match; `family_bucket` and other
+// suffixed families do not.
+func Sum(samples map[string]float64, family string) float64 {
+	total := 0.0
+	for k, v := range samples {
+		if k == family || strings.HasPrefix(k, family+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Families lists the distinct family names of a ParseText result,
+// sorted — a convenience for reports that enumerate what a server
+// exposes.
+func Families(samples map[string]float64) []string {
+	seen := make(map[string]bool)
+	for k := range samples {
+		seen[FamilyName(k)] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

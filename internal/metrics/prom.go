@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families name-sorted and series
+// label-sorted, so scrapes are diffable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		if f.kind == kindGaugeFunc {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, fmtVal(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range f.sorted() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, s.labelValues, ""), fmtVal(s.c.Value()))
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, s.labelValues, ""), fmtVal(s.g.Value()))
+		return err
+	default: // histogram
+		cum := s.h.cumulative()
+		for i, bound := range s.h.bounds {
+			le := fmtVal(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, s.labelValues, le), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, s.labelValues, "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelSet(f.labels, s.labelValues, ""), fmtVal(s.h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSet(f.labels, s.labelValues, ""), s.h.Count())
+		return err
+	}
+}
+
+// labelSet renders {a="x",b="y"} (plus le when non-empty); "" when there
+// are no labels at all.
+func labelSet(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w) // the peer going away mid-scrape is its problem
+	})
+}
+
+// Snapshot flattens the registry into series-name → value: plain names for
+// label-less metrics, name{label="value",...} for labeled ones, histograms
+// as _sum/_count plus p50/p95/p99 convenience quantiles. This is both the
+// expvar mirror's payload and a convenient test observable.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		if f.kind == kindGaugeFunc {
+			out[f.name] = f.fn()
+			continue
+		}
+		for _, s := range f.sorted() {
+			ls := labelSet(f.labels, s.labelValues, "")
+			switch f.kind {
+			case kindCounter:
+				out[f.name+ls] = s.c.Value()
+			case kindGauge:
+				out[f.name+ls] = s.g.Value()
+			default:
+				out[f.name+"_sum"+ls] = s.h.Sum()
+				out[f.name+"_count"+ls] = float64(s.h.Count())
+				out[f.name+"_p50"+ls] = s.h.Quantile(0.50)
+				out[f.name+"_p95"+ls] = s.h.Quantile(0.95)
+				out[f.name+"_p99"+ls] = s.h.Quantile(0.99)
+			}
+		}
+	}
+	return out
+}
+
+// PublishExpvar mirrors the registry under the given expvar name
+// (readable at /debug/vars). Like expvar.Publish, a duplicate name
+// panics — publish once per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

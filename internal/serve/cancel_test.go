@@ -65,7 +65,7 @@ func TestQueuedCancelReleasesSlotWithoutRunning(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("queued query did not abort after cancellation")
 	}
-	if got := e.computes.Load(); got != 0 {
+	if got := e.computes(); got != 0 {
 		t.Fatalf("cancelled queued query started %d compute(s)", got)
 	}
 
@@ -75,8 +75,8 @@ func TestQueuedCancelReleasesSlotWithoutRunning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Cache != "miss" || e.computes.Load() != 1 {
-		t.Fatalf("follow-up query: cache=%q computes=%d, want a fresh miss", resp.Cache, e.computes.Load())
+	if resp.Cache != "miss" || e.computes() != 1 {
+		t.Fatalf("follow-up query: cache=%q computes=%d, want a fresh miss", resp.Cache, e.computes())
 	}
 }
 
@@ -160,7 +160,7 @@ func TestDedupStampedeSharesOneRun(t *testing.T) {
 	close(gate)
 	wg.Wait()
 
-	if got := e.computes.Load(); got != 1 {
+	if got := e.computes(); got != 1 {
 		t.Fatalf("stampede of %d identical queries ran %d computes, want 1", clients, got)
 	}
 	miss, dedup := 0, 0
@@ -230,7 +230,7 @@ func TestJoinerCancelLeavesFlightRunning(t *testing.T) {
 	if leaderResp.Cache != "miss" || len(leaderResp.Convoys) == 0 {
 		t.Fatalf("leader answer: cache=%q convoys=%d", leaderResp.Cache, len(leaderResp.Convoys))
 	}
-	if got := e.computes.Load(); got != 1 {
+	if got := e.computes(); got != 1 {
 		t.Fatalf("ran %d computes, want 1", got)
 	}
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"runtime"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Config tunes the server. The zero value is usable: every field has a
@@ -55,6 +57,18 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (tick batches and uploaded
 	// databases). Default 64 MiB.
 	MaxBodyBytes int64
+	// Metrics receives the server's instrument families (the convoyd_*
+	// catalogue; see serveMetrics). Nil means a private registry: the
+	// instruments still update and Server.Snapshot/GET /v1/stats still
+	// work, but nothing is exposed until MetricsRegistry().Handler() is
+	// mounted. A registry must not be shared between two servers —
+	// family names would collide.
+	Metrics *metrics.Registry
+
+	// metrics is the instrument bundle built over Metrics (or a private
+	// registry) by withDefaults and threaded through the registry, feeds
+	// and query engine.
+	metrics *serveMetrics
 }
 
 // withDefaults returns the config with zero fields replaced by defaults.
@@ -88,6 +102,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.metrics == nil {
+		reg := c.Metrics
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
+		c.metrics = newServeMetrics(reg)
 	}
 	return c
 }

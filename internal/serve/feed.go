@@ -137,6 +137,7 @@ func (f *feed) insertMonitor(id string, p core.Params) error {
 	}
 	fm := &feedMonitor{id: id, p: p, mon: mon}
 	f.monitors[id] = fm
+	f.cfg.metrics.monitors.Inc()
 	at := sort.Search(len(f.order), func(i int) bool { return f.order[i].id >= id })
 	f.order = append(f.order, nil)
 	copy(f.order[at+1:], f.order[at:])
@@ -214,6 +215,7 @@ func (f *feed) emit(monitorID string, c core.Convoy) {
 		}),
 	}
 	f.nextSeq++
+	f.cfg.metrics.feedEvents.Inc()
 	if len(f.history) >= f.cfg.HistoryLimit {
 		n := copy(f.history, f.history[1:])
 		f.history = f.history[:n]
@@ -248,6 +250,10 @@ func (f *feed) drainMonitor(fm *feedMonitor) []ConvoyJSON {
 // clusters fan out to every monitor in that key's group.
 func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, error) {
 	f.touch()
+	// Wall time includes the mailbox wait: the histogram is the feed's
+	// backpressure lag as a client experiences it.
+	t0 := time.Now()
+	defer func() { f.cfg.metrics.feedIngestSeconds.Observe(time.Since(t0).Seconds()) }()
 	v, err := f.do(ctx, func(f *feed) (any, error) {
 		resp := TicksResponse{Closed: []ConvoyJSON{}}
 		for _, b := range batches {
@@ -301,6 +307,10 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 				clusters[key] = src.Snapshot(ids, pts)
 				f.clusterPasses++
 			}
+			// Meter the sharing: len(sources) passes actually ran where a
+			// per-monitor engine would have run len(order).
+			f.cfg.metrics.feedPasses.Add(float64(len(f.sources)))
+			f.cfg.metrics.feedPassesNaive.Add(float64(len(f.order)))
 			for _, fm := range f.order {
 				closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.p.ClusterKey()])
 				if err != nil {
@@ -316,6 +326,8 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 			}
 			f.lastTick, f.started = b.T, true
 			f.ticks++
+			f.cfg.metrics.feedTicks.Inc()
+			f.cfg.metrics.feedPositions.Add(float64(len(b.Positions)))
 			resp.Accepted++
 		}
 		return resp, nil
@@ -419,6 +431,7 @@ func (f *feed) removeMonitor(ctx context.Context, id string) (MonitorCloseRespon
 		}
 		resp := MonitorCloseResponse{ID: id, Drained: f.drainMonitor(fm)}
 		delete(f.monitors, id)
+		f.cfg.metrics.monitors.Dec()
 		for i, other := range f.order {
 			if other == fm {
 				f.order = append(f.order[:i], f.order[i+1:]...)
@@ -479,7 +492,7 @@ func (f *feed) subscribe(ctx context.Context, since uint64) (replayed []Event, c
 	}
 	cancel = func() {
 		// Best-effort: the feed may already be gone, which also closes ch.
-		f.do(context.Background(), func(f *feed) (any, error) {
+		_, _ = f.do(context.Background(), func(f *feed) (any, error) {
 			if _, ok := f.subs[ch]; ok {
 				delete(f.subs, ch)
 				close(ch)
@@ -504,6 +517,9 @@ func (f *feed) close(ctx context.Context) (FeedCloseResponse, error) {
 			delete(f.subs, ch)
 			close(ch)
 		}
+		// The table dies with the feed: its monitors leave the gauge even
+		// though the map itself is not cleared.
+		f.cfg.metrics.monitors.Add(-float64(len(f.order)))
 		f.draining = true
 		return resp, nil
 	})

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// serveMetrics bundles every instrument the server updates. One bundle is
+// built per Server (by Config.withDefaults) over the configured registry —
+// or a private one when none is given — and threaded to the registry, the
+// feeds and the query engine through the config.
+//
+// Metric catalogue (all families prefixed convoyd_):
+//
+//	http_requests_total{route,code}   every API request, by mux route
+//	http_request_seconds{route}       API latency, by mux route
+//	queries_total{algo,cache,outcome} batch queries; cache = hit|miss|dedup|none,
+//	                                  outcome = ok|canceled|timeout|bad_request|error
+//	query_seconds{algo,outcome}       batch query latency (queueing + discovery)
+//	query_inflight                    worker-pool occupancy (slots held)
+//	query_workers                     worker-pool capacity (constant)
+//	query_computes_total              discovery runs actually started
+//	query_stats_total{stat,algo}      core run stats folded per algorithm
+//	                                  (cluster_passes, candidates, refine_units, …)
+//	cache_entries                     LRU result-cache size
+//	feeds                             live feeds
+//	feeds_created_total               feeds created
+//	feeds_deleted_total               feeds deleted over HTTP
+//	feeds_evicted_total               feeds evicted by the idle janitor
+//	monitors                          standing queries across all feeds
+//	feed_ticks_total                  tick batches ingested (rate() = tick rate)
+//	feed_positions_total              positions ingested
+//	feed_ingest_seconds               ingestion latency incl. mailbox wait
+//	                                  (the feed's backpressure lag)
+//	feed_events_total                 closed-convoy events emitted
+//	feed_cluster_passes_total         snapshot DBSCAN passes actually run
+//	feed_cluster_passes_naive_total   passes a per-monitor engine would have
+//	                                  run (ticks × monitors); the difference
+//	                                  is the work shared clustering saved
+type serveMetrics struct {
+	reg *metrics.Registry
+
+	httpRequests *metrics.CounterVec
+	httpSeconds  *metrics.HistogramVec
+
+	queries       *metrics.CounterVec
+	querySeconds  *metrics.HistogramVec
+	queryInflight *metrics.Gauge
+	queryComputes *metrics.Counter
+	queryStats    *metrics.CounterVec
+
+	feedTicks         *metrics.Counter
+	feedPositions     *metrics.Counter
+	feedEvents        *metrics.Counter
+	feedIngestSeconds *metrics.Histogram
+	feedPasses        *metrics.Counter
+	feedPassesNaive   *metrics.Counter
+	feedsCreated      *metrics.Counter
+	feedsDeleted      *metrics.Counter
+	feedsEvicted      *metrics.Counter
+	monitors          *metrics.Gauge
+
+	// Unregistered side counters backing the ServerStats snapshot: the
+	// labeled families above cannot be summed per label value without
+	// iterating series, so the snapshot-relevant slices are counted twice —
+	// once in the vec for /metrics, once here for Snapshot.
+	queriesTotal, cacheHits, cacheMisses, cacheDedups metrics.Counter
+	queriesCanceled, queriesTimedOut, queriesRejected metrics.Counter
+}
+
+// newServeMetrics registers the server's instrument families on reg.
+// Registering the same family twice on one registry panics, so a registry
+// must not be shared by two servers.
+func newServeMetrics(reg *metrics.Registry) *serveMetrics {
+	m := &serveMetrics{reg: reg}
+	m.httpRequests = reg.CounterVec("convoyd_http_requests_total",
+		"API requests served, by mux route and status code.", "route", "code")
+	m.httpSeconds = reg.HistogramVec("convoyd_http_request_seconds",
+		"API request latency in seconds, by mux route.", nil, "route")
+	m.queries = reg.CounterVec("convoyd_queries_total",
+		"Batch queries, by algorithm, cache state (hit|miss|dedup|none) and outcome (ok|canceled|timeout|bad_request|error).",
+		"algo", "cache", "outcome")
+	m.querySeconds = reg.HistogramVec("convoyd_query_seconds",
+		"Batch query latency in seconds (queueing plus discovery), by algorithm and outcome.",
+		nil, "algo", "outcome")
+	m.queryInflight = reg.Gauge("convoyd_query_inflight",
+		"Worker-pool slots currently held by executing batch queries.")
+	m.queryComputes = reg.Counter("convoyd_query_computes_total",
+		"Discovery runs actually started (cache misses that reached the core).")
+	m.queryStats = reg.CounterVec("convoyd_query_stats_total",
+		"Core discovery-run statistics accumulated per algorithm (see core.Stats.Each).",
+		"stat", "algo")
+	m.feedTicks = reg.Counter("convoyd_feed_ticks_total",
+		"Tick batches ingested across all feeds; rate() of this is the tick rate.")
+	m.feedPositions = reg.Counter("convoyd_feed_positions_total",
+		"Object positions ingested across all feeds.")
+	m.feedEvents = reg.Counter("convoyd_feed_events_total",
+		"Closed-convoy events emitted across all feeds.")
+	m.feedIngestSeconds = reg.Histogram("convoyd_feed_ingest_seconds",
+		"Tick-ingestion latency in seconds, mailbox wait included — the feed's backpressure lag.", nil)
+	m.feedPasses = reg.Counter("convoyd_feed_cluster_passes_total",
+		"Snapshot clustering passes actually run (one per distinct key per tick).")
+	m.feedPassesNaive = reg.Counter("convoyd_feed_cluster_passes_naive_total",
+		"Clustering passes a per-monitor engine would have run (ticks times monitors); the gap to the actual counter is the shared-clustering saving.")
+	m.feedsCreated = reg.Counter("convoyd_feeds_created_total", "Feeds created.")
+	m.feedsDeleted = reg.Counter("convoyd_feeds_deleted_total", "Feeds deleted over HTTP.")
+	m.feedsEvicted = reg.Counter("convoyd_feeds_evicted_total", "Feeds evicted by the idle janitor.")
+	m.monitors = reg.Gauge("convoyd_monitors",
+		"Standing queries (monitors) registered across all feeds.")
+	return m
+}
+
+// bindServer registers the exposition-time gauges that read live server
+// structures; called once per Server, after those structures exist.
+func (m *serveMetrics) bindServer(s *Server) {
+	m.reg.GaugeFunc("convoyd_feeds", "Live feeds.", func() float64 {
+		return float64(s.reg.count())
+	})
+	m.reg.GaugeFunc("convoyd_query_workers", "Worker-pool capacity for batch queries.", func() float64 {
+		return float64(s.cfg.QueryWorkers)
+	})
+	m.reg.GaugeFunc("convoyd_cache_entries", "Batch-query LRU cache entries.", func() float64 {
+		if s.q.lru == nil {
+			return 0
+		}
+		return float64(s.q.lru.len())
+	})
+}
+
+// algoLabel normalizes a client-supplied algorithm name into a bounded
+// label set — arbitrary strings must not mint new metric series.
+func algoLabel(name string) string {
+	if _, _, err := ParseAlgo(name); err != nil {
+		return "invalid"
+	}
+	if name == "" {
+		return AlgoCuTSStar
+	}
+	return strings.ToLower(name)
+}
+
+// outcomeOf classifies a query error for the outcome label.
+func outcomeOf(err error) string {
+	var bre *badRequestError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.As(err, &bre):
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+// observeQuery records one finished batch query.
+func (m *serveMetrics) observeQuery(algo, cache string, err error, d time.Duration) {
+	if cache == "" {
+		cache = "none"
+	}
+	outcome := outcomeOf(err)
+	m.queries.With(algo, cache, outcome).Inc()
+	m.querySeconds.With(algo, outcome).Observe(d.Seconds())
+
+	m.queriesTotal.Inc()
+	switch cache {
+	case "hit":
+		m.cacheHits.Inc()
+	case "miss":
+		m.cacheMisses.Inc()
+	case "dedup":
+		m.cacheDedups.Inc()
+	}
+	switch outcome {
+	case "canceled":
+		m.queriesCanceled.Inc()
+	case "timeout":
+		m.queriesTimedOut.Inc()
+	case "bad_request":
+		m.queriesRejected.Inc()
+	}
+}
+
+// observeRunStats folds one discovery run's core statistics into the
+// per-algorithm stat counters.
+func (m *serveMetrics) observeRunStats(algo string, st core.Stats) {
+	st.Each(func(name string, v float64) {
+		m.queryStats.With(name, algo).Add(v)
+	})
+}
+
+// statusWriter captures the response status for the HTTP middleware while
+// preserving the Flusher the NDJSON tail handler needs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it can flush (the NDJSON
+// tail path type-asserts for this).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observeHTTP records one finished API request.
+func (m *serveMetrics) observeHTTP(route string, code int, d time.Duration) {
+	if route == "" {
+		route = "unmatched"
+	}
+	m.httpRequests.With(route, strconv.Itoa(code)).Inc()
+	m.httpSeconds.With(route).Observe(d.Seconds())
+}
+
+// ServerStats is a read-only snapshot of the server's counters — the
+// registry janitor's evictions, the feed engine's ingestion and shared
+// clustering meters, and the query engine's cache and outcome counts.
+// Server.Snapshot assembles it from the same instruments /metrics
+// exposes; GET /v1/stats serves it as JSON.
+type ServerStats struct {
+	// Feeds is the number of currently registered feeds.
+	Feeds int `json:"feeds"`
+	// FeedsCreated / FeedsDeleted / FeedsEvicted count feed lifecycle
+	// events; Evicted is the idle janitor's work.
+	FeedsCreated int64 `json:"feeds_created"`
+	FeedsDeleted int64 `json:"feeds_deleted"`
+	FeedsEvicted int64 `json:"feeds_evicted"`
+	// Monitors is the number of standing queries across all feeds.
+	Monitors int64 `json:"monitors"`
+	// Ticks / Positions / Events count ingestion and emission across all
+	// feeds, dead ones included.
+	Ticks     int64 `json:"ticks"`
+	Positions int64 `json:"positions"`
+	Events    int64 `json:"events"`
+	// ClusterPasses counts snapshot clustering passes actually run by the
+	// feed engine; ClusterPassesNaive what ticks × monitors would have
+	// cost. Naive minus actual is the shared-clustering saving.
+	ClusterPasses      int64 `json:"cluster_passes"`
+	ClusterPassesNaive int64 `json:"cluster_passes_naive"`
+	// Queries counts finished batch queries; Computes the discovery runs
+	// actually started (misses that reached the core). CacheHits, Misses
+	// and Dedups partition the successful queries by how they were
+	// answered.
+	Queries       int64 `json:"queries"`
+	QueryComputes int64 `json:"query_computes"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheDedups   int64 `json:"cache_dedups"`
+	// QueriesCanceled / TimedOut / Rejected count the failure outcomes
+	// (client disconnects, deadline expiries, bad requests).
+	QueriesCanceled int64 `json:"queries_canceled"`
+	QueriesTimedOut int64 `json:"queries_timed_out"`
+	QueriesRejected int64 `json:"queries_rejected"`
+	// QueryInflight is the worker-pool occupancy right now; CacheEntries
+	// the LRU result-cache size.
+	QueryInflight int64 `json:"query_inflight"`
+	CacheEntries  int   `json:"cache_entries"`
+}
+
+// Snapshot returns the server's counters at this instant. It is safe to
+// call concurrently with any traffic; the snapshot is not atomic across
+// fields (each field is individually consistent).
+func (s *Server) Snapshot() ServerStats {
+	m := s.cfg.metrics
+	st := ServerStats{
+		Feeds:              s.reg.count(),
+		FeedsCreated:       int64(m.feedsCreated.Value()),
+		FeedsDeleted:       int64(m.feedsDeleted.Value()),
+		FeedsEvicted:       int64(m.feedsEvicted.Value()),
+		Monitors:           int64(m.monitors.Value()),
+		Ticks:              int64(m.feedTicks.Value()),
+		Positions:          int64(m.feedPositions.Value()),
+		Events:             int64(m.feedEvents.Value()),
+		ClusterPasses:      int64(m.feedPasses.Value()),
+		ClusterPassesNaive: int64(m.feedPassesNaive.Value()),
+		Queries:            int64(m.queriesTotal.Value()),
+		QueryComputes:      int64(m.queryComputes.Value()),
+		CacheHits:          int64(m.cacheHits.Value()),
+		CacheMisses:        int64(m.cacheMisses.Value()),
+		CacheDedups:        int64(m.cacheDedups.Value()),
+		QueriesCanceled:    int64(m.queriesCanceled.Value()),
+		QueriesTimedOut:    int64(m.queriesTimedOut.Value()),
+		QueriesRejected:    int64(m.queriesRejected.Value()),
+		QueryInflight:      int64(m.queryInflight.Value()),
+	}
+	if s.q.lru != nil {
+		st.CacheEntries = s.q.lru.len()
+	}
+	return st
+}
+
+// MetricsRegistry returns the registry holding the server's instruments —
+// the configured one, or the private registry a zero config gets. Mount
+// its Handler to expose /metrics.
+func (s *Server) MetricsRegistry() *metrics.Registry { return s.cfg.metrics.reg }

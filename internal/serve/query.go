@@ -14,7 +14,6 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -49,9 +48,6 @@ type queryEngine struct {
 	fmu     sync.Mutex
 	flights map[string]*flight
 
-	// computes counts discovery runs actually started — the observable the
-	// dedup and queued-cancellation tests assert on.
-	computes atomic.Int64
 	// onComputeStart, when non-nil, is called as a compute begins (tests
 	// use it to synchronize cancellation with a run in progress).
 	onComputeStart func()
@@ -74,6 +70,11 @@ func newQueryEngine(cfg Config) *queryEngine {
 	}
 	return e
 }
+
+// computes reports the discovery runs actually started (cache misses
+// that reached the core) — the observable the dedup and
+// queued-cancellation tests assert on, backed by the metrics counter.
+func (e *queryEngine) computes() int64 { return int64(e.cfg.metrics.queryComputes.Value()) }
 
 // resolve confines a client path to the data dir.
 func (e *queryEngine) resolve(path string) (string, error) {
@@ -186,11 +187,16 @@ func (e *queryEngine) cached(key string) (QueryResponse, bool) {
 	return resp, true
 }
 
-// acquire takes a worker-pool slot (or gives up with the context).
+// acquire takes a worker-pool slot (or gives up with the context). Held
+// slots show up on the convoyd_query_inflight occupancy gauge.
 func (e *queryEngine) acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case e.sem <- struct{}{}:
-		return func() { <-e.sem }, nil
+		e.cfg.metrics.queryInflight.Inc()
+		return func() {
+			e.cfg.metrics.queryInflight.Dec()
+			<-e.sem
+		}, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -213,10 +219,27 @@ func (e *queryEngine) requestCtx(ctx context.Context, req QueryRequest) (context
 	return context.WithTimeout(ctx, d)
 }
 
-// run answers one batch query over uploaded database bytes: cache first,
-// then parse+compute under a worker slot, deduplicating identical
-// concurrent queries.
+// run answers one batch query over uploaded database bytes, metering
+// outcome, cache state and latency.
 func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (QueryResponse, error) {
+	t0 := time.Now()
+	resp, err := e.runUpload(ctx, data, req)
+	e.cfg.metrics.observeQuery(algoLabel(req.Algo), resp.Cache, err, time.Since(t0))
+	return resp, err
+}
+
+// runPath answers a path-referencing batch query, metering outcome, cache
+// state and latency.
+func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	t0 := time.Now()
+	resp, err := e.doRunPath(ctx, req)
+	e.cfg.metrics.observeQuery(algoLabel(req.Algo), resp.Cache, err, time.Since(t0))
+	return resp, err
+}
+
+// runUpload: cache first, then parse+compute under a worker slot,
+// deduplicating identical concurrent queries.
+func (e *queryEngine) runUpload(ctx context.Context, data []byte, req QueryRequest) (QueryResponse, error) {
 	pl, err := plan(req, e.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return QueryResponse{}, err
@@ -237,13 +260,13 @@ func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (Q
 	})
 }
 
-// runPath answers a path-referencing query. A memo of path → (stat,
+// doRunPath answers a path-referencing query. A memo of path → (stat,
 // digest) lets repeat queries against an unchanged file hit the cache
 // without touching the disk at all; only a miss (or a changed file) pays
 // the read+hash, and every disk read happens under a worker slot so a
 // burst of cold-path queries cannot hold more than QueryWorkers database
 // files in memory at once.
-func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+func (e *queryEngine) doRunPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
 	pl, err := plan(req, e.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return QueryResponse{}, err
@@ -358,6 +381,16 @@ func (e *queryEngine) shared(ctx context.Context, key string, fn func(context.Co
 func (e *queryEngine) await(ctx context.Context, f *flight, joined bool) (QueryResponse, error) {
 	select {
 	case <-f.done:
+		if err := ctx.Err(); err != nil {
+			// The flight finished, but this caller's own deadline had
+			// already expired. On a busy box a CPU-bound run can delay
+			// timer delivery until the flight's own completion, making
+			// both select cases ready at once — and deadline enforcement
+			// must not ride on that coin flip. The caller gets its
+			// context error; a successful flight's answer is cached for
+			// the next query regardless.
+			return QueryResponse{}, err
+		}
 		resp, err := f.resp, f.err
 		if err == nil && joined {
 			resp.Cache = "dedup"
@@ -409,7 +442,7 @@ const maxPathDigests = 256
 // given context; the caller holds a worker slot. Cancelled computations
 // return the context error and never touch the cache.
 func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, pl queryPlan) (QueryResponse, error) {
-	e.computes.Add(1)
+	e.cfg.metrics.queryComputes.Inc()
 	if e.onComputeStart != nil {
 		e.onComputeStart()
 	}
@@ -439,6 +472,7 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	e.cfg.metrics.observeRunStats(pl.algo, st)
 	if !pl.isCMC {
 		js := StatsToJSON(st)
 		resp.Stats = &js

@@ -69,7 +69,16 @@ func (r *registry) create(name string, p core.Params) (*feed, error) {
 		return nil, err
 	}
 	r.feeds[name] = f
+	r.cfg.metrics.feedsCreated.Inc()
 	return f, nil
+}
+
+// count reports the number of registered feeds (read by the feeds gauge
+// and the stats snapshot).
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.feeds)
 }
 
 // get looks a feed up by name.
@@ -83,8 +92,12 @@ func (r *registry) get(name string) (*feed, error) {
 	return f, nil
 }
 
-// remove unregisters and drains a feed; the close happens outside the lock.
-func (r *registry) remove(ctx context.Context, name string) (FeedCloseResponse, error) {
+// remove unregisters and drains a feed; the close happens outside the
+// lock. The drain deliberately ignores the request context: once the
+// feed is out of the map nobody else can close it, so a client that
+// disconnects mid-DELETE must not orphan an undrained worker (which
+// would also leave the monitor gauge counting its table forever).
+func (r *registry) remove(_ context.Context, name string) (FeedCloseResponse, error) {
 	r.mu.Lock()
 	f, ok := r.feeds[name]
 	if ok {
@@ -94,7 +107,8 @@ func (r *registry) remove(ctx context.Context, name string) (FeedCloseResponse, 
 	if !ok {
 		return FeedCloseResponse{}, fmt.Errorf("%w: %q", errNoFeed, name)
 	}
-	return f.close(ctx)
+	r.cfg.metrics.feedsDeleted.Inc()
+	return f.close(context.Background())
 }
 
 // list snapshots the registered feeds, name-sorted.
@@ -122,8 +136,9 @@ func (r *registry) evictIdle(cutoff time.Time) int {
 	}
 	r.mu.Unlock()
 	for _, f := range victims {
-		f.close(context.Background())
+		_, _ = f.close(context.Background()) // eviction drain is best-effort
 	}
+	r.cfg.metrics.feedsEvicted.Add(float64(len(victims)))
 	return len(victims)
 }
 
@@ -139,6 +154,6 @@ func (r *registry) closeAll() {
 	}
 	r.mu.Unlock()
 	for _, f := range victims {
-		f.close(context.Background())
+		_, _ = f.close(context.Background()) // shutdown drain is best-effort
 	}
 }

@@ -29,6 +29,7 @@
 // # HTTP API (all under /v1)
 //
 //	GET    /v1/healthz                      liveness + feed count
+//	GET    /v1/stats                        read-only counter snapshot (ServerStats)
 //	GET    /v1/feeds                        list feed statuses
 //	POST   /v1/feeds                        create a feed     {name, params:{m,k,e}}
 //	GET    /v1/feeds/{name}                 one feed's status (incl. monitor table)
@@ -88,6 +89,7 @@ func New(cfg Config) *Server {
 		janitorStop: make(chan struct{}),
 	}
 	s.routes()
+	cfg.metrics.bindServer(s)
 	if cfg.IdleTimeout > 0 {
 		s.wg.Add(1)
 		go s.janitor()
@@ -95,10 +97,21 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request is metered: route and
+// status into convoyd_http_requests_total, wall time into
+// convoyd_http_request_seconds (a streaming tail counts when it ends).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	t0 := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK // handler wrote nothing at all
+	}
+	// r.Pattern holds the mux route that matched (empty on 404), keeping
+	// the route label's cardinality bounded by the route table.
+	s.cfg.metrics.observeHTTP(r.Pattern, code, time.Since(t0))
 }
 
 // Close drains every feed (flushing open candidates through the streamers)
@@ -133,6 +146,7 @@ func (s *Server) janitor() {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/feeds", s.handleListFeeds)
 	s.mux.HandleFunc("POST /v1/feeds", s.handleCreateFeed)
 	s.mux.HandleFunc("GET /v1/feeds/{name}", s.handleFeedStatus)
@@ -159,7 +173,7 @@ func validPathName(s string) bool {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) // a peer gone mid-write is its own problem
 }
 
 // writeErr maps an error to its HTTP status and a JSON body.
@@ -202,6 +216,13 @@ func statusFor(err error) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "feeds": len(s.reg.list())})
+}
+
+// handleStats serves the read-only counter snapshot — the JSON twin of
+// the /metrics exposition, for clients that want one struct instead of a
+// Prometheus scrape.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
 func (s *Server) handleListFeeds(w http.ResponseWriter, r *http.Request) {

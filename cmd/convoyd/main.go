@@ -5,6 +5,7 @@
 // Usage:
 //
 //	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64] [-request-timeout 30s] [-metrics-addr :9090] [-pprof]
+//	        [-log-format text|json] [-log-level info] [-slow-query 250ms] [-trace-sample 0.01]
 //
 // Quick start against a running server:
 //
@@ -28,16 +29,30 @@
 // The server meters itself (see internal/serve's metric catalogue) and
 // exposes:
 //
-//	GET /metrics      Prometheus text exposition (convoyd_* families)
-//	GET /debug/vars   expvar mirror of the same instruments
-//	GET /v1/stats     read-only JSON counter snapshot
+//	GET /metrics       Prometheus text exposition (convoyd_* and go_*
+//	                   families; Accept: application/openmetrics-text or
+//	                   ?exemplars=1 adds trace-ID exemplars on the latency
+//	                   histograms)
+//	GET /debug/vars    expvar mirror of the same instruments
+//	GET /debug/traces  recent request/query traces, newest first (?min_ms=)
+//	GET /v1/stats      read-only JSON counter snapshot
 //
-// By default /metrics and /debug/vars are mounted on the main address;
-// -metrics-addr moves them (plus -pprof's /debug/pprof/*) onto a separate
-// listener, the usual arrangement when the API port is public:
+// By default /metrics, /debug/vars and /debug/traces are mounted on the
+// main address; -metrics-addr moves them (plus -pprof's /debug/pprof/*)
+// onto a separate listener, the usual arrangement when the API port is
+// public:
 //
 //	convoyd -addr :8764 -metrics-addr 127.0.0.1:9090 -pprof
 //	curl 127.0.0.1:9090/metrics
+//
+// Logs are structured (log/slog): -log-format picks text or json,
+// -log-level the threshold. Every record emitted while serving a request
+// carries that request's request_id (and trace_id when traced).
+// -slow-query 250ms traces every request and logs one record with the
+// full span tree for each request slower than the threshold;
+// -trace-sample 0.01 additionally samples 1% of ordinary requests into
+// /debug/traces. Clients get per-query stage timings with
+// POST /v1/query?...&explain=true, no server flags required.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish and every
 // feed is drained, flushing still-open convoys to its event log.
@@ -49,7 +64,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,7 +74,26 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	var (
@@ -71,10 +105,21 @@ func main() {
 		history     = flag.Int("history", 0, "closed-convoy events retained per feed (0 = default 1024)")
 		monitors    = flag.Int("max-monitors", 0, "standing queries allowed per feed (0 = default 64)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "server-side cap on one batch query's wall time; queries past it abort mid-run and answer 504 (0 = uncapped)")
-		metricsAddr = flag.String("metrics-addr", "", "separate listen address for /metrics, /debug/vars and -pprof (empty = mount /metrics and /debug/vars on the main address)")
+		metricsAddr = flag.String("metrics-addr", "", "separate listen address for /metrics, /debug/vars, /debug/traces and -pprof (empty = mount them on the main address)")
 		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof/* on the metrics address (or the main address when -metrics-addr is empty)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowQuery   = flag.Duration("slow-query", 0, "trace every request and log a structured record with the full span tree for any request slower than this (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0, "probability in [0,1] of tracing an ordinary request into /debug/traces (explain and slow-query tracing work regardless)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convoyd:", err)
+		os.Exit(2)
+	}
+	tracer := trace.NewTracer(trace.WithSampleRatio(*traceSample))
 
 	reg := metrics.NewRegistry()
 	srv := serve.New(serve.Config{
@@ -86,6 +131,9 @@ func main() {
 		MaxMonitorsPerFeed: *monitors,
 		QueryTimeout:       *reqTimeout,
 		Metrics:            reg,
+		Logger:             logger,
+		Tracer:             tracer,
+		SlowQuery:          *slowQuery,
 	})
 	reg.PublishExpvar("convoyd")
 
@@ -101,6 +149,7 @@ func main() {
 	}
 	obsMux.Handle("GET /metrics", reg.Handler())
 	obsMux.Handle("GET /debug/vars", expvar.Handler())
+	obsMux.Handle("GET /debug/traces", tracer.Handler())
 	if *pprofOn {
 		obsMux.HandleFunc("/debug/pprof/", pprof.Index)
 		obsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -116,26 +165,26 @@ func main() {
 
 	errc := make(chan error, 2)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("convoyd: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "slow_query", slowQuery.String(), "trace_sample", *traceSample)
 
 	var obsSrv *http.Server
 	if *metricsAddr != "" {
 		obsSrv = &http.Server{Addr: *metricsAddr, Handler: obsMux}
 		go func() { errc <- obsSrv.ListenAndServe() }()
-		log.Printf("convoyd: metrics on %s", *metricsAddr)
+		logger.Info("metrics listener up", "addr", *metricsAddr)
 	}
 
 	select {
 	case <-ctx.Done():
-		log.Print("convoyd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("convoyd: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 		if obsSrv != nil {
 			if err := obsSrv.Shutdown(shutdownCtx); err != nil {
-				log.Printf("convoyd: metrics shutdown: %v", err)
+				logger.Error("metrics shutdown", "err", err)
 			}
 		}
 		srv.Close()

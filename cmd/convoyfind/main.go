@@ -3,7 +3,8 @@
 // Usage:
 //
 //	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ]
-//	           [-workers N] [-limit N] [-timeout 30s] [-stats] [-format text|json|jsonl|json-array]
+//	           [-workers N] [-limit N] [-timeout 30s] [-stats] [-explain]
+//	           [-format text|json|jsonl|json-array]
 //
 // The input format is "obj,t,x,y" with a header line (see the tsio
 // package). The convoy parameters follow the paper: m is the minimum group
@@ -19,6 +20,10 @@
 // -format json-array (and its older spelling, the -json flag) wraps the
 // same objects in one indented JSON array.
 //
+// -explain traces the discovery and prints the per-stage timing profile
+// (the same stage breakdown POST /v1/query?...&explain=true returns) to
+// stderr after the results, so it composes with every -format.
+//
 // -timeout bounds the whole discovery; SIGINT (Ctrl-C) aborts it the same
 // way. Both cancel the clustering pipeline mid-run — with -format jsonl
 // the convoys already printed remain valid answers — and exit nonzero.
@@ -33,6 +38,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
 	convoys "repro"
@@ -48,6 +54,7 @@ func main() {
 		delta   = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
 		lambda  = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
 		stats   = flag.Bool("stats", false, "print phase timings and filter statistics")
+		explain = flag.Bool("explain", false, "print the per-stage timing profile to stderr after the results")
 		format  = flag.String("format", "text", "output format: text, json (NDJSON), jsonl (NDJSON, streamed as found) or json-array")
 		asJSON  = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
 		workers = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
@@ -90,7 +97,7 @@ func main() {
 	opts := options{
 		input: *input, m: *m, k: *k, e: *e, algo: *algo,
 		delta: *delta, lambda: *lambda, workers: *workers,
-		limit: *limit, stats: *stats, format: *format,
+		limit: *limit, stats: *stats, explain: *explain, format: *format,
 	}
 	if err := run(ctx, os.Stdout, opts); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -116,6 +123,7 @@ type options struct {
 	workers int
 	limit   int
 	stats   bool
+	explain bool
 	format  string
 }
 
@@ -169,6 +177,46 @@ func run(ctx context.Context, out io.Writer, o options) error {
 		return err
 	}
 
+	if !o.explain {
+		return discover(ctx, out, o, q, db, &st)
+	}
+	// -explain: run the same discovery under a private forced trace and
+	// print the stage breakdown (the server's explain=true profile) to
+	// stderr once the results are out.
+	ctx, root := convoys.NewTracer().Start(ctx, "convoyfind", convoys.ForcedTrace())
+	err = discover(ctx, out, o, q, db, &st)
+	root.End()
+	if err != nil {
+		return err
+	}
+	if tj, ok := root.Collect(); ok {
+		if ex, ok := convoys.ExplainFromTrace(tj); ok {
+			printExplain(os.Stderr, ex)
+		}
+	}
+	return nil
+}
+
+// printExplain renders a query profile the way the text formats do:
+// one line per pipeline stage, attributes appended.
+func printExplain(w io.Writer, ex convoys.ExplainJSON) {
+	fmt.Fprintf(w, "query profile: total %.3fms (trace %s)\n", ex.TotalMS, ex.TraceID)
+	for _, s := range ex.Stages {
+		fmt.Fprintf(w, "  %-8s %10.3fms", s.Name, s.DurationMS)
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%s", k, s.Attrs[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// discover executes the query and writes the results in o.format.
+func discover(ctx context.Context, out io.Writer, o options, q *convoys.Query, db *convoys.DB, st *convoys.Stats) error {
 	if strings.ToLower(o.format) == "jsonl" {
 		// Streaming: print each convoy the moment the scan closes it.
 		// Breaking on a write error (or the -limit inside the query)

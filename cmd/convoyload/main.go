@@ -1,8 +1,10 @@
 // Command convoyload drives a live convoyd server with scripted traffic
 // and reports what both sides measured: client-observed latency
-// percentiles per operation, and the server's own /metrics counters
-// scraped after the run (Report.ServerMatch confirms the two request
-// counts agree).
+// percentiles per operation, the server's own /metrics counters scraped
+// after the run (Report.ServerMatch confirms the two request counts
+// agree), and the per-stage profile of one sampled explain=true query.
+// Against a server that predates /v1/stats the server-side view degrades
+// to a clear Report.ServerError instead of zeroed counters.
 //
 // Usage:
 //
@@ -124,5 +126,14 @@ func printSummary(rep loadgen.Report) {
 	}
 	if saved := rep.Server["convoyd_feed_cluster_passes_naive_total"] - rep.Server["convoyd_feed_cluster_passes_total"]; saved > 0 {
 		fmt.Printf("  shared clustering saved %.0f DBSCAN passes server-side\n", saved)
+	}
+	if ex := rep.Explain; ex != nil {
+		fmt.Printf("  sampled query profile: total %.3fms (trace %s)\n", ex.TotalMS, ex.TraceID)
+		for _, s := range ex.Stages {
+			fmt.Printf("    %-8s %10.3fms\n", s.Name, s.DurationMS)
+		}
+	}
+	if rep.ServerError != "" {
+		fmt.Printf("  server-side view degraded: %s\n", rep.ServerError)
 	}
 }

@@ -79,6 +79,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/simplify"
 	"repro/internal/stjoin"
+	"repro/internal/trace"
 	"repro/internal/tsio"
 )
 
@@ -362,6 +363,61 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 // ServeConfig.Metrics; srv.MetricsRegistry().Handler() serves the
 // exposition (cmd/convoyd wires this up behind -metrics-addr).
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Request-scoped tracing and query explain profiles (the trace package;
+// see README "Tracing, explain & logging"). A Server traces through
+// ServeConfig.Tracer; library users can trace any Query.Run by starting
+// a span on the context they pass in.
+type (
+	// Tracer samples operations into spans and keeps a bounded ring of
+	// recent completed traces (mount Handler as /debug/traces). The zero
+	// sample ratio never samples on its own; Forced starts and
+	// continued remote traces still record.
+	Tracer = trace.Tracer
+	// TracerOption configures a Tracer under construction.
+	TracerOption = trace.Option
+	// SpanOption configures one Tracer.Start call.
+	SpanOption = trace.StartOption
+	// Span is one timed, attributed operation within a trace. All of its
+	// methods are nil-safe, so unsampled code paths need no branches.
+	Span = trace.Span
+	// TraceJSON is a completed trace: summary fields plus the span tree.
+	TraceJSON = trace.TraceJSON
+	// SpanJSON is the wire form of one span within a TraceJSON tree.
+	SpanJSON = trace.SpanJSON
+	// ExplainJSON is the per-stage timing profile attached to a
+	// QueryResponse when the query asked for explain=true.
+	ExplainJSON = serve.ExplainJSON
+	// ExplainStageJSON is one pipeline stage of an ExplainJSON profile.
+	ExplainStageJSON = serve.ExplainStageJSON
+)
+
+// NewTracer builds a Tracer; with no options it records only forced and
+// remotely-sampled traces (WithTraceSampleRatio adds probabilistic ones).
+func NewTracer(opts ...TracerOption) *Tracer { return trace.NewTracer(opts...) }
+
+// WithTraceSampleRatio samples the given fraction of ordinary
+// (non-forced) Tracer.Start calls into the ring.
+func WithTraceSampleRatio(r float64) TracerOption { return trace.WithSampleRatio(r) }
+
+// ForcedTrace makes one Tracer.Start call record regardless of the
+// sample ratio — the hook behind explain=true and slow-query tracing.
+func ForcedTrace() SpanOption { return trace.Forced() }
+
+// StartSpan opens a child span of the context's active span (the query
+// pipeline's own stages are created this way); when the context carries
+// no sampled span it returns (ctx, nil) at zero cost.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return trace.StartSpan(ctx, name)
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span { return trace.FromContext(ctx) }
+
+// ExplainFromTrace distills a collected trace into the wire-schema stage
+// profile (the "run" span's direct children); ok is false when the trace
+// holds no run span.
+func ExplainFromTrace(tj TraceJSON) (ExplainJSON, bool) { return serve.ExplainFromTrace(tj) }
 
 // ConvoyToJSON renders a convoy in the wire schema, resolving member
 // labels from the database (falling back to "o<ID>").

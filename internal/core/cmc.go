@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dbscan"
 	"repro/internal/geom"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // CMC — the Coherent Moving Cluster algorithm (Section 4, Algorithm 1).
@@ -186,18 +188,40 @@ func cmcScan(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, sub
 		// still scanned one by one either way.
 		workers = 1
 	}
+	// When a sampled trace is active, meter where the scan's time goes —
+	// clustering (parallel, summed across workers) versus chaining
+	// (sequential) — and fold the totals into the active span as
+	// accumulated attributes. AddFloat (not synthetic spans) keeps the
+	// explain invariant "Σ child stage durations ≤ parent wall time"
+	// intact under parallelism. tm stays nil on the unsampled path, so
+	// the hot loop pays nothing.
+	tm := newStageTimer(trace.FromContext(ctx))
+	defer tm.flush()
 	produce := func(i int) [][]model.ObjectID {
 		if passes != nil {
 			atomic.AddInt64(passes, 1)
 		}
-		return snapshotClusters(db, p, lo+model.Tick(i), subset)
+		if tm == nil {
+			return snapshotClusters(db, p, lo+model.Tick(i), subset)
+		}
+		t0 := time.Now()
+		cs := snapshotClusters(db, p, lo+model.Tick(i), subset)
+		tm.cluster.Add(int64(time.Since(t0)))
+		return cs
 	}
 	var live []*candidate
 	stopped := false
 	consume := func(i int, clusters [][]model.ObjectID) bool {
 		t := lo + model.Tick(i)
 		var batch []Convoy
+		var t0 time.Time
+		if tm != nil {
+			t0 = time.Now()
+		}
 		live = chainStep(live, clusters, p.M, p.K, t, t, false, &batch, nil)
+		if tm != nil {
+			tm.chain.Add(int64(time.Since(t0)))
+		}
 		if len(batch) > 0 && !emit(batch) {
 			stopped = true
 			return false
@@ -237,10 +261,12 @@ func cmcScan(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, sub
 // cmcWindow collects the raw convoys of a serial, uncancellable CMC scan
 // over [lo, hi] — the refinement step's per-candidate unit of work (the
 // streaming/cancellation granularity is the candidate, so the window scan
-// itself runs to completion).
-func cmcWindow(db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, passes *int64) []Convoy {
+// itself runs to completion). ctx carries only the active trace span —
+// never a deadline — so sampled runs still meter the window's clustering
+// time into the refine span without gaining mid-window cancellation.
+func cmcWindow(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, passes *int64) []Convoy {
 	var out []Convoy
-	cmcScan(context.Background(), db, p, lo, hi, subset, 1, passes, func(batch []Convoy) bool {
+	cmcScan(ctx, db, p, lo, hi, subset, 1, passes, func(batch []Convoy) bool {
 		out = append(out, batch...)
 		return true
 	})

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dbscan"
 	"repro/internal/model"
 	"repro/internal/simplify"
+	"repro/internal/trace"
 )
 
 // The CuTS family (Sections 5 and 6): filter-refinement convoy discovery
@@ -249,9 +250,16 @@ func filterScan(ctx context.Context, db *model.DB, p Params, sts []*simplify.Tra
 	// CPA distances; the free-space DLL bound must keep whole segments,
 	// which is exactly why the paper calls the CuTS* filter tighter
 	// (Section 6.2).
+	tm := newStageTimer(trace.FromContext(ctx))
+	defer tm.flush()
 	partitionClusters := func(w window) [][]model.ObjectID {
 		if passes != nil {
 			atomic.AddInt64(passes, 1)
+		}
+		var t0 time.Time
+		if tm != nil {
+			t0 = time.Now()
+			defer func() { tm.cluster.Add(int64(time.Since(t0))) }()
 		}
 		var polys []dbscan.Polyline
 		var polyObj []model.ObjectID
@@ -290,7 +298,14 @@ func filterScan(ctx context.Context, db *model.DB, p Params, sts []*simplify.Tra
 	if err := orderedPipeline(ctx, len(wins), fc.Workers,
 		func(i int) [][]model.ObjectID { return partitionClusters(wins[i]) },
 		func(i int, clusters [][]model.ObjectID) bool {
+			var t0 time.Time
+			if tm != nil {
+				t0 = time.Now()
+			}
 			live = chainStep(live, clusters, p.M, p.K, wins[i].w0, wins[i].w1, true, nil, collect)
+			if tm != nil {
+				tm.chain.Add(int64(time.Since(t0)))
+			}
 			return true
 		}); err != nil {
 		return nil, err
@@ -370,10 +385,14 @@ func RefineParallel(db *model.DB, p Params, cands []Candidate, workers int) Resu
 // cancelling ctx aborts with ctx.Err() at candidate granularity. passes
 // meters the snapshot clustering passes of the refinement windows.
 func refineScan(ctx context.Context, db *model.DB, p Params, cands []Candidate, workers int, passes *int64, emit func(i int, raw []Convoy) bool) error {
+	// The window scans get a span-only context: the refine span's timing
+	// attributes accumulate across candidates, while the scans stay
+	// uncancellable mid-window as documented on cmcWindow.
+	wctx := trace.ContextWithSpan(context.Background(), trace.FromContext(ctx))
 	return orderedPipeline(ctx, len(cands), workers,
 		func(i int) []Convoy {
 			c := cands[i]
-			return cmcWindow(db, p, c.Start, c.End, c.Support, passes)
+			return cmcWindow(wctx, db, p, c.Start, c.End, c.Support, passes)
 		},
 		emit)
 }

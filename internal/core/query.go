@@ -10,6 +10,7 @@ import (
 	"repro/internal/dbscan"
 	"repro/internal/model"
 	"repro/internal/simplify"
+	"repro/internal/trace"
 )
 
 // Query is the context-first convoy discovery API: one value describing
@@ -222,6 +223,26 @@ func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convo
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The "run" span is the discovery pipeline's root: its children are
+	// the stage spans ("scan" for CMC; "simplify"/"filter"/"refine" for
+	// the CuTS family), which is exactly the stage set an ?explain=true
+	// breakdown reports. With no sampled trace in ctx this is a nil span
+	// and every annotation below is a free no-op.
+	ctx, sp := trace.StartSpan(ctx, "run")
+	algo := "cmc"
+	if !q.useCMC {
+		algo = q.variant.String()
+	}
+	sp.Str("algo", algo).
+		Int("m", int64(q.p.M)).Int("k", q.p.K).Float("e", q.p.Eps).
+		Int("workers", int64(st.Workers))
+	if q.limit > 0 {
+		sp.Int("limit", int64(q.limit))
+	}
+	defer func() {
+		sp.Int("cluster_passes", atomic.LoadInt64(&passes))
+		sp.End()
+	}()
 	if q.useCMC {
 		return q.runCMC(ctx, db, raw, &passes, emit)
 	}
@@ -257,6 +278,9 @@ func (q *Query) runCMC(ctx context.Context, db *model.DB, raw bool, passes *int6
 	if !ok {
 		return nil
 	}
+	ctx, sp := trace.StartSpan(ctx, "scan")
+	sp.Int("ticks", int64(hi-lo)+1)
+	defer sp.End()
 	sink := emitBatches(raw, emit)
 	return cmcScan(ctx, db, q.p, lo, hi, nil, q.workers, passes, sink)
 }
@@ -294,15 +318,20 @@ func (q *Query) runCuTS(ctx context.Context, db *model.DB, raw bool, st *Stats, 
 	st.Delta = delta
 
 	t0 := time.Now()
-	sts, err := simplify.SimplifyAllWorkers(ctx, db, delta, q.variant.SimplifyMethod(), q.workers)
+	sctx, ssp := trace.StartSpan(ctx, "simplify")
+	ssp.Float("delta", delta)
+	sts, err := simplify.SimplifyAllWorkers(sctx, db, delta, q.variant.SimplifyMethod(), q.workers)
 	st.SimplifyTime = time.Since(t0)
 	if err != nil {
+		ssp.End()
 		return err
 	}
 	for _, s := range sts {
 		st.VertexKept += s.Len()
 		st.VertexTotal += s.Orig.Len()
 	}
+	ssp.Int("vertex_kept", int64(st.VertexKept)).Int("vertex_total", int64(st.VertexTotal))
+	ssp.End()
 
 	lambda := q.lambda
 	if lambda <= 0 {
@@ -315,7 +344,9 @@ func (q *Query) runCuTS(ctx context.Context, db *model.DB, raw bool, st *Stats, 
 	}
 
 	t1 := time.Now()
-	cands, err := filterScan(ctx, db, q.p, sts, FilterConfig{
+	fctx, fsp := trace.StartSpan(ctx, "filter")
+	fsp.Int("lambda", lambda).Int("partitions", int64(st.NumPartitions))
+	cands, err := filterScan(fctx, db, q.p, sts, FilterConfig{
 		Lambda:             lambda,
 		Bound:              q.variant.Bound(),
 		Tolerance:          q.tol,
@@ -327,17 +358,23 @@ func (q *Query) runCuTS(ctx context.Context, db *model.DB, raw bool, st *Stats, 
 	}, passes)
 	st.FilterTime = time.Since(t1)
 	if err != nil {
+		fsp.End()
 		return err
 	}
 	st.NumCandidates = len(cands)
 	for _, c := range cands {
 		st.RefineUnits += c.RefinementUnits()
 	}
+	fsp.Int("candidates", int64(st.NumCandidates))
+	fsp.End()
 
 	t2 := time.Now()
+	rctx, rsp := trace.StartSpan(ctx, "refine")
+	rsp.Int("candidates", int64(st.NumCandidates)).Float("refine_units", st.RefineUnits)
+	defer rsp.End()
 	defer func() { st.RefineTime = time.Since(t2) }()
 	if raw {
-		return refineScan(ctx, db, q.p, cands, q.workers, passes, func(_ int, raw []Convoy) bool {
+		return refineScan(rctx, db, q.p, cands, q.workers, passes, func(_ int, raw []Convoy) bool {
 			for _, c := range raw {
 				if !emit(c) {
 					return false
@@ -346,7 +383,7 @@ func (q *Query) runCuTS(ctx context.Context, db *model.DB, raw bool, st *Stats, 
 			return true
 		})
 	}
-	return q.refineStreaming(ctx, db, cands, passes, emit)
+	return q.refineStreaming(rctx, db, cands, passes, emit)
 }
 
 // refineStreaming refines candidates in ascending window-start order and

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-exactness tests skip under it (instrumentation perturbs
+// allocation counts).
+const raceEnabled = true

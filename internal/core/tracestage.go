@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// stageTimer aggregates where a parallel scan's time goes — the
+// clustering work (summed across workers, so it can exceed the stage's
+// wall time) and the sequential chaining fold — and flushes both totals
+// into a span as accumulated attributes (cluster_ms / chain_ms).
+// AddFloat accumulation means nested scans (each refinement candidate
+// runs one) sum into their shared ancestor span instead of overwriting
+// each other.
+type stageTimer struct {
+	sp      *trace.Span
+	cluster atomic.Int64 // ns, summed across workers
+	chain   atomic.Int64 // ns
+}
+
+// newStageTimer returns a timer bound to sp, or nil when sp is nil —
+// the unsampled case, where callers skip all timing work.
+func newStageTimer(sp *trace.Span) *stageTimer {
+	if sp == nil {
+		return nil
+	}
+	return &stageTimer{sp: sp}
+}
+
+// flush folds the accumulated totals into the span. Safe on nil.
+func (tm *stageTimer) flush() {
+	if tm == nil {
+		return
+	}
+	tm.sp.AddFloat("cluster_ms", float64(tm.cluster.Load())/1e6)
+	tm.sp.AddFloat("chain_ms", float64(tm.chain.Load())/1e6)
+}

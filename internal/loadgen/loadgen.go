@@ -1,8 +1,9 @@
 // Package loadgen drives a live convoyd server over HTTP with scripted
 // traffic shapes and reports what both sides measured: client-observed
-// latency percentiles per operation, and the server's own /metrics
-// counters scraped after the run. The cmd/convoyload CLI and the expr
-// "soak" experiment are thin wrappers around Run.
+// latency percentiles per operation, the server's own /metrics counters
+// (convoyd_* plus go_* runtime gauges) scraped after the run, and the
+// per-stage profile of one sampled explain=true query. The cmd/convoyload
+// CLI and the expr "soak" experiment are thin wrappers around Run.
 //
 // Two pacing modes:
 //
@@ -27,6 +28,7 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/serve"
 )
 
 // Options configure one load run.
@@ -129,8 +132,17 @@ type Report struct {
 	ServerRequests int64 `json:"server_requests"`
 	ServerMatch    bool  `json:"server_match"`
 	// Server holds scraped family sums of interest (queries, ticks,
-	// events, clustering passes actual/naive, computes).
+	// events, clustering passes actual/naive, computes, go_* runtime
+	// gauges).
 	Server map[string]float64 `json:"server,omitempty"`
+	// ServerError explains a degraded server-side view — the target
+	// predates /v1/stats, or the scrape failed — instead of presenting
+	// zeroed counters as a silent mismatch.
+	ServerError string `json:"server_error,omitempty"`
+	// Explain is the per-stage timing profile of one sampled
+	// explain=true query issued after the load window (nil when the
+	// sample failed or the server predates explain).
+	Explain *serve.ExplainJSON `json:"explain,omitempty"`
 }
 
 // msBuckets are latency buckets in milliseconds for the client-side view.
@@ -185,13 +197,25 @@ func (c *client) op(name string) *opAgg {
 // errors are counted, HTTP error statuses are not — a 4xx/5xx answer is
 // the server working as told (the Status map keeps the breakdown).
 func (c *client) do(ctx context.Context, op, method, path, contentType string, body []byte) (int, error) {
+	code, _, err := c.roundTrip(ctx, op, method, path, contentType, body, false)
+	return code, err
+}
+
+// doRead is do for the callers that need the response payload (the
+// explain sample); measured and counted identically.
+func (c *client) doRead(ctx context.Context, op, method, path, contentType string, body []byte) ([]byte, int, error) {
+	code, data, err := c.roundTrip(ctx, op, method, path, contentType, body, true)
+	return data, code, err
+}
+
+func (c *client) roundTrip(ctx context.Context, op, method, path, contentType string, body []byte, keep bool) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
@@ -207,14 +231,19 @@ func (c *client) do(ctx context.Context, op, method, path, contentType string, b
 	if err != nil {
 		c.errs.Add(1)
 		a.fails.Add(1)
-		return 0, err
+		return 0, nil, err
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
+	var data []byte
+	if keep {
+		data, _ = io.ReadAll(resp.Body)
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
 	resp.Body.Close()
 	c.mu.Lock()
 	c.status[resp.StatusCode]++
 	c.mu.Unlock()
-	return resp.StatusCode, nil
+	return resp.StatusCode, data, nil
 }
 
 // Run executes one scenario against the target and builds the report.
@@ -246,6 +275,17 @@ func Run(ctx context.Context, o Options) (Report, error) {
 		runClosed(ctx, o, steps, deadline)
 	}
 	elapsed := time.Since(t0)
+
+	// Post-window samples, issued before the totals are read so the
+	// request accounting stays exact on both sides: one explain=true
+	// query whose stage profile rides in the report, and a /v1/stats
+	// probe gating the server-side counter view.
+	explain := sampleExplain(ctx, c, o)
+	var statsCode int
+	var statsErr error
+	if o.MetricsURL != "-" {
+		statsCode, statsErr = c.do(ctx, "stats_probe", "GET", "/v1/stats", "", nil)
+	}
 
 	rep := Report{
 		Scenario:    o.Scenario,
@@ -287,12 +327,38 @@ func Run(ctx context.Context, o Options) (Report, error) {
 			P99MS:    a.h.Quantile(0.99),
 		})
 	}
+	rep.Explain = explain
 	if o.MetricsURL != "-" {
-		if err := scrapeInto(ctx, o, &rep); err != nil {
-			return rep, fmt.Errorf("loadgen: scrape %s: %w", o.MetricsURL, err)
+		switch {
+		case statsErr != nil:
+			rep.ServerError = fmt.Sprintf("probe /v1/stats: %v", statsErr)
+		case statsCode != http.StatusOK:
+			rep.ServerError = fmt.Sprintf("server answered %d to GET /v1/stats (predates the stats API?); server-side counters unavailable", statsCode)
+		default:
+			if err := scrapeInto(ctx, o, &rep); err != nil {
+				rep.ServerError = fmt.Sprintf("scrape %s: %v", o.MetricsURL, err)
+			}
 		}
 	}
 	return rep, nil
+}
+
+// sampleExplain issues one explain=true query against a small synthetic
+// database and returns its stage profile — every report carries one
+// per-stage view of the server's query pipeline. A failed sample (old
+// server, transport error) degrades to nil, never to a failed run.
+func sampleExplain(ctx context.Context, c *client, o Options) *serve.ExplainJSON {
+	db := synthCSV(scaled(8, o.Scale, 6, 24), scaled(20, o.Scale, 12, 60), o.Seed)
+	data, code, err := c.doRead(ctx, "explain_sample", "POST",
+		"/v1/query?m=3&k=4&e=1.5&algo=cmc&explain=true", "text/csv", db)
+	if err != nil || code != http.StatusOK {
+		return nil
+	}
+	var qr serve.QueryResponse
+	if json.Unmarshal(data, &qr) != nil {
+		return nil
+	}
+	return qr.Explain
 }
 
 // runClosed: each worker issues iterations back-to-back until the window
@@ -371,6 +437,10 @@ var scrapedFamilies = []string{
 	"convoyd_feeds_created_total",
 	"convoyd_feeds_evicted_total",
 	"convoyd_monitors",
+	"go_goroutines",
+	"go_gomaxprocs",
+	"go_heap_alloc_bytes",
+	"go_gc_pause_seconds_total",
 }
 
 // scrapeInto reads the server's /metrics and fills the report's server

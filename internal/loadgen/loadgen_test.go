@@ -82,6 +82,55 @@ func TestMixedScenarioMatchesServerCounters(t *testing.T) {
 	if rep.Mode != "closed" || rep.ThroughputRPS <= 0 {
 		t.Errorf("mode/throughput = %s/%g", rep.Mode, rep.ThroughputRPS)
 	}
+	// The report carries one sampled query profile and the runtime gauges.
+	if rep.ServerError != "" {
+		t.Errorf("ServerError = %q, want none", rep.ServerError)
+	}
+	if rep.Explain == nil || len(rep.Explain.Stages) == 0 {
+		t.Errorf("no explain sample in report: %+v", rep.Explain)
+	} else if rep.Explain.Stages[0].Name != "scan" {
+		t.Errorf("explain sample stages = %+v, want the cmc scan", rep.Explain.Stages)
+	}
+	if rep.Server["go_goroutines"] <= 0 {
+		t.Errorf("no go_goroutines gauge in scraped view: %v", rep.Server)
+	}
+}
+
+// TestStatsProbeDegradesGracefully pins the old-server path: a target
+// without /v1/stats yields a report with a clear ServerError instead of
+// zeroed counters masquerading as a mismatch.
+func TestStatsProbeDegradesGracefully(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := serve.New(serve.Config{Metrics: reg})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv)
+	mux.Handle("GET /v1/stats", http.NotFoundHandler()) // the pre-stats generation
+	mux.Handle("GET /metrics", reg.Handler())
+	ts := httptest.NewServer(mux)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Scenario:    "batch",
+		Duration:    100 * time.Millisecond,
+		Concurrency: 1,
+		Scale:       0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.ServerError, "/v1/stats") {
+		t.Errorf("ServerError = %q, want a /v1/stats explanation", rep.ServerError)
+	}
+	if rep.ServerMatch || rep.ServerRequests != 0 {
+		t.Errorf("degraded report still claims a server view: match=%v requests=%d", rep.ServerMatch, rep.ServerRequests)
+	}
+	if rep.Requests == 0 {
+		t.Error("no requests issued")
+	}
 }
 
 // TestChurnScenarioDrivesRegistry checks a second preset end to end and

@@ -75,12 +75,23 @@ func (g *Gauge) Value() float64 { return g.v.value() }
 
 // A Histogram counts observations into fixed cumulative-style buckets and
 // tracks their sum — enough to expose Prometheus histogram series and to
-// estimate quantiles client-side (Quantile).
+// estimate quantiles client-side (Quantile). Each bucket additionally
+// retains the latest exemplar (ObserveExemplar): one concrete trace ID
+// behind the bucket's count, the bridge from "p99 is slow" to "this
+// trace is why".
 type Histogram struct {
 	bounds []float64 // ascending finite upper bounds; +Inf is implicit
 	counts []atomic.Int64
+	ex     []atomic.Pointer[exemplar]
 	sum    atomicFloat
 	n      atomic.Int64
+}
+
+// exemplar is one sampled observation annotated with its trace ID.
+type exemplar struct {
+	value   float64
+	traceID string
+	unix    float64 // seconds since epoch, at observation time
 }
 
 // DefLatencyBuckets are upper bounds in seconds that cover sub-millisecond
@@ -103,7 +114,11 @@ func NewHistogram(bounds []float64) *Histogram {
 			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v", bounds))
 		}
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+		ex:     make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one observation.
@@ -113,6 +128,23 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.add(v)
 	h.n.Add(1)
 }
+
+// ObserveExemplar records one observation and, when traceID is
+// non-empty, stamps the observation's bucket with it as the bucket's
+// exemplar (latest wins). Exemplars surface only in the OpenMetrics
+// exposition (see Registry.Handler); the plain Prometheus text format is
+// unchanged.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, unixSeconds float64) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&exemplar{value: v, traceID: traceID, unix: unixSeconds})
+}
+
+// exemplarFor returns bucket i's exemplar, or nil.
+func (h *Histogram) exemplarFor(i int) *exemplar { return h.ex[i].Load() }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n.Load() }

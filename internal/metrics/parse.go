@@ -25,6 +25,14 @@ func ParseText(r io.Reader) (map[string]float64, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		// Drop an OpenMetrics exemplar suffix (` # {trace_id="..."} v ts`)
+		// before locating the series key: the exemplar's own '}' would
+		// otherwise be mistaken for the label set's closing brace. This
+		// assumes label values never contain " # ", which holds for every
+		// exposition this repository produces.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
 		// Label values may contain spaces, so the series key cannot be
 		// found by splitting on whitespace alone: when a label set is
 		// present the key runs to its closing brace (the last '}' on the

@@ -13,6 +13,23 @@ import (
 // exposition format (version 0.0.4), families name-sorted and series
 // label-sorted, so scrapes are diffable.
 func (r *Registry) WriteProm(w io.Writer) error {
+	return r.writeText(w, false)
+}
+
+// WriteOpenMetrics renders the registry in an OpenMetrics-flavoured text
+// form: identical to WriteProm except that histogram bucket lines carry
+// their exemplars (` # {trace_id="..."} value timestamp`) and the output
+// ends with `# EOF`. It is how a latency bucket is correlated with a
+// concrete trace in /debug/traces.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeText(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 	for _, f := range r.sortedFamilies() {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
 			return err
@@ -24,7 +41,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			continue
 		}
 		for _, s := range f.sorted() {
-			if err := writeSeries(w, f, s); err != nil {
+			if err := writeSeries(w, f, s, exemplars); err != nil {
 				return err
 			}
 		}
@@ -32,7 +49,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, s *series) error {
+func writeSeries(w io.Writer, f *family, s *series, exemplars bool) error {
 	switch f.kind {
 	case kindCounter:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, s.labelValues, ""), fmtVal(s.c.Value()))
@@ -42,13 +59,22 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		return err
 	default: // histogram
 		cum := s.h.cumulative()
+		bucket := func(i int, le string) error {
+			suffix := ""
+			if exemplars {
+				if e := s.h.exemplarFor(i); e != nil {
+					suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f", escapeLabel(e.traceID), fmtVal(e.value), e.unix)
+				}
+			}
+			_, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, labelSet(f.labels, s.labelValues, le), cum[i], suffix)
+			return err
+		}
 		for i, bound := range s.h.bounds {
-			le := fmtVal(bound)
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, s.labelValues, le), cum[i]); err != nil {
+			if err := bucket(i, fmtVal(bound)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, s.labelValues, "+Inf"), cum[len(cum)-1]); err != nil {
+		if err := bucket(len(cum)-1, "+Inf"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelSet(f.labels, s.labelValues, ""), fmtVal(s.h.Sum())); err != nil {
@@ -101,9 +127,19 @@ func escapeHelp(v string) string {
 
 func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// Handler serves the registry as a Prometheus scrape target.
+// Handler serves the registry as a Prometheus scrape target. A scraper
+// that negotiates OpenMetrics (an Accept header naming
+// application/openmetrics-text, or ?exemplars=1 for humans with curl)
+// gets the exemplar-bearing exposition; everyone else gets the plain
+// 0.0.4 text format, byte-identical to before exemplars existed.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") ||
+			req.URL.Query().Get("exemplars") == "1" {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteProm(w) // the peer going away mid-scrape is its problem
 	})

@@ -24,7 +24,19 @@ package par
 import (
 	"context"
 	"sync"
+
+	"repro/internal/trace"
 )
+
+// annotate stamps the context's active trace span (if any) with the
+// pool's resolved fan-out, so a stage span shows how parallel its
+// expensive part actually ran. A nil span makes this free, keeping the
+// untraced pools allocation-clean.
+func annotate(ctx context.Context, jobs, workers int) {
+	if sp := trace.FromContext(ctx); sp != nil {
+		sp.Int("par_workers", int64(workers)).Int("par_jobs", int64(jobs))
+	}
+}
 
 // norm resolves a requested worker count against the job count: values
 // ≤ 0 mean "serial" (1), and more workers than jobs are pointless.
@@ -48,6 +60,7 @@ func norm(workers, jobs int) int {
 // job has finished (results for unstarted indices are simply absent).
 func For(ctx context.Context, n, workers int, fn func(i int)) error {
 	workers = norm(workers, n)
+	annotate(ctx, n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -99,6 +112,7 @@ feed:
 // call returns within roughly one produce per worker of the stop signal.
 func OrderedPipeline[T any](ctx context.Context, n, workers int, produce func(i int) T, consume func(i int, v T) bool) error {
 	workers = norm(workers, n)
+	annotate(ctx, n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

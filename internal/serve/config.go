@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"log/slog"
 	"runtime"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Config tunes the server. The zero value is usable: every field has a
@@ -64,6 +66,23 @@ type Config struct {
 	// mounted. A registry must not be shared between two servers —
 	// family names would collide.
 	Metrics *metrics.Registry
+	// Logger receives the server's structured records: request logs for
+	// failures and slow requests, feed lifecycle events, janitor evictions.
+	// Every record carries the request and trace IDs of the request that
+	// produced it. Nil discards everything (the test-quiet default);
+	// convoyd wires a text or JSON handler here per its -log-format flag.
+	Logger *slog.Logger
+	// Tracer samples request traces. Incoming W3C traceparent headers
+	// continue the remote trace; sampled (or ?explain=true, or slower than
+	// SlowQuery) requests record a span tree retained in the tracer's ring
+	// and served by its Handler (convoyd mounts it at /debug/traces). Nil
+	// means a private tracer with the default 0 sample ratio — explain and
+	// slow-query forcing still work, background sampling is off.
+	Tracer *trace.Tracer
+	// SlowQuery, when > 0, forces every request to be traced and logs one
+	// structured record (with the full span tree) for each request whose
+	// wall time exceeds it. 0 disables slow-request logging.
+	SlowQuery time.Duration
 
 	// metrics is the instrument bundle built over Metrics (or a private
 	// registry) by withDefaults and threaded through the registry, feeds
@@ -102,6 +121,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.NewTracer()
 	}
 	if c.metrics == nil {
 		reg := c.Metrics

@@ -80,6 +80,7 @@ type serveMetrics struct {
 // must not be shared by two servers.
 func newServeMetrics(reg *metrics.Registry) *serveMetrics {
 	m := &serveMetrics{reg: reg}
+	metrics.RegisterRuntime(reg)
 	m.httpRequests = reg.CounterVec("convoyd_http_requests_total",
 		"API requests served, by mux route and status code.", "route", "code")
 	m.httpSeconds = reg.HistogramVec("convoyd_http_request_seconds",
@@ -163,14 +164,17 @@ func outcomeOf(err error) string {
 	}
 }
 
-// observeQuery records one finished batch query.
-func (m *serveMetrics) observeQuery(algo, cache string, err error, d time.Duration) {
+// observeQuery records one finished batch query. traceID, when non-empty
+// (the request was traced), lands as an OpenMetrics exemplar on the
+// latency bucket the query fell into, joining the histogram to
+// /debug/traces.
+func (m *serveMetrics) observeQuery(algo, cache string, err error, d time.Duration, traceID string) {
 	if cache == "" {
 		cache = "none"
 	}
 	outcome := outcomeOf(err)
 	m.queries.With(algo, cache, outcome).Inc()
-	m.querySeconds.With(algo, outcome).Observe(d.Seconds())
+	m.querySeconds.With(algo, outcome).ObserveExemplar(d.Seconds(), traceID, unixNow())
 
 	m.queriesTotal.Inc()
 	switch cache {
@@ -229,13 +233,14 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// observeHTTP records one finished API request.
-func (m *serveMetrics) observeHTTP(route string, code int, d time.Duration) {
+// observeHTTP records one finished API request; a non-empty traceID
+// becomes the latency bucket's exemplar.
+func (m *serveMetrics) observeHTTP(route string, code int, d time.Duration, traceID string) {
 	if route == "" {
 		route = "unmatched"
 	}
 	m.httpRequests.With(route, strconv.Itoa(code)).Inc()
-	m.httpSeconds.With(route).Observe(d.Seconds())
+	m.httpSeconds.With(route).ObserveExemplar(d.Seconds(), traceID, unixNow())
 }
 
 // ServerStats is a read-only snapshot of the server's counters — the

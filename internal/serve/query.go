@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/tsio"
 )
 
@@ -220,11 +221,12 @@ func (e *queryEngine) requestCtx(ctx context.Context, req QueryRequest) (context
 }
 
 // run answers one batch query over uploaded database bytes, metering
-// outcome, cache state and latency.
+// outcome, cache state and latency (with the request's trace ID as the
+// latency bucket's exemplar when the request is traced).
 func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (QueryResponse, error) {
 	t0 := time.Now()
 	resp, err := e.runUpload(ctx, data, req)
-	e.cfg.metrics.observeQuery(algoLabel(req.Algo), resp.Cache, err, time.Since(t0))
+	e.cfg.metrics.observeQuery(algoLabel(req.Algo), resp.Cache, err, time.Since(t0), trace.FromContext(ctx).TraceID())
 	return resp, err
 }
 
@@ -233,7 +235,7 @@ func (e *queryEngine) run(ctx context.Context, data []byte, req QueryRequest) (Q
 func (e *queryEngine) runPath(ctx context.Context, req QueryRequest) (QueryResponse, error) {
 	t0 := time.Now()
 	resp, err := e.doRunPath(ctx, req)
-	e.cfg.metrics.observeQuery(algoLabel(req.Algo), resp.Cache, err, time.Since(t0))
+	e.cfg.metrics.observeQuery(algoLabel(req.Algo), resp.Cache, err, time.Since(t0), trace.FromContext(ctx).TraceID())
 	return resp, err
 }
 
@@ -247,17 +249,35 @@ func (e *queryEngine) runUpload(ctx context.Context, data []byte, req QueryReque
 	ctx, cancel := e.requestCtx(ctx, req)
 	defer cancel()
 	digest := hashBytes(data)
-	if resp, ok := e.cached(pl.key(digest)); ok {
-		return resp, nil
+	key := flightKey(pl, digest)
+	if !pl.req.Explain {
+		// An explain query bypasses the cache read: the profile must
+		// describe a run this request actually performed.
+		if resp, ok := e.cached(key); ok {
+			return resp, nil
+		}
 	}
-	return e.shared(ctx, pl.key(digest), func(fctx context.Context) (QueryResponse, error) {
+	reqSpan := trace.FromContext(ctx)
+	return e.shared(ctx, key, func(fctx context.Context) (QueryResponse, error) {
 		release, err := e.acquire(fctx)
 		if err != nil {
 			return QueryResponse{}, err
 		}
 		defer release()
-		return e.compute(fctx, digest, data, pl)
+		return e.compute(fctx, digest, data, pl, reqSpan)
 	})
+}
+
+// flightKey is the dedup key for in-flight runs: the cache key, plus an
+// explain marker so explain queries (which must always compute) never
+// join — and are never joined by — plain queries, whose answer they still
+// share through the cache afterwards.
+func flightKey(pl queryPlan, digest string) string {
+	key := pl.key(digest)
+	if pl.req.Explain {
+		key += "|explain"
+	}
+	return key
 }
 
 // doRunPath answers a path-referencing query. A memo of path → (stat,
@@ -299,10 +319,13 @@ func (e *queryEngine) doRunPath(ctx context.Context, req QueryRequest) (QueryRes
 		digest = hashBytes(data)
 		e.storePathDigest(full, st, digest)
 	}
-	if resp, hit := e.cached(pl.key(digest)); hit {
-		return resp, nil
+	if !pl.req.Explain {
+		if resp, hit := e.cached(pl.key(digest)); hit {
+			return resp, nil
+		}
 	}
-	return e.shared(ctx, pl.key(digest), func(fctx context.Context) (QueryResponse, error) {
+	reqSpan := trace.FromContext(ctx)
+	return e.shared(ctx, flightKey(pl, digest), func(fctx context.Context) (QueryResponse, error) {
 		release, err := e.acquire(fctx)
 		if err != nil {
 			return QueryResponse{}, err
@@ -315,7 +338,7 @@ func (e *queryEngine) doRunPath(ctx context.Context, req QueryRequest) (QueryRes
 		// The file may have changed since the digest was memoized; hash
 		// what was actually read, so the answer is always cached under its
 		// true content digest and can never poison another content's key.
-		return e.compute(fctx, hashBytes(data), data, pl)
+		return e.compute(fctx, hashBytes(data), data, pl, reqSpan)
 	})
 }
 
@@ -441,11 +464,27 @@ const maxPathDigests = 256
 // compute parses the database and runs the planned algorithm under the
 // given context; the caller holds a worker slot. Cancelled computations
 // return the context error and never touch the cache.
-func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, pl queryPlan) (QueryResponse, error) {
+//
+// The flight context is detached from any single request, so when the run
+// is traced (the initiating request was sampled, or asked for explain) it
+// roots its own "query" trace rather than parenting under a span that may
+// end — or be shared with other waiters — while the run is still going.
+// The http_trace_id attribute joins the two traces in /debug/traces.
+func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, pl queryPlan, reqSpan *trace.Span) (QueryResponse, error) {
 	e.cfg.metrics.queryComputes.Inc()
 	if e.onComputeStart != nil {
 		e.onComputeStart()
 	}
+	var sopts []trace.StartOption
+	if pl.req.Explain || reqSpan != nil {
+		sopts = append(sopts, trace.Forced())
+	}
+	ctx, qsp := e.cfg.Tracer.Start(ctx, "query", sopts...)
+	qsp.Str("algo", pl.algo).Str("digest", digest)
+	if reqSpan != nil {
+		qsp.Str("http_trace_id", reqSpan.TraceID())
+	}
+	defer qsp.End() // idempotent; the success path ends it before Collect
 	t0 := time.Now()
 	db, err := parseDB(data)
 	if err != nil {
@@ -469,6 +508,7 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 	var st core.Stats
 	opts = append(opts, core.WithStats(&st))
 	res, err := core.NewQuery(opts...).Run(ctx, db)
+	qsp.End()
 	if err != nil {
 		return QueryResponse{}, err
 	}
@@ -483,8 +523,18 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 		resp.Convoys[i] = ConvoyToJSON(c, labels)
 	}
 	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	// The cache holds the profile-free answer: explain runs share their
+	// result with future plain queries, but a profile always describes the
+	// request that asked for it, never a stranger's cached run.
 	if e.lru != nil {
 		e.lru.put(pl.key(digest), resp)
+	}
+	if pl.req.Explain {
+		if tj, ok := qsp.Collect(); ok {
+			if ex, ok := ExplainFromTrace(tj); ok {
+				resp.Explain = &ex
+			}
+		}
 	}
 	return resp, nil
 }

@@ -55,12 +55,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Server is the convoyd HTTP handler plus the state behind it. Create it
@@ -100,18 +103,69 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler. Every request is metered: route and
 // status into convoyd_http_requests_total, wall time into
 // convoyd_http_request_seconds (a streaming tail counts when it ends).
+//
+// The middleware also owns the request's observability identity: it mints
+// a request ID, continues an incoming W3C traceparent (or starts a fresh
+// trace when sampled, forced for ?explain=true and whenever slow-request
+// logging is armed), answers with a traceparent header so callers can
+// join their logs to the server's, and stores a request-scoped logger
+// carrying both IDs in the context for the handlers. Requests that fail
+// server-side or exceed the SlowQuery threshold emit one structured
+// record — the slow record with the full span tree attached.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	t0 := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
+
+	reqID := newRequestID()
+	var opts []trace.StartOption
+	if tid, sid, sampled, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		opts = append(opts, trace.WithRemote(tid, sid, sampled))
+	}
+	if s.cfg.SlowQuery > 0 || explainParam(r) {
+		opts = append(opts, trace.Forced())
+	}
+	ctx, sp := s.cfg.Tracer.Start(r.Context(), "http", opts...)
+	logger := s.cfg.Logger.With("request_id", reqID)
+	traceID := ""
+	if sp != nil {
+		tid, sid := sp.IDs()
+		w.Header().Set("traceparent", trace.FormatTraceparent(tid, sid, true))
+		sp.Str("request_id", reqID).Str("method", r.Method).Str("path", r.URL.Path)
+		traceID = sp.TraceID()
+		logger = logger.With("trace_id", traceID)
+	}
+	r = r.WithContext(withLogger(ctx, logger))
+
 	s.mux.ServeHTTP(sw, r)
+
 	code := sw.code
 	if code == 0 {
 		code = http.StatusOK // handler wrote nothing at all
 	}
-	// r.Pattern holds the mux route that matched (empty on 404), keeping
-	// the route label's cardinality bounded by the route table.
-	s.cfg.metrics.observeHTTP(r.Pattern, code, time.Since(t0))
+	d := time.Since(t0)
+	if sp != nil {
+		// r.Pattern holds the mux route that matched (empty on 404),
+		// keeping the route label's cardinality bounded by the route table.
+		sp.Str("route", r.Pattern).Int("status", int64(code))
+		sp.End()
+	}
+	s.cfg.metrics.observeHTTP(r.Pattern, code, d, traceID)
+	if code >= http.StatusInternalServerError {
+		logger.Error("request failed",
+			"method", r.Method, "route", r.Pattern, "path", r.URL.Path,
+			"status", code, "duration_ms", msFloat(d))
+	}
+	if s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+		args := []any{
+			"method", r.Method, "route", r.Pattern, "path", r.URL.Path,
+			"status", code, "duration_ms", msFloat(d),
+		}
+		if tj, ok := sp.Collect(); ok {
+			args = append(args, slog.Any("trace", tj))
+		}
+		logger.Warn("slow request", args...)
+	}
 }
 
 // Close drains every feed (flushing open candidates through the streamers)
@@ -139,7 +193,10 @@ func (s *Server) janitor() {
 		case <-s.janitorStop:
 			return
 		case now := <-t.C:
-			s.reg.evictIdle(now.Add(-s.cfg.IdleTimeout))
+			if n := s.reg.evictIdle(now.Add(-s.cfg.IdleTimeout)); n > 0 {
+				s.cfg.Logger.Info("idle feeds evicted",
+					"count", n, "idle_timeout", s.cfg.IdleTimeout.String())
+			}
 		}
 	}
 }
@@ -252,6 +309,8 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	loggerFrom(r.Context(), s.cfg.Logger).Info("feed created",
+		"feed", spec.Name, "m", spec.Params.M, "k", spec.Params.K, "e", spec.Params.Eps)
 	st, err := f.status(r.Context())
 	if err != nil {
 		writeErr(w, err)
@@ -280,6 +339,8 @@ func (s *Server) handleDeleteFeed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	loggerFrom(r.Context(), s.cfg.Logger).Info("feed deleted",
+		"feed", r.PathValue("name"), "drained", len(resp.Drained))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -539,6 +600,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, badRequest(fmt.Errorf("decode query: %w", err)))
 			return
 		}
+		// ?explain=true works uniformly: JSON clients may set it in the
+		// body or on the URL like upload clients.
+		req.Explain = req.Explain || explainParam(r)
 		resp, err = s.q.runPath(r.Context(), req)
 	} else {
 		req, uerr := queryFromURL(r)
@@ -618,6 +682,11 @@ func queryFromURL(r *http.Request) (QueryRequest, error) {
 	if raw := q.Get("timeout_ms"); raw != "" {
 		if req.TimeoutMS, err = strconv.ParseFloat(raw, 64); err != nil {
 			return req, badRequest(fmt.Errorf("decode query: bad timeout_ms=%q", raw))
+		}
+	}
+	if raw := q.Get("explain"); raw != "" {
+		if req.Explain, err = strconv.ParseBool(raw); err != nil {
+			return req, badRequest(fmt.Errorf("decode query: bad explain=%q (want a boolean)", raw))
 		}
 	}
 	return req, nil

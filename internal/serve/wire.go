@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Wire types: the JSON schema of the convoyd HTTP API, shared with the
@@ -224,6 +225,12 @@ type QueryRequest struct {
 	// -request-timeout) applies either way. Aborted runs free their worker
 	// slot immediately and are never cached.
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	// Explain asks for a per-stage timing profile of this query's
+	// discovery run (the Explain field of the response). An explain query
+	// always runs the discovery — the cache is bypassed on the way in, so
+	// the profile describes this request, not a months-old cached run —
+	// but its answer is cached like any other, Explain stripped.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // StatsJSON is the wire form of the CuTS run statistics.
@@ -277,6 +284,55 @@ type QueryResponse struct {
 	// ElapsedMS is the wall time of this request's engine work (0 on a
 	// cache hit).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Explain is the per-stage timing profile of this request's discovery
+	// run; present only when the request asked explain=true.
+	Explain *ExplainJSON `json:"explain,omitempty"`
+}
+
+// ExplainJSON is a query's timing profile: the discovery run's wall time
+// broken down into its pipeline stages, derived from the run's span tree.
+// TraceID correlates the profile with /debug/traces, the slow-query log
+// and the latency histogram exemplars on /metrics.
+type ExplainJSON struct {
+	TraceID string `json:"trace_id"`
+	// TotalMS is the discovery run's wall time (the run span's duration).
+	// Stage durations are nested inside it, so their sum never exceeds it.
+	TotalMS float64 `json:"total_ms"`
+	// Stages lists the run's pipeline stages in execution order — scan for
+	// CMC; simplify, filter, refine for the CuTS family — with each
+	// stage's wall time and annotations (fan-out, candidate counts,
+	// accumulated cluster/chain milliseconds, …).
+	Stages []ExplainStageJSON `json:"stages"`
+}
+
+// ExplainStageJSON is one pipeline stage of a query profile.
+type ExplainStageJSON struct {
+	Name       string            `json:"name"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// ExplainFromTrace derives a query profile from a completed trace: the
+// first span named "run" (the core entry point) provides the total, its
+// direct children the stages. ok is false when the trace has no run span —
+// a trace that never reached the core (e.g. an unparseable database).
+func ExplainFromTrace(tj trace.TraceJSON) (ExplainJSON, bool) {
+	if tj.Root == nil {
+		return ExplainJSON{}, false
+	}
+	run := tj.Root.Find("run")
+	if run == nil {
+		return ExplainJSON{}, false
+	}
+	out := ExplainJSON{
+		TraceID: tj.TraceID,
+		TotalMS: run.DurationMS,
+		Stages:  make([]ExplainStageJSON, len(run.Children)),
+	}
+	for i, c := range run.Children {
+		out.Stages[i] = ExplainStageJSON{Name: c.Name, DurationMS: c.DurationMS, Attrs: c.Attrs}
+	}
+	return out, true
 }
 
 // ErrorJSON is the body of every non-2xx response.

@@ -1,0 +1,77 @@
+package trace
+
+import "encoding/hex"
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/), the subset
+// convoyd speaks: the traceparent header
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	   00   -    32 hex   -   16 hex    -    2 hex
+//
+// The serve middleware parses an incoming header to continue a caller's
+// trace and emits one on every response so callers can join their logs
+// to convoyd's. tracestate is intentionally not implemented.
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + tid.String() + "-" + sid.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. ok reports whether
+// the header is well-formed with non-zero IDs; sampled is bit 0 of the
+// trace-flags. Unknown future versions are accepted if they keep the
+// version-00 field layout, per the spec's forward-compatibility rule;
+// the reserved version "ff" is rejected.
+func ParseTraceparent(h string) (tid TraceID, sid SpanID, sampled, ok bool) {
+	if len(h) < 55 {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false, false
+	}
+	ver := h[0:2]
+	if !isHex(ver) || ver == "ff" {
+		return TraceID{}, SpanID{}, false, false
+	}
+	// Version 00 is exactly 55 bytes; future versions may append fields
+	// after a dash.
+	if len(h) > 55 && (ver == "00" || h[55] != '-') {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if !isHex(h[3:35]) || !isHex(h[36:52]) {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	flags := h[53:55]
+	if !isHex(flags) {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	var f byte
+	fb, _ := hex.DecodeString(flags)
+	f = fb[0]
+	return tid, sid, f&0x01 != 0, true
+}
+
+// isHex reports whether s is entirely lowercase hex digits (the spec
+// requires lowercase).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -3,14 +3,21 @@
 // Usage:
 //
 //	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ]
-//	           [-workers N] [-limit N] [-timeout 30s] [-stats] [-explain]
-//	           [-format text|json|jsonl|json-array]
+//	           [-clusterer dbscan|proxgraph] [-workers N] [-limit N] [-timeout 30s]
+//	           [-stats] [-explain] [-format text|json|jsonl|json-array]
 //
 // The input format is "obj,t,x,y" with a header line (see the tsio
 // package). The convoy parameters follow the paper: m is the minimum group
 // size, k the minimum lifetime in time points, e the density-connection
 // distance. The algorithm defaults to CuTS*, the paper's fastest; δ and λ
 // default to the automatic guidelines of Section 7.4.
+//
+// -clusterer proxgraph swaps the per-tick clustering backend: the input is
+// then an "a,b,t,w" contact log (weighted proximity edges, no coordinates)
+// and a convoy is a group staying graph-connected at weight ≥ e for k
+// consecutive ticks. The graph backend runs under CMC only — the CuTS
+// filter bounds are DBSCAN-specific — so -algo defaults to cmc and any
+// other explicit -algo is rejected.
 //
 // -format json emits one JSON object per convoy (NDJSON) in the same wire
 // schema the convoyd server speaks (objects, start, end, lifetime), so
@@ -46,20 +53,21 @@ import (
 
 func main() {
 	var (
-		input   = flag.String("input", "", "input file: CSV (obj,t,x,y with header) or binary .ctb; required")
-		m       = flag.Int("m", 2, "minimum number of objects in a convoy")
-		k       = flag.Int64("k", 2, "minimum convoy lifetime in time points")
-		e       = flag.Float64("e", 1, "density-connection distance threshold")
-		algo    = flag.String("algo", "cuts*", "algorithm: cmc, cuts, cuts+ or cuts*")
-		delta   = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
-		lambda  = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
-		stats   = flag.Bool("stats", false, "print phase timings and filter statistics")
-		explain = flag.Bool("explain", false, "print the per-stage timing profile to stderr after the results")
-		format  = flag.String("format", "text", "output format: text, json (NDJSON), jsonl (NDJSON, streamed as found) or json-array")
-		asJSON  = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
-		workers = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
-		limit   = flag.Int("limit", 0, "stop after this many convoys, abandoning the remaining scan (0 = all)")
-		timeout = flag.Duration("timeout", 0, "abort discovery after this long (0 = no deadline)")
+		input     = flag.String("input", "", "input file: CSV (obj,t,x,y with header) or binary .ctb; required")
+		m         = flag.Int("m", 2, "minimum number of objects in a convoy")
+		k         = flag.Int64("k", 2, "minimum convoy lifetime in time points")
+		e         = flag.Float64("e", 1, "density-connection distance threshold")
+		algo      = flag.String("algo", "cuts*", "algorithm: cmc, cuts, cuts+ or cuts* (defaults to cmc under -clusterer proxgraph)")
+		clusterer = flag.String("clusterer", "dbscan", "clustering backend: dbscan (positions) or proxgraph (input is an a,b,t,w contact log)")
+		delta     = flag.Float64("delta", 0, "simplification tolerance δ (0 = automatic guideline)")
+		lambda    = flag.Int64("lambda", 0, "time-partition length λ (0 = automatic guideline)")
+		stats     = flag.Bool("stats", false, "print phase timings and filter statistics")
+		explain   = flag.Bool("explain", false, "print the per-stage timing profile to stderr after the results")
+		format    = flag.String("format", "text", "output format: text, json (NDJSON), jsonl (NDJSON, streamed as found) or json-array")
+		asJSON    = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
+		workers   = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
+		limit     = flag.Int("limit", 0, "stop after this many convoys, abandoning the remaining scan (0 = all)")
+		timeout   = flag.Duration("timeout", 0, "abort discovery after this long (0 = no deadline)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -82,6 +90,20 @@ func main() {
 	if *workers <= 0 {
 		*workers = convoys.DefaultWorkers()
 	}
+	if strings.EqualFold(*clusterer, "proxgraph") {
+		// The graph backend runs under CMC only; an untouched -algo follows
+		// the backend rather than fighting it, an explicit one is honored
+		// (and rejected below if it names a CuTS variant).
+		algoSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if !algoSet {
+			*algo = "cmc"
+		}
+	}
 
 	// Ctrl-C cancels the discovery pipeline (the run returns ctx.Err()
 	// within about one clustering pass per worker); a second Ctrl-C kills
@@ -95,7 +117,7 @@ func main() {
 	}
 
 	opts := options{
-		input: *input, m: *m, k: *k, e: *e, algo: *algo,
+		input: *input, m: *m, k: *k, e: *e, algo: *algo, clusterer: *clusterer,
 		delta: *delta, lambda: *lambda, workers: *workers,
 		limit: *limit, stats: *stats, explain: *explain, format: *format,
 	}
@@ -113,18 +135,19 @@ func main() {
 
 // options carries one invocation's settings.
 type options struct {
-	input   string
-	m       int
-	k       int64
-	e       float64
-	algo    string
-	delta   float64
-	lambda  int64
-	workers int
-	limit   int
-	stats   bool
-	explain bool
-	format  string
+	input     string
+	m         int
+	k         int64
+	e         float64
+	algo      string
+	clusterer string
+	delta     float64
+	lambda    int64
+	workers   int
+	limit     int
+	stats     bool
+	explain   bool
+	format    string
 }
 
 // loadDB picks the reader by file extension.
@@ -135,9 +158,29 @@ func loadDB(input string) (*convoys.DB, error) {
 	return convoys.LoadCSV(input)
 }
 
+// load reads the input for the selected backend: a trajectory database for
+// dbscan, a contact log (plus its synthesized stand-in database) for
+// proxgraph.
+func load(o options) (*convoys.DB, *convoys.ProximityLog, error) {
+	switch strings.ToLower(o.clusterer) {
+	case "", "dbscan":
+		db, err := loadDB(o.input)
+		return db, nil, err
+	case "proxgraph":
+		log, err := convoys.LoadProximityLog(o.input)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := log.DB()
+		return db, log, err
+	default:
+		return nil, nil, fmt.Errorf("unknown clusterer %q (want dbscan or proxgraph)", o.clusterer)
+	}
+}
+
 // buildQuery assembles the Query for the options, directing statistics
-// into st.
-func buildQuery(o options, st *convoys.Stats) (*convoys.Query, error) {
+// into st. A non-nil log swaps in the graph-connectivity backend.
+func buildQuery(o options, st *convoys.Stats, log *convoys.ProximityLog) (*convoys.Query, error) {
 	opts := []convoys.QueryOption{
 		convoys.M(o.m), convoys.K(o.k), convoys.Eps(o.e),
 		convoys.WithDelta(o.delta), convoys.WithLambda(o.lambda),
@@ -145,6 +188,12 @@ func buildQuery(o options, st *convoys.Stats) (*convoys.Query, error) {
 	}
 	if o.limit > 0 {
 		opts = append(opts, convoys.WithLimit(o.limit))
+	}
+	if log != nil {
+		if !strings.EqualFold(o.algo, "cmc") {
+			return nil, fmt.Errorf("clusterer proxgraph requires -algo cmc (the CuTS filter bounds are DBSCAN-specific; got %q)", o.algo)
+		}
+		opts = append(opts, convoys.WithClusterer(log.Clusterer()))
 	}
 	switch strings.ToLower(o.algo) {
 	case "cmc":
@@ -167,12 +216,12 @@ func run(ctx context.Context, out io.Writer, o options) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text, json, jsonl or json-array)", o.format)
 	}
-	var st convoys.Stats
-	q, err := buildQuery(o, &st)
+	db, log, err := load(o)
 	if err != nil {
 		return err
 	}
-	db, err := loadDB(o.input)
+	var st convoys.Stats
+	q, err := buildQuery(o, &st, log)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -237,5 +238,60 @@ func TestRunCancelled(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("%s: err = %v, want context.Canceled", format, err)
 		}
+	}
+}
+
+// -clusterer proxgraph reads an "a,b,t,w" contact log and discovers the
+// hand-checked convoy {a,b,c}@[1,5]: a–b and b–c in contact over ticks
+// 1..5, a weak d–a contact below e, a trailing a–b contact below m.
+func TestRunProxgraphContactLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "contacts.csv")
+	csv := "a,b,t,w\n"
+	for tick := 1; tick <= 5; tick++ {
+		csv += fmt.Sprintf("a,b,%d,1\nb,c,%d,1\n", tick, tick)
+	}
+	csv += "d,a,1,0.5\na,b,6,1\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err := run(context.Background(), &buf, options{
+		input: path, m: 3, k: 3, e: 1, algo: "cmc", clusterer: "proxgraph",
+		workers: 2, format: "text",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 convoy(s)") || !strings.Contains(out, "{a, b, c}") ||
+		!strings.Contains(out, "ticks [1, 5]") {
+		t.Fatalf("proxgraph output:\n%s", out)
+	}
+
+	// The CuTS family is rejected under the graph backend; so are unknown
+	// backends and trajectory bytes where a contact log is expected.
+	err = run(context.Background(), &buf, options{
+		input: path, m: 3, k: 3, e: 1, algo: "cuts*", clusterer: "proxgraph",
+		workers: 1, format: "text",
+	})
+	if err == nil || !strings.Contains(err.Error(), "-algo cmc") {
+		t.Fatalf("cuts* under proxgraph: err = %v, want -algo cmc guidance", err)
+	}
+	err = run(context.Background(), &buf, options{
+		input: path, m: 3, k: 3, e: 1, algo: "cmc", clusterer: "voronoi",
+		workers: 1, format: "text",
+	})
+	if err == nil {
+		t.Fatal("unknown clusterer accepted")
+	}
+	traj := writeFixture(t, dir, "two.csv")
+	err = run(context.Background(), &buf, options{
+		input: traj, m: 2, k: 5, e: 1, algo: "cmc", clusterer: "proxgraph",
+		workers: 1, format: "text",
+	})
+	if err == nil {
+		t.Fatal("trajectory CSV accepted as a contact log")
 	}
 }

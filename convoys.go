@@ -48,12 +48,30 @@
 // Discover, DiscoverWith, CMC and CMCWith are thin wrappers over Query and
 // return identical answers.
 //
+// # Pluggable clustering backends
+//
+// The per-tick density-connection stage is a Clusterer. The default is the
+// paper's grid-indexed DBSCAN over positions; GraphClusterer instead takes
+// connected components of a weighted proximity graph, so convoys can be
+// discovered in coordinate-free contact logs (Bluetooth sightings, radio
+// contacts) where no positions exist at all:
+//
+//	log, err := convoys.LoadProximityLog("contacts.csv") // a,b,t,w rows
+//	db, err := log.DB()                                  // stand-in database
+//	q := convoys.NewQuery(convoys.M(3), convoys.K(180), convoys.Eps(1),
+//	    convoys.WithCMC(), convoys.WithClusterer(log.Clusterer()))
+//	result, err := q.Run(ctx, db)
+//
+// Custom backends plug in the same way (WithClusterer, or
+// NewClusterSourceWith for the streaming engine); only CMC accepts them —
+// the CuTS filter bounds are DBSCAN-specific theorems.
+//
 // # Serving
 //
 // The serve entry points turn the library into a long-running system: a
 // Server hosts named live feeds — each a table of standing convoy queries
 // (monitors) behind its own goroutine, sharing one clustering pass per
-// distinct (e, m) per tick — and a batch query engine with caching, all
+// distinct (e, m, backend) per tick — and a batch query engine with caching, all
 // behind an HTTP/JSON API. NewServer builds one for embedding; the convoyd
 // command wraps it as a standalone daemon:
 //
@@ -71,11 +89,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/dbscan"
 	"repro/internal/flock"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/proxgraph"
 	"repro/internal/serve"
 	"repro/internal/simplify"
 	"repro/internal/stjoin"
@@ -225,6 +243,13 @@ func WithLimit(n int) QueryOption { return core.WithLimit(n) }
 // clustering passes) into st, written once per Run/Seq completion.
 func WithStats(st *Stats) QueryOption { return core.WithStats(st) }
 
+// WithClusterer swaps the per-tick clustering backend of a CMC query (nil
+// restores the default DBSCAN backend). The CuTS family's filter bounds are
+// DBSCAN-specific theorems, so a non-default backend requires WithCMC;
+// Run/Seq fail otherwise. See GraphClusterer for the bundled
+// graph-connectivity backend.
+func WithClusterer(c Clusterer) QueryOption { return core.WithClusterer(c) }
+
 // WithConfig applies a legacy Config wholesale — the bridge from
 // DiscoverWith-style configuration to the Query API.
 func WithConfig(cfg Config) QueryOption { return core.WithConfig(cfg) }
@@ -292,13 +317,64 @@ type (
 	// sharing a ClusterKey from one ClusterSource and each tick costs one
 	// DBSCAN pass, not N.
 	Monitor = core.Monitor
-	// ClusterKey is the clustering configuration (e, m) that determines
-	// snapshot clusters; monitors sharing a key can share a source.
+	// ClusterKey is the clustering configuration (e, m, backend) that
+	// determines snapshot clusters; monitors sharing a key can share a
+	// source. The zero Backend means the default DBSCAN backend.
 	ClusterKey = core.ClusterKey
 	// ClusterSource computes per-tick snapshot clusters at one ClusterKey
 	// and counts its clustering passes.
 	ClusterSource = core.ClusterSource
 )
+
+// Pluggable per-tick clustering backends (the density-connection stage of
+// convoy discovery, swappable under CMC and the streaming engine).
+type (
+	// Clusterer is a per-tick clustering backend: it partitions one tick's
+	// snapshot into candidate groups of at least ClusterKey.M members.
+	// DefaultClusterer is the paper's grid-indexed DBSCAN over positions;
+	// GraphClusterer clusters the snapshot's proximity edges instead.
+	Clusterer = core.Clusterer
+	// TickSnapshot is one tick's input to a Clusterer: object IDs with
+	// their positions, plus optional proximity edges.
+	TickSnapshot = core.TickSnapshot
+	// ProxEdge is one weighted proximity observation between two objects
+	// within a TickSnapshot.
+	ProxEdge = core.ProxEdge
+	// ProximityLog is a coordinate-free contact log: timestamped weighted
+	// edges between labeled objects (read from "a,b,t,w" CSV). Its
+	// Clusterer method yields a graph-connectivity backend over the log,
+	// and DB synthesizes the stand-in trajectory database that carries the
+	// log's objects through a Query.
+	ProximityLog = proxgraph.Log
+)
+
+// DefaultClusterer returns the default backend: the paper's grid-indexed
+// snapshot DBSCAN over object positions.
+func DefaultClusterer() Clusterer { return core.DefaultClusterer }
+
+// GraphClusterer returns the graph-connectivity backend: clusters are
+// connected components of the snapshot's proximity edges with weight ≥ e,
+// ignoring positions entirely. A nil log clusters only the edges carried in
+// each TickSnapshot (the streaming form); a non-nil log supplies edges for
+// snapshots that carry none (the batch form — pair it with log.DB()).
+func GraphClusterer(log *ProximityLog) Clusterer { return proxgraph.Clusterer{Log: log} }
+
+// NewProximityLog returns an empty contact log; fill it with Add.
+func NewProximityLog() *ProximityLog { return proxgraph.NewLog() }
+
+// ReadProximityLog parses a contact log from "a,b,t,w" CSV.
+func ReadProximityLog(r io.Reader) (*ProximityLog, error) { return proxgraph.ReadLog(r) }
+
+// LoadProximityLog reads a contact log from a CSV file.
+func LoadProximityLog(path string) (*ProximityLog, error) { return proxgraph.LoadLog(path) }
+
+// ProximityLogFromDB derives a contact log from a trajectory database: one
+// weight-1 edge per object pair within distance r at each tick. At m=2 the
+// graph backend over this log answers exactly like DBSCAN over the
+// positions; at larger m the two notions of density diverge.
+func ProximityLogFromDB(db *DB, r float64) (*ProximityLog, error) {
+	return proxgraph.FromDB(db, r)
+}
 
 // NewMonitor returns a standing convoy query consuming per-tick cluster
 // lists (see Monitor.AdvanceClusters); pair it with a ClusterSource at
@@ -307,7 +383,16 @@ func NewMonitor(p Params) (*Monitor, error) { return core.NewMonitor(p) }
 
 // NewClusterSource returns a per-tick snapshot clustering stage for the
 // key, shareable by every Monitor whose parameters have that ClusterKey.
+// The key's backend must be the default; pass custom backends to
+// NewClusterSourceWith.
 func NewClusterSource(key ClusterKey) (*ClusterSource, error) { return core.NewClusterSource(key) }
+
+// NewClusterSourceWith returns a clustering stage running the given
+// backend (nil = default DBSCAN). The key's Backend must name c — sources
+// are shared by key, so the key must pin the backend that computes it.
+func NewClusterSourceWith(key ClusterKey, c Clusterer) (*ClusterSource, error) {
+	return core.NewClusterSourceWith(key, c)
+}
 
 // ReplayTicks walks a stored database tick by tick, calling fn with every
 // interpolated snapshot — the bridge from batch storage to the online
@@ -328,10 +413,14 @@ type (
 	ConvoyJSON = serve.ConvoyJSON
 	// ParamsJSON is the wire form of the query parameters (m, k, e).
 	ParamsJSON = serve.ParamsJSON
-	// TickBatch is one tick's positions, the feed ingestion unit.
+	// TickBatch is one tick's positions and/or proximity edges, the feed
+	// ingestion unit.
 	TickBatch = serve.TickBatch
 	// Position is one object's location within a TickBatch.
 	Position = serve.Position
+	// EdgeJSON is one proximity observation within a TickBatch, feeding
+	// graph-connectivity ("proxgraph") monitors.
+	EdgeJSON = serve.EdgeJSON
 	// FeedSpec names a feed and its parameters (feed creation body).
 	FeedSpec = serve.FeedSpec
 	// FeedStatus describes one live feed, including its monitor table.
@@ -465,9 +554,27 @@ func FindFlocks(db *DB, p FlockParams) ([]Flock, error) { return flock.Discover(
 
 // DBSCAN clusters a point snapshot with radius eps and density threshold
 // minPts (neighborhoods include the point itself); the label slice is
-// parallel to pts with -1 marking noise.
+// parallel to pts with -1 marking noise. It is the default Clusterer
+// flattened to per-point labels; a border point density-reachable from
+// several clusters gets the lowest-numbered one.
 func DBSCAN(pts []Point, eps float64, minPts int) []int {
-	return dbscan.Cluster(pts, eps, minPts)
+	ids := make([]ObjectID, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = -1
+	}
+	clusters := core.DefaultClusterer.Clusters(
+		core.ClusterKey{Eps: eps, M: minPts},
+		core.TickSnapshot{IDs: ids, Pts: pts})
+	for ci := len(clusters) - 1; ci >= 0; ci-- {
+		for _, id := range clusters[ci] {
+			labels[id] = ci
+		}
+	}
+	return labels
 }
 
 // Close-pair spatio-temporal join (Section 2.3's pairwise primitive).
@@ -507,6 +614,26 @@ func LoadCSV(path string) (*DB, error) { return tsio.LoadCSV(path) }
 // SaveCSV writes a database to a CSV file.
 func SaveCSV(path string, db *DB) error { return tsio.SaveCSV(path, db) }
 
+// Edge CSV I/O (format: "a,b,t,w" with header — the contact-log wire
+// format behind ProximityLog).
+
+// EdgeRecord is one contact observation of an edge CSV: objects a and b in
+// proximity at tick t with weight w.
+type EdgeRecord = tsio.EdgeRecord
+
+// ReadEdgeCSV parses contact records from "a,b,t,w" CSV, preserving file
+// order. ReadProximityLog both parses and indexes.
+func ReadEdgeCSV(r io.Reader) ([]EdgeRecord, error) { return tsio.ReadEdgeCSV(r) }
+
+// WriteEdgeCSV writes contact records as "a,b,t,w" CSV.
+func WriteEdgeCSV(w io.Writer, edges []EdgeRecord) error { return tsio.WriteEdgeCSV(w, edges) }
+
+// LoadEdgeCSV reads contact records from a CSV file.
+func LoadEdgeCSV(path string) ([]EdgeRecord, error) { return tsio.LoadEdgeCSV(path) }
+
+// SaveEdgeCSV writes contact records to a CSV file.
+func SaveEdgeCSV(path string, edges []EdgeRecord) error { return tsio.SaveEdgeCSV(path, edges) }
+
 // Binary I/O (compact exact-precision "CTB" format for large databases).
 
 // ReadBinary parses a CTB stream into a database.
@@ -543,3 +670,8 @@ func CarProfile(scale float64, seed int64) Profile { return datagen.Car(scale, s
 
 // TaxiProfile emulates the Beijing taxis dataset at the given time scale.
 func TaxiProfile(scale float64, seed int64) Profile { return datagen.Taxi(scale, seed) }
+
+// ContactProfile is a synthetic close-encounter world for the
+// proximity-graph backend: thresholding pairwise distance at the profile's
+// Eps (ProximityLogFromDB) turns each tick into a contact graph.
+func ContactProfile(scale float64, seed int64) Profile { return datagen.Contact(scale, seed) }

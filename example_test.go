@@ -110,6 +110,33 @@ func ExampleStreamer() {
 	// dissolved: ⟨o0,o1,[0,2]⟩
 }
 
+// Convoy discovery over a coordinate-free contact log: three radios hear
+// each other (pairwise or transitively) for five ticks; a weak contact and
+// a short trailing one don't qualify. No positions exist anywhere.
+func ExampleWithClusterer() {
+	log := convoys.NewProximityLog()
+	for t := convoys.Tick(1); t <= 5; t++ {
+		log.Add("alpha", "bravo", t, 1)
+		log.Add("bravo", "charlie", t, 1)
+	}
+	log.Add("delta", "alpha", 1, 0.25) // below the e=1 threshold
+	log.Add("alpha", "bravo", 6, 1)    // only two objects: below m=3
+
+	db, _ := log.DB() // stand-in database carrying the log's objects
+	q := convoys.NewQuery(convoys.M(3), convoys.K(3), convoys.Eps(1),
+		convoys.WithCMC(), convoys.WithClusterer(log.Clusterer()))
+	result, _ := q.Run(context.Background(), db)
+	for _, c := range result {
+		objs := make([]string, len(c.Objects))
+		for i, id := range c.Objects {
+			objs[i] = log.Label(id)
+		}
+		fmt.Println(objs, "ticks", c.Start, "to", c.End)
+	}
+	// Output:
+	// [alpha bravo charlie] ticks 1 to 5
+}
+
 func ExampleCloseSelfJoin() {
 	db := convoys.NewDB()
 	a, _ := convoys.NewTrajectory("a", []convoys.Sample{convoys.S(0, 0, 0), convoys.S(1, 5, 0)})

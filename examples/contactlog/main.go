@@ -1,0 +1,68 @@
+// Contactlog: convoy discovery without coordinates. A warehouse's badge
+// readers log which workers' radios hear each other every minute — no
+// positions, just weighted contacts. The proximity-graph backend finds the
+// crews that stay connected (directly or through a chain of contacts) for
+// a sustained stretch.
+//
+//	go run ./examples/contactlog
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	convoys "repro"
+)
+
+func main() {
+	contacts := convoys.NewProximityLog()
+
+	// Ticks 0–9: a picking crew. dora–eli are side by side the whole time;
+	// fay is only ever near eli, yet belongs to the same convoy — graph
+	// connectivity is transitive, exactly like density connection.
+	for t := convoys.Tick(0); t < 10; t++ {
+		add(contacts, "dora", "eli", t, 0.9)
+		add(contacts, "eli", "fay", t, 0.8)
+	}
+	// gus walks past at tick 3: one weak, short contact. Below the weight
+	// threshold, it never enters the graph.
+	add(contacts, "gus", "dora", 3, 0.2)
+	// hana and ivan pair up late (ticks 6–9): connected, but for only four
+	// ticks — under the k=5 lifetime bound.
+	for t := convoys.Tick(6); t < 10; t++ {
+		add(contacts, "hana", "ivan", t, 0.9)
+	}
+
+	// The log synthesizes a stand-in database (its objects and life spans;
+	// the clusterer never looks at the fake coordinates), and its Clusterer
+	// replaces DBSCAN for the per-tick grouping. Eps is reinterpreted as
+	// the minimum contact weight; the graph backend runs under CMC.
+	db, err := contacts.DB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := convoys.NewQuery(convoys.M(3), convoys.K(5), convoys.Eps(0.5),
+		convoys.WithCMC(), convoys.WithClusterer(contacts.Clusterer()))
+	result, err := q.Run(context.Background(), db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d crew(s) of ≥3 connected for ≥5 minutes:\n", len(result))
+	for _, c := range result {
+		fmt.Print("  crew:")
+		for _, id := range c.Objects {
+			fmt.Print(" ", contacts.Label(id))
+		}
+		fmt.Printf("  minutes [%d, %d]\n", c.Start, c.End)
+	}
+}
+
+// add appends one contact, failing loudly on malformed input (empty
+// labels, self-loops, bad weights).
+func add(l *convoys.ProximityLog, a, b string, t convoys.Tick, w float64) {
+	if err := l.Add(a, b, t, w); err != nil {
+		log.Fatal(err)
+	}
+}

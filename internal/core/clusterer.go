@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// The per-tick clustering stage is pluggable: the convoy definition only
+// needs *some* notion of density-connected groups per time point — the
+// paper instantiates it with Euclidean DBSCAN, but the CMC chaining (and
+// the whole streaming engine on top of it) is agnostic to where the
+// clusters come from. A Clusterer computes one tick's clusters from a
+// snapshot; the built-in DBSCANClusterer reproduces the paper exactly,
+// and internal/proxgraph clusters coordinate-free proximity logs
+// (co-presence edges) with the same machinery. The CuTS filter step is
+// NOT pluggable — its pruning bounds are theorems about Euclidean DBSCAN
+// over polylines — so custom clusterers pair with the CMC algorithm.
+
+// DefaultBackend is the name of the built-in grid-DBSCAN backend. A
+// ClusterKey whose Backend field is empty means this backend, so keys
+// predating pluggable clusterers keep their meaning.
+const DefaultBackend = "dbscan"
+
+// ProxEdge is one proximity observation between two objects at a tick:
+// the input of graph-connectivity clusterers. W is the edge weight (e.g.
+// contact duration or signal strength); a backend thresholds it against
+// the clustering key's Eps.
+type ProxEdge struct {
+	A, B model.ObjectID
+	W    float64
+}
+
+// TickSnapshot is everything one tick exposes to a Clusterer: the alive
+// object IDs with their positions (parallel slices; geometric backends
+// use these) and/or the tick's proximity edges (graph backends use
+// these). Either part may be empty — a coordinate-free feed carries only
+// edges, a trajectory database only positions.
+type TickSnapshot struct {
+	T     model.Tick
+	IDs   []model.ObjectID
+	Pts   []geom.Point
+	Edges []ProxEdge
+}
+
+// Clusterer computes the per-tick density-connected groups the convoy
+// pipeline chains across time.
+//
+// Contract: Clusters returns the tick's clusters at the key — every
+// cluster has ≥ key.M members, member lists are ascending object IDs, and
+// the output is deterministic in the snapshot. Clusters may overlap (the
+// DBSCAN backend's maximal sets share border points); callers never
+// mutate the returned slices. Name identifies the backend; two monitors
+// share a clustering pass only when their keys — including the backend —
+// are equal. Implementations must be safe for concurrent Clusters calls
+// (the parallel CMC pipeline clusters many ticks at once).
+type Clusterer interface {
+	Name() string
+	Clusters(key ClusterKey, snap TickSnapshot) [][]model.ObjectID
+}
+
+// DBSCANClusterer is the paper's per-tick clustering: maximal
+// density-connected sets (grid-accelerated snapshot DBSCAN) over the
+// snapshot positions, ignoring edges. The zero value is ready to use.
+type DBSCANClusterer struct{}
+
+// Name returns DefaultBackend.
+func (DBSCANClusterer) Name() string { return DefaultBackend }
+
+// Clusters returns the maximal density-connected sets of the snapshot
+// positions at (key.Eps, key.M).
+func (DBSCANClusterer) Clusters(key ClusterKey, snap TickSnapshot) [][]model.ObjectID {
+	if len(snap.IDs) < key.M {
+		return nil
+	}
+	idxClusters := dbscan.SnapshotClustersMaximal(snap.Pts, key.Eps, key.M)
+	clusters := make([][]model.ObjectID, len(idxClusters))
+	for ci, c := range idxClusters {
+		objs := make([]model.ObjectID, len(c))
+		for i, idx := range c {
+			objs[i] = snap.IDs[idx]
+		}
+		// Index clusters are ascending, so objs is already sorted when the
+		// snapshot IDs are (database replays); live feeds push arbitrary
+		// orders and pay the sort.
+		if !sort.IntsAreSorted(objs) {
+			sort.Ints(objs)
+		}
+		clusters[ci] = objs
+	}
+	return clusters
+}
+
+// DefaultClusterer is the built-in DBSCAN backend, used wherever no
+// WithClusterer option (or explicit source clusterer) says otherwise.
+var DefaultClusterer Clusterer = DBSCANClusterer{}

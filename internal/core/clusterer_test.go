@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// componentClusterer is a minimal non-default backend for tests: connected
+// components of the snapshot edges at weight ≥ key.Eps (the proxgraph
+// semantics, reimplemented here because core's internal tests cannot
+// import proxgraph without a cycle).
+type componentClusterer struct{}
+
+func (componentClusterer) Name() string { return "components" }
+
+func (componentClusterer) Clusters(key ClusterKey, snap TickSnapshot) [][]model.ObjectID {
+	parent := map[model.ObjectID]model.ObjectID{}
+	var find func(model.ObjectID) model.ObjectID
+	find = func(x model.ObjectID) model.ObjectID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, e := range snap.Edges {
+		if e.W >= key.Eps {
+			parent[find(e.A)] = find(e.B)
+		}
+	}
+	groups := map[model.ObjectID][]model.ObjectID{}
+	for x := range parent {
+		groups[find(x)] = append(groups[find(x)], x)
+	}
+	var out [][]model.ObjectID
+	for _, g := range groups {
+		if len(g) >= key.M {
+			sort.Ints(g)
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// TestWithClustererDefaultIsIdentity pins the refactor: routing every
+// algorithm through an explicitly passed DBSCANClusterer yields the exact
+// pre-refactor answers, for all variants × worker counts, on random
+// databases.
+func TestWithClustererDefaultIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	p := Params{M: 3, K: 3, Eps: 2.5}
+	for trial := 0; trial < 5; trial++ {
+		db := randomDB(r, 14, 20)
+		for _, algo := range []Option{WithCMC(), WithVariant(VariantCuTS), WithVariant(VariantCuTSPlus), WithVariant(VariantCuTSStar)} {
+			for _, workers := range []int{1, 4} {
+				want, err := NewQuery(WithParams(p), algo, WithWorkers(workers)).Run(context.Background(), db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := NewQuery(WithParams(p), algo, WithWorkers(workers), WithClusterer(DBSCANClusterer{})).
+					Run(context.Background(), db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("trial %d workers %d: WithClusterer(default) answer differs:\n got %v\nwant %v",
+						trial, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDBSCANClustererContract checks the backend against the raw dbscan
+// mapping and the member-ordering contract on an unsorted live-feed style
+// snapshot.
+func TestDBSCANClustererContract(t *testing.T) {
+	key := ClusterKey{Eps: 1.5, M: 2}
+	ids := []model.ObjectID{9, 3, 7, 1}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(10, 0), geom.Pt(10.5, 0)}
+	got := DBSCANClusterer{}.Clusters(key, TickSnapshot{IDs: ids, Pts: pts})
+	for _, c := range got {
+		if !sort.IntsAreSorted(c) {
+			t.Fatalf("cluster %v not ascending", c)
+		}
+		if len(c) < key.M {
+			t.Fatalf("cluster %v smaller than m", c)
+		}
+	}
+	idx := dbscan.SnapshotClustersMaximal(pts, key.Eps, key.M)
+	if len(got) != len(idx) {
+		t.Fatalf("got %d clusters, dbscan has %d", len(got), len(idx))
+	}
+	// Below m objects: no clustering at all.
+	if c := (DBSCANClusterer{}).Clusters(ClusterKey{Eps: 1, M: 5}, TickSnapshot{IDs: ids, Pts: pts}); c != nil {
+		t.Fatalf("undersized snapshot clustered: %v", c)
+	}
+}
+
+// TestWithClustererRequiresCMC: the CuTS filter bounds are theorems about
+// Euclidean DBSCAN, so a non-default backend without WithCMC must fail
+// validation — for Run and Seq alike.
+func TestWithClustererRequiresCMC(t *testing.T) {
+	db := buildDB(t, 0, []geom.Point{geom.Pt(0, 0)}, []geom.Point{geom.Pt(1, 0)})
+	p := Params{M: 2, K: 1, Eps: 2}
+	_, err := NewQuery(WithParams(p), WithClusterer(componentClusterer{})).Run(context.Background(), db)
+	if err == nil || !strings.Contains(err.Error(), "requires the CMC algorithm") {
+		t.Fatalf("CuTS + custom clusterer: err = %v, want CMC-required error", err)
+	}
+	for _, serr := range NewQuery(WithParams(p), WithClusterer(componentClusterer{})).Seq(context.Background(), db) {
+		if serr == nil || !strings.Contains(serr.Error(), "requires the CMC algorithm") {
+			t.Fatalf("Seq err = %v, want CMC-required error", serr)
+		}
+	}
+	// With CMC the combination is legal.
+	if _, err := NewQuery(WithParams(p), WithCMC(), WithClusterer(componentClusterer{})).Run(context.Background(), db); err != nil {
+		t.Fatalf("CMC + custom clusterer failed: %v", err)
+	}
+}
+
+// TestClusterSourceBackendKeys covers the sharing identity (satellite:
+// monitor-table key isolation at the core level): equal (e, m) with
+// different backends are different keys, so two sources never share — and
+// a key lying about its backend is rejected.
+func TestClusterSourceBackendKeys(t *testing.T) {
+	base := ClusterKey{Eps: 2, M: 2}
+	def, err := NewClusterSource(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewClusterSourceWith(ClusterKey{Eps: 2, M: 2, Backend: "components"}, componentClusterer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Key() == comp.Key() {
+		t.Fatal("distinct backends share a ClusterKey")
+	}
+	if def.Key() != base.Canonical() || def.Key().BackendName() != DefaultBackend {
+		t.Fatalf("default key = %+v", def.Key())
+	}
+
+	// Both spellings of the default backend canonicalize to one key.
+	spelled, err := NewClusterSourceWith(ClusterKey{Eps: 2, M: 2, Backend: DefaultBackend}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spelled.Key() != def.Key() {
+		t.Fatalf("default-backend spellings diverge: %+v vs %+v", spelled.Key(), def.Key())
+	}
+
+	// A key naming a backend other than the clusterer's is a lie.
+	if _, err := NewClusterSourceWith(base, componentClusterer{}); err == nil {
+		t.Error("key backend mismatch accepted")
+	}
+	// NewClusterSource cannot resolve foreign backends by name.
+	if _, err := NewClusterSource(ClusterKey{Eps: 2, M: 2, Backend: "components"}); err == nil {
+		t.Error("NewClusterSource resolved a non-default backend")
+	}
+
+	// Pass counters are independent per source; Cluster and the Snapshot
+	// shorthand both count.
+	snap := TickSnapshot{
+		IDs:   []model.ObjectID{0, 1},
+		Pts:   []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)},
+		Edges: []ProxEdge{{A: 0, B: 1, W: 5}},
+	}
+	if got := comp.Cluster(snap); len(got) != 1 || got[0][0] != 0 || got[0][1] != 1 {
+		t.Fatalf("component cluster = %v", got)
+	}
+	def.Snapshot(snap.IDs, snap.Pts)
+	def.Snapshot(snap.IDs, snap.Pts)
+	if def.Passes() != 2 || comp.Passes() != 1 {
+		t.Fatalf("passes = %d/%d, want 2/1", def.Passes(), comp.Passes())
+	}
+	if comp.Clusterer().Name() != "components" || def.Clusterer().Name() != DefaultBackend {
+		t.Fatalf("clusterer names = %q/%q", comp.Clusterer().Name(), def.Clusterer().Name())
+	}
+}
+
+// TestMonitorBackendIsolation runs the same edge-augmented stream through
+// a DBSCAN monitor and a component monitor at identical (e, m, k): the
+// component backend chains the edge graph (one long convoy), while DBSCAN
+// chains positions (none — the points are spread out), proving the
+// backends answer different queries and must never share a pass.
+func TestMonitorBackendIsolation(t *testing.T) {
+	p := Params{M: 2, K: 3, Eps: 1}
+	defSrc, err := NewClusterSource(p.ClusterKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := p.ClusterKey()
+	key.Backend = "components"
+	compSrc, err := NewClusterSourceWith(key, componentClusterer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defMon, err := NewMonitor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compMon, err := NewMonitor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defOut, compOut []Convoy
+	for tick := model.Tick(1); tick <= 4; tick++ {
+		snap := TickSnapshot{
+			T:     tick,
+			IDs:   []model.ObjectID{0, 1},
+			Pts:   []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0)}, // far apart
+			Edges: []ProxEdge{{A: 0, B: 1, W: 1}},               // yet in contact
+		}
+		d, err := defMon.AdvanceClusters(tick, defSrc.Cluster(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := compMon.AdvanceClusters(tick, compSrc.Cluster(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defOut = append(defOut, d...)
+		compOut = append(compOut, c...)
+	}
+	defOut = append(defOut, defMon.Close()...)
+	compOut = append(compOut, compMon.Close()...)
+	if len(defOut) != 0 {
+		t.Errorf("dbscan monitor found %v, want none", defOut)
+	}
+	want := Canonicalize([]Convoy{{Objects: []model.ObjectID{0, 1}, Start: 1, End: 4}})
+	if !Canonicalize(compOut).Equal(want) {
+		t.Errorf("component monitor found %v, want %v", compOut, want)
+	}
+	if defSrc.Passes() != 4 || compSrc.Passes() != 4 {
+		t.Errorf("passes = %d/%d, want 4/4", defSrc.Passes(), compSrc.Passes())
+	}
+}

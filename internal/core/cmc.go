@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/dbscan"
 	"repro/internal/geom"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -68,10 +67,10 @@ func (s *candidateSet) add(objs, support []model.ObjectID, start, end model.Tick
 	s.cands = append(s.cands, &candidate{objs: objs, support: support, start: start, end: end})
 }
 
-// snapshotClusters computes the maximal density-connected sets of the
-// objects alive at tick t, restricted to subset when non-nil (ascending
-// IDs). Cluster member lists are ascending object IDs.
-func snapshotClusters(db *model.DB, p Params, t model.Tick, subset []model.ObjectID) [][]model.ObjectID {
+// snapshotClusters clusters the objects alive at tick t with cl, restricted
+// to subset when non-nil (ascending IDs). Cluster member lists are
+// ascending object IDs (the Clusterer contract).
+func snapshotClusters(db *model.DB, cl Clusterer, p Params, t model.Tick, subset []model.ObjectID) [][]model.ObjectID {
 	var ids []model.ObjectID
 	var pts []geom.Point
 	if subset == nil {
@@ -84,19 +83,7 @@ func snapshotClusters(db *model.DB, p Params, t model.Tick, subset []model.Objec
 			}
 		}
 	}
-	if len(ids) < p.M {
-		return nil
-	}
-	idxClusters := dbscan.SnapshotClustersMaximal(pts, p.Eps, p.M)
-	clusters := make([][]model.ObjectID, len(idxClusters))
-	for ci, c := range idxClusters {
-		objs := make([]model.ObjectID, len(c))
-		for i, idx := range c {
-			objs[i] = ids[idx] // ids ascending ⇒ objs ascending
-		}
-		clusters[ci] = objs
-	}
-	return clusters
+	return cl.Clusters(ClusterKey{Eps: p.Eps, M: p.M}, TickSnapshot{T: t, IDs: ids, Pts: pts})
 }
 
 // chainStep advances the candidate generation by one clustering round:
@@ -178,7 +165,7 @@ func flushCandidates(live []*candidate, k int64, out *[]Convoy, emit func(*candi
 // Because chainStep consumes exactly the clusters the serial scan would,
 // in exactly the same order, the emitted convoys are identical to the
 // serial scan by construction.
-func cmcScan(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int, passes *int64, emit func([]Convoy) bool) error {
+func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int, passes *int64, emit func([]Convoy) bool) error {
 	span := int64(hi-lo) + 1
 	if span <= 0 {
 		return nil
@@ -202,10 +189,10 @@ func cmcScan(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, sub
 			atomic.AddInt64(passes, 1)
 		}
 		if tm == nil {
-			return snapshotClusters(db, p, lo+model.Tick(i), subset)
+			return snapshotClusters(db, cl, p, lo+model.Tick(i), subset)
 		}
 		t0 := time.Now()
-		cs := snapshotClusters(db, p, lo+model.Tick(i), subset)
+		cs := snapshotClusters(db, cl, p, lo+model.Tick(i), subset)
 		tm.cluster.Add(int64(time.Since(t0)))
 		return cs
 	}
@@ -266,7 +253,7 @@ func cmcScan(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, sub
 // time into the refine span without gaining mid-window cancellation.
 func cmcWindow(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, passes *int64) []Convoy {
 	var out []Convoy
-	cmcScan(ctx, db, p, lo, hi, subset, 1, passes, func(batch []Convoy) bool {
+	cmcScan(ctx, db, DefaultClusterer, p, lo, hi, subset, 1, passes, func(batch []Convoy) bool {
 		out = append(out, batch...)
 		return true
 	})

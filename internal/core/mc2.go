@@ -75,7 +75,7 @@ func MC2(db *model.DB, p Params, theta float64) ([]Convoy, error) {
 	}
 	var live []*mcChain
 	for t := lo; t <= hi; t++ {
-		clusters := snapshotClusters(db, p, t, nil)
+		clusters := snapshotClusters(db, DefaultClusterer, p, t, nil)
 		extended := make([]bool, len(clusters))
 		next := make([]*mcChain, 0, len(clusters))
 		index := make(map[string]int)

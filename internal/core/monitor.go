@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/dbscan"
 	"repro/internal/geom"
 	"repro/internal/model"
 )
@@ -23,71 +21,117 @@ import (
 // is the 1-monitor special case wiring one source to one monitor.
 
 // ClusterKey identifies a clustering configuration: the density-connection
-// distance e and the density threshold m. Monitors whose parameters share a
-// key can share one ClusterSource (and thus one DBSCAN pass per tick).
+// distance e, the density threshold m, and the clustering backend. Monitors
+// whose parameters share a key can share one ClusterSource (and thus one
+// clustering pass per tick); distinct backends never share, even at equal
+// (e, m) — their clusters mean different things.
 type ClusterKey struct {
 	Eps float64
 	M   int
+	// Backend names the Clusterer computing the clusters; empty means
+	// DefaultBackend (grid-DBSCAN), so zero-value keys and keys from before
+	// pluggable backends keep their meaning. Compare keys for sharing via
+	// Canonical (or with both sides' BackendName) so the two spellings of
+	// the default never split a group.
+	Backend string
 }
 
 // ClusterKey returns the clustering key of the parameters: the (e, m) part
-// that determines the snapshot clusters, independent of the lifetime k.
+// that determines the snapshot clusters, independent of the lifetime k. The
+// backend is left empty (= DefaultBackend).
 func (p Params) ClusterKey() ClusterKey { return ClusterKey{Eps: p.Eps, M: p.M} }
 
-// Validate reports whether the key is usable (same bounds as Params).
+// BackendName returns the key's backend with the empty spelling resolved to
+// DefaultBackend.
+func (k ClusterKey) BackendName() string {
+	if k.Backend == "" {
+		return DefaultBackend
+	}
+	return k.Backend
+}
+
+// Canonical returns the key with the default backend normalized to the
+// empty spelling, so canonical keys are comparable with == (map keys,
+// sharing checks) regardless of how the default was written.
+func (k ClusterKey) Canonical() ClusterKey {
+	if k.Backend == DefaultBackend {
+		k.Backend = ""
+	}
+	return k
+}
+
+// Validate reports whether the key is usable (same bounds as Params; any
+// backend name is allowed — resolution is the caller's concern).
 func (k ClusterKey) Validate() error {
 	return Params{M: k.M, K: 1, Eps: k.Eps}.Validate()
 }
 
-// ClusterSource computes the maximal density-connected sets of one pushed
-// snapshot at a fixed clustering key, counting how many clustering passes
-// it has run. It is the per-tick cluster stage of the streaming engine; it
-// holds no cross-tick state, so one source can drive any number of
-// Monitors. Not safe for concurrent use.
+// ClusterSource computes the per-tick clusters of one pushed snapshot at a
+// fixed clustering key with a fixed Clusterer, counting how many clustering
+// passes it has run. It is the per-tick cluster stage of the streaming
+// engine; it holds no cross-tick state, so one source can drive any number
+// of Monitors. Not safe for concurrent use.
 type ClusterSource struct {
 	key    ClusterKey
+	c      Clusterer
 	passes int64
 }
 
 // NewClusterSource validates the key and returns a source with a zeroed
-// pass counter.
+// pass counter, clustering with the backend the key names (only the
+// built-in DefaultBackend can be resolved by name here; other backends go
+// through NewClusterSourceWith).
 func NewClusterSource(key ClusterKey) (*ClusterSource, error) {
+	if key.BackendName() != DefaultBackend {
+		return nil, fmt.Errorf("core: NewClusterSource: unknown backend %q (pass the Clusterer to NewClusterSourceWith)", key.Backend)
+	}
+	return NewClusterSourceWith(key, nil)
+}
+
+// NewClusterSourceWith validates the key and returns a source clustering
+// with c (nil means DefaultClusterer). A key naming a different backend
+// than c is rejected — the key is the sharing identity, so it must tell
+// the truth about who computes the clusters. The stored key is canonical.
+func NewClusterSourceWith(key ClusterKey, c Clusterer) (*ClusterSource, error) {
+	if c == nil {
+		c = DefaultClusterer
+	}
 	if err := key.Validate(); err != nil {
 		return nil, err
 	}
-	return &ClusterSource{key: key}, nil
+	if key.BackendName() != c.Name() {
+		return nil, fmt.Errorf("core: NewClusterSourceWith: key backend %q does not match clusterer %q", key.BackendName(), c.Name())
+	}
+	key.Backend = c.Name()
+	return &ClusterSource{key: key.Canonical(), c: c}, nil
 }
 
-// Key returns the source's clustering key.
+// Key returns the source's clustering key (canonical).
 func (s *ClusterSource) Key() ClusterKey { return s.key }
 
-// Passes returns the number of Snapshot calls so far — the clustering-pass
-// counter the multi-monitor sharing tests and the monitors benchmark rely
-// on.
+// Clusterer returns the backend computing the source's clusters.
+func (s *ClusterSource) Clusterer() Clusterer { return s.c }
+
+// Passes returns the number of clustering passes so far — the counter the
+// multi-monitor sharing tests and the monitors benchmark rely on.
 func (s *ClusterSource) Passes() int64 { return s.passes }
 
-// Snapshot clusters one pushed tick: the object IDs alive at the tick and
-// their positions (parallel slices). IDs need not be sorted; cluster member
-// lists come out ascending. The caller is responsible for snapshot
-// validation (equal slice lengths, no duplicate IDs — see FirstDuplicateID,
-// finite coordinates); Streamer.Advance and the serve feed handler both do
-// this before clustering.
-func (s *ClusterSource) Snapshot(ids []model.ObjectID, pts []geom.Point) [][]model.ObjectID {
+// Cluster runs one clustering pass over a pushed tick snapshot. IDs need
+// not be sorted; cluster member lists come out ascending (the Clusterer
+// contract). The caller is responsible for snapshot validation (parallel
+// IDs/Pts slices, no duplicate IDs — see FirstDuplicateID, finite
+// coordinates, valid edges); Streamer.Advance and the serve feed handler
+// both do this before clustering.
+func (s *ClusterSource) Cluster(snap TickSnapshot) [][]model.ObjectID {
 	s.passes++
-	if len(ids) < s.key.M {
-		return nil
-	}
-	idxClusters := dbscan.SnapshotClustersMaximal(pts, s.key.Eps, s.key.M)
-	clusters := make([][]model.ObjectID, len(idxClusters))
-	for ci, c := range idxClusters {
-		objs := make([]model.ObjectID, len(c))
-		for i, idx := range c {
-			objs[i] = ids[idx]
-		}
-		sort.Ints(objs)
-		clusters[ci] = objs
-	}
-	return clusters
+	return s.c.Clusters(s.key, snap)
+}
+
+// Snapshot clusters the object IDs alive at one tick and their positions
+// (parallel slices) — the positions-only special case of Cluster, for
+// geometric backends.
+func (s *ClusterSource) Snapshot(ids []model.ObjectID, pts []geom.Point) [][]model.ObjectID {
+	return s.Cluster(TickSnapshot{IDs: ids, Pts: pts})
 }
 
 // Monitor maintains one standing convoy query over a stream of per-tick

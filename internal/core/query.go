@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"iter"
 	"sort"
 	"sync/atomic"
@@ -34,15 +35,16 @@ import (
 // The legacy entry points (CMC, CMCParallel, Run, CuTS…) are thin wrappers
 // over Query and remain answer-for-answer identical.
 type Query struct {
-	p        Params
-	useCMC   bool
-	variant  Variant
-	delta    float64
-	lambda   int64
-	tol      dbscan.ToleranceMode
-	workers  int
-	limit    int
-	statsOut *Stats
+	p         Params
+	useCMC    bool
+	variant   Variant
+	clusterer Clusterer
+	delta     float64
+	lambda    int64
+	tol       dbscan.ToleranceMode
+	workers   int
+	limit     int
+	statsOut  *Stats
 
 	// Ablation switches, carried for WithConfig round-trips.
 	noBoxPrune    bool
@@ -88,6 +90,14 @@ func WithVariant(v Variant) Option {
 // scan with no filter step. δ/λ settings are ignored.
 func WithCMC() Option { return func(q *Query) { q.useCMC = true } }
 
+// WithClusterer selects the per-tick clustering backend (nil restores
+// DefaultClusterer, the paper's grid-DBSCAN). A non-default backend
+// requires the CMC algorithm — the CuTS filter's pruning bounds are
+// theorems about Euclidean DBSCAN over polylines, so Run/Seq reject the
+// combination — and the answers then follow the backend's density notion
+// (e.g. proximity-graph connectivity) instead of Euclidean DBSCAN.
+func WithClusterer(c Clusterer) Option { return func(q *Query) { q.clusterer = c } }
+
 // WithDelta overrides the automatic simplification-tolerance guideline
 // (values ≤ 0 restore it).
 func WithDelta(delta float64) Option { return func(q *Query) { q.delta = delta } }
@@ -117,16 +127,32 @@ func WithLimit(n int) Option { return func(q *Query) { q.limit = n } }
 // Stats.ClusterPasses meters how much work the abort saved.
 func WithStats(st *Stats) Option { return func(q *Query) { q.statsOut = st } }
 
+// withAblation sets the paper's Section 7 ablation switches (no pruning
+// step has a public builder; they exist for WithConfig and the ablation
+// benchmarks).
+func withAblation(noBoxPrune, noClipTime, noCandPruning bool) Option {
+	return func(q *Query) {
+		q.noBoxPrune, q.noClipTime, q.noCandPruning = noBoxPrune, noClipTime, noCandPruning
+	}
+}
+
 // WithConfig applies a legacy Config wholesale — the bridge the old
-// Run/DiscoverWith entry points use. Config.Variant always applies (Query
-// has no "unset" variant), so combine WithConfig with WithCMC only after
-// it.
+// Run/DiscoverWith entry points use, composed purely from the public
+// option builders (plus the ablation switches) so the two surfaces cannot
+// drift. Config.Variant always applies (Query has no "unset" variant), so
+// combine WithConfig with WithCMC only after it.
 func WithConfig(cfg Config) Option {
 	return func(q *Query) {
-		q.variant, q.useCMC = cfg.Variant, false
-		q.delta, q.lambda, q.tol = cfg.Delta, cfg.Lambda, cfg.Tolerance
-		q.workers = cfg.Workers
-		q.noBoxPrune, q.noClipTime, q.noCandPruning = cfg.NoBoxPrune, cfg.NoClipTime, cfg.NoCandidatePruning
+		for _, o := range []Option{
+			WithVariant(cfg.Variant),
+			WithDelta(cfg.Delta),
+			WithLambda(cfg.Lambda),
+			WithTolerance(cfg.Tolerance),
+			WithWorkers(cfg.Workers),
+			withAblation(cfg.NoBoxPrune, cfg.NoClipTime, cfg.NoCandidatePruning),
+		} {
+			o(q)
+		}
 	}
 }
 
@@ -186,20 +212,6 @@ func (q *Query) Seq(ctx context.Context, db *model.DB) iter.Seq2[Convoy, error] 
 	}
 }
 
-// config reassembles the legacy Config equivalent of the query.
-func (q *Query) config() Config {
-	return Config{
-		Variant:            q.variant,
-		Delta:              q.delta,
-		Lambda:             q.lambda,
-		Tolerance:          q.tol,
-		NoBoxPrune:         q.noBoxPrune,
-		NoClipTime:         q.noClipTime,
-		NoCandidatePruning: q.noCandPruning,
-		Workers:            q.workers,
-	}
-}
-
 // run is the shared execution core behind Run and Seq. raw selects the
 // emission mode: raw emissions (batch collection, canonicalized by the
 // caller at the end) versus canonical streaming (each emitted convoy is
@@ -220,6 +232,13 @@ func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convo
 	if err := q.p.Validate(); err != nil {
 		return err
 	}
+	cl := q.clusterer
+	if cl == nil {
+		cl = DefaultClusterer
+	}
+	if !q.useCMC && cl.Name() != DefaultBackend {
+		return fmt.Errorf("core: clusterer %q requires the CMC algorithm (the CuTS filter bounds are DBSCAN-specific); add WithCMC", cl.Name())
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -236,6 +255,9 @@ func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convo
 	sp.Str("algo", algo).
 		Int("m", int64(q.p.M)).Int("k", q.p.K).Float("e", q.p.Eps).
 		Int("workers", int64(st.Workers))
+	if cl.Name() != DefaultBackend {
+		sp.Str("clusterer", cl.Name())
+	}
 	if q.limit > 0 {
 		sp.Int("limit", int64(q.limit))
 	}
@@ -244,7 +266,7 @@ func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convo
 		sp.End()
 	}()
 	if q.useCMC {
-		return q.runCMC(ctx, db, raw, &passes, emit)
+		return q.runCMC(ctx, db, cl, raw, &passes, emit)
 	}
 	return q.runCuTS(ctx, db, raw, &st, &passes, emit)
 }
@@ -271,9 +293,10 @@ func (q *Query) collect(ctx context.Context, db *model.DB, out *[]Convoy) error 
 	})
 }
 
-// runCMC scans the whole time domain with the CMC algorithm, pushing
-// closed convoys through the chosen emission mode.
-func (q *Query) runCMC(ctx context.Context, db *model.DB, raw bool, passes *int64, emit func(Convoy) bool) error {
+// runCMC scans the whole time domain with the CMC algorithm, clustering
+// each tick with cl, pushing closed convoys through the chosen emission
+// mode.
+func (q *Query) runCMC(ctx context.Context, db *model.DB, cl Clusterer, raw bool, passes *int64, emit func(Convoy) bool) error {
 	lo, hi, ok := db.TimeRange()
 	if !ok {
 		return nil
@@ -282,7 +305,7 @@ func (q *Query) runCMC(ctx context.Context, db *model.DB, raw bool, passes *int6
 	sp.Int("ticks", int64(hi-lo)+1)
 	defer sp.End()
 	sink := emitBatches(raw, emit)
-	return cmcScan(ctx, db, q.p, lo, hi, nil, q.workers, passes, sink)
+	return cmcScan(ctx, db, cl, q.p, lo, hi, nil, q.workers, passes, sink)
 }
 
 // emitBatches adapts a per-convoy emit to cmcScan's per-tick batch

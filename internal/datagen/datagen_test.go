@@ -207,3 +207,41 @@ func TestProfilesScaleTicks(t *testing.T) {
 		t.Error("tick floor broken")
 	}
 }
+
+func TestContactProfile(t *testing.T) {
+	p := Contact(0.1, 1)
+	if err := (core.Params{M: p.M, K: p.K, Eps: p.Eps}).Validate(); err != nil {
+		t.Fatalf("params invalid: %v", err)
+	}
+	db := p.Generate()
+	if n := db.Len(); n < 40 || n > 70 {
+		t.Errorf("N = %d, want ≈ 60", n)
+	}
+	// Deterministic in the seed, like every profile.
+	again := Contact(0.1, 1).Generate()
+	if db.Len() != again.Len() {
+		t.Error("contact profile not deterministic")
+	}
+	// The world is small enough that contacts at Eps actually happen:
+	// some pair is within Eps at some tick (otherwise the derived contact
+	// graph would be empty and the profile useless).
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		t.Fatal("empty database")
+	}
+	found := false
+	for tick := lo; tick <= hi && !found; tick++ {
+		ids, pts := db.SnapshotAt(tick)
+		for i := 0; i < len(ids) && !found; i++ {
+			for j := i + 1; j < len(pts); j++ {
+				if geom.D(pts[i], pts[j]) <= p.Eps {
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no contact within Eps anywhere in the domain")
+	}
+}

@@ -226,6 +226,48 @@ func Taxi(scale float64, seed int64) Profile {
 	}
 }
 
+// Contact is a synthetic close-encounter world for the proximity-graph
+// backend: a small campus-scale area where planted groups brush shoulders
+// constantly and background objects wander through. It is not one of the
+// paper's datasets — thresholding pairwise distance at Eps turns each tick
+// into a contact graph (see proxgraph.FromDB), which is how the clusterers
+// benchmark compares the DBSCAN and graph-connectivity backends on equal
+// footing.
+func Contact(scale float64, seed int64) Profile {
+	T := scaleTicks(2000, scale)
+	k := scaleTicks(60, scale)
+	window := scaleTicks(300, scale)
+	if window < k+2 {
+		window = k + 2
+	}
+	groups := groupWindows(seed+1, 10, T, window,
+		func(r *rand.Rand) int { return 2 + r.Intn(3) }, 1.2)
+	nGrouped := 0
+	for _, g := range groups {
+		nGrouped += g.Size
+	}
+	bg := 60 - nGrouped
+	if bg < 0 {
+		bg = 0
+	}
+	return Profile{
+		Name: "Contact",
+		Scenario: Scenario{
+			Seed:       seed,
+			T:          T,
+			World:      200,
+			Speed:      1.5,
+			Groups:     groups,
+			Background: bg,
+			KeepProb:   1,
+			SpanFrac:   [2]float64{0.2, 0.8},
+			Jitter:     0.5,
+			Curvature:  0.1,
+		},
+		M: 2, K: k, Eps: 3,
+	}
+}
+
 // AllProfiles returns the four dataset profiles at the given scale.
 func AllProfiles(scale float64, seed int64) []Profile {
 	return []Profile{

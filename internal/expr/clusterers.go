@@ -1,0 +1,138 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/model"
+	"repro/internal/proxgraph"
+)
+
+// The clusterers experiment (not in the paper): the pluggable-backend
+// bridge. It generates the Contact profile, runs CMC with the default
+// grid-DBSCAN backend, then derives the proximity log from the same
+// movement (every pair within Eps becomes a weight-1 contact edge) and
+// runs CMC again with the graph-connectivity backend. At m=2 density
+// connection degenerates to graph connectivity, so the two answers must
+// name the same convoys — the experiment asserts that label-for-label
+// and records wall time, convoy count and clustering passes per backend.
+
+// labeledConvoy is a convoy keyed by object labels instead of dense IDs,
+// so answers from databases with different ID interning orders compare.
+type labeledConvoy struct {
+	labels []string
+	start  model.Tick
+	end    model.Tick
+}
+
+func (c labeledConvoy) key() string {
+	return fmt.Sprintf("%v@[%d,%d]", c.labels, c.start, c.end)
+}
+
+// relabel maps a result's object IDs through label, sorting members and
+// convoys into a canonical order.
+func relabel(res core.Result, label func(model.ObjectID) string) []labeledConvoy {
+	out := make([]labeledConvoy, 0, len(res))
+	for _, c := range res {
+		lc := labeledConvoy{start: c.Start, end: c.End}
+		for _, id := range c.Objects {
+			lc.labels = append(lc.labels, label(id))
+		}
+		sort.Strings(lc.labels)
+		out = append(out, lc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+func sameConvoys(a, b []labeledConvoy) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key() != b[i].key() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clusterers prints and records the backend comparison.
+func Clusterers(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Clusterers: DBSCAN vs graph-connectivity backend (CMC, Contact)")
+	fmt.Fprintln(w, "dataset\tbackend\ttime (ms)\tconvoys\tpasses")
+
+	prof := datagen.Contact(o.Scale, o.Seed)
+	db := prof.Generate()
+	p := params(prof)
+	ctx := context.Background()
+
+	// Baseline: the default grid-DBSCAN backend over coordinates.
+	var dst core.Stats
+	t0 := time.Now()
+	dres, err := core.NewQuery(core.WithParams(p), core.WithCMC(),
+		core.WithStats(&dst)).Run(ctx, db)
+	dElapsed := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("expr: Clusterers dbscan: %w", err)
+	}
+
+	// Graph view of the same movement: threshold pairwise distance at Eps
+	// so each tick becomes a contact graph of weight-1 edges; the graph
+	// query's Eps is then a weight threshold, and any value in (0, 1]
+	// keeps every edge.
+	log, err := proxgraph.FromDB(db, p.Eps)
+	if err != nil {
+		return fmt.Errorf("expr: Clusterers deriving contact log: %w", err)
+	}
+	gdb, err := log.DB()
+	if err != nil {
+		return fmt.Errorf("expr: Clusterers synthesizing graph db: %w", err)
+	}
+	var gst core.Stats
+	gp := core.Params{M: p.M, K: p.K, Eps: 1}
+	t0 = time.Now()
+	gres, err := core.NewQuery(core.WithParams(gp), core.WithCMC(),
+		core.WithClusterer(log.Clusterer()), core.WithStats(&gst)).Run(ctx, gdb)
+	gElapsed := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("expr: Clusterers proxgraph: %w", err)
+	}
+
+	// At m=2 the answers must be identical up to labeling (the synthesized
+	// database interns IDs by first contact, not source order).
+	dbLabel := func(id model.ObjectID) string {
+		if s := db.Traj(id).Label; s != "" {
+			return s
+		}
+		return fmt.Sprintf("o%d", id)
+	}
+	if !sameConvoys(relabel(dres, dbLabel), relabel(gres, log.Label)) {
+		return fmt.Errorf("expr: Clusterers: graph backend found %d convoy(s), DBSCAN %d, and they disagree at m=%d",
+			len(gres), len(dres), p.M)
+	}
+
+	for _, row := range []struct {
+		backend string
+		elapsed time.Duration
+		n       int
+		passes  int64
+	}{
+		{core.DefaultBackend, dElapsed, len(dres), dst.ClusterPasses},
+		{proxgraph.Backend, gElapsed, len(gres), gst.ClusterPasses},
+	} {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\n", prof.Name, row.backend, ms(row.elapsed), row.n, row.passes)
+		o.record(Record{Exp: "clusterers", Dataset: prof.Name, Method: row.backend,
+			Metrics: map[string]float64{
+				"time_ms": msf(row.elapsed),
+				"convoys": float64(row.n),
+				"passes":  float64(row.passes),
+			}})
+	}
+	return w.Flush()
+}

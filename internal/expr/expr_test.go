@@ -111,8 +111,8 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 12 {
-		t.Errorf("expected 12 experiments, got %d", len(Experiments))
+	if len(Experiments) != 13 {
+		t.Errorf("expected 13 experiments, got %d", len(Experiments))
 	}
 	if _, ok := Lookup("monitors"); !ok {
 		t.Error("monitors not found")
@@ -122,6 +122,9 @@ func TestLookupAndRunAll(t *testing.T) {
 	}
 	if _, ok := Lookup("soak"); !ok {
 		t.Error("soak not found")
+	}
+	if _, ok := Lookup("clusterers"); !ok {
+		t.Error("clusterers not found")
 	}
 	var buf bytes.Buffer
 	if err := RunAll(tinyOptions(&buf)); err != nil {
@@ -264,5 +267,49 @@ func TestCancelRecordsRows(t *testing.T) {
 		if r.Metrics["passes"] > r.Metrics["passes_full"] {
 			t.Fatalf("cancelled run did more work than the full run: %+v", r)
 		}
+	}
+}
+
+// The clusterers experiment must run both backends over the Contact
+// profile, prove the m=2 answers agree label-for-label (it errors out
+// otherwise), and emit one measurement row per backend.
+func TestClusterersRunsAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	var recs []Record
+	o.Record = func(r Record) { recs = append(recs, r) }
+	if err := Clusterers(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Clusterers:") || !strings.Contains(out, "passes") {
+		t.Errorf("Clusterers output:\n%s", out)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (one per backend)", len(recs))
+	}
+	byMethod := map[string]Record{}
+	for _, r := range recs {
+		if r.Exp != "clusterers" || r.Dataset != "Contact" {
+			t.Errorf("bad record %+v", r)
+		}
+		for _, m := range []string{"time_ms", "convoys", "passes"} {
+			if _, ok := r.Metrics[m]; !ok {
+				t.Errorf("record misses %s: %+v", m, r)
+			}
+		}
+		byMethod[r.Method] = r
+	}
+	d, g := byMethod["dbscan"], byMethod["proxgraph"]
+	if d.Method == "" || g.Method == "" {
+		t.Fatalf("missing a backend row: %+v", recs)
+	}
+	if d.Metrics["convoys"] != g.Metrics["convoys"] {
+		t.Errorf("convoy counts differ: dbscan %v vs proxgraph %v",
+			d.Metrics["convoys"], g.Metrics["convoys"])
+	}
+	if d.Metrics["passes"] <= 0 || g.Metrics["passes"] <= 0 {
+		t.Errorf("pass counters not recorded: dbscan %v, proxgraph %v",
+			d.Metrics["passes"], g.Metrics["passes"])
 	}
 }

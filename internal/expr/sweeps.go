@@ -233,6 +233,7 @@ var Experiments = []struct {
 	{"monitors", "standing-query fan-out, shared vs distinct keys (Truck)", Monitors},
 	{"cancel", "time-to-abort and wasted work vs cancel point (Truck, Car)", Cancel},
 	{"soak", "HTTP load scenarios against an in-process convoyd", Soak},
+	{"clusterers", "DBSCAN vs graph-connectivity backend (Contact)", Clusterers},
 }
 
 // RunAll executes every experiment in paper order.

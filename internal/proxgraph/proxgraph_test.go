@@ -1,0 +1,291 @@
+package proxgraph
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/tsio"
+)
+
+func TestComponents(t *testing.T) {
+	edges := []core.ProxEdge{
+		{A: 1, B: 2, W: 1},
+		{A: 2, B: 3, W: 1},
+		{A: 7, B: 8, W: 0.5}, // below threshold
+		{A: 5, B: 6, W: 2},
+		{A: 9, B: 9, W: 1}, // degenerate self edge: a 1-member component
+	}
+	got := Components(edges, 1, 2)
+	want := [][]model.ObjectID{{1, 2, 3}, {5, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+	if got := Components(edges, 1, 4); len(got) != 0 {
+		t.Fatalf("Components(m=4) = %v, want none", got)
+	}
+	if got := Components(nil, 1, 2); len(got) != 0 {
+		t.Fatalf("Components(no edges) = %v, want none", got)
+	}
+	// Threshold 0.25 admits the (7,8) edge too.
+	got = Components(edges, 0.25, 2)
+	want = [][]model.ObjectID{{1, 2, 3}, {5, 6}, {7, 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components(minW=0.25) = %v, want %v", got, want)
+	}
+}
+
+func TestClustererSnapshotEdges(t *testing.T) {
+	// The stateless Clusterer (the streaming path) clusters pushed edges.
+	key := core.ClusterKey{Eps: 1, M: 2, Backend: Backend}
+	snap := core.TickSnapshot{T: 3, Edges: []core.ProxEdge{{A: 0, B: 1, W: 1}}}
+	got := Clusterer{}.Clusters(key, snap)
+	if want := [][]model.ObjectID{{0, 1}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters = %v, want %v", got, want)
+	}
+	// With a Log attached but edges pushed, the pushed edges win.
+	l := NewLog()
+	if err := l.Add("x", "y", 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	got = Clusterer{Log: l}.Clusters(key, snap)
+	if want := [][]model.ObjectID{{0, 1}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters (edges precedence) = %v, want %v", got, want)
+	}
+	// No pushed edges: the tick's edges come from the log.
+	got = Clusterer{Log: l}.Clusters(key, core.TickSnapshot{T: 3})
+	if want := [][]model.ObjectID{{0, 1}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters (log lookup) = %v, want %v", got, want)
+	}
+}
+
+func TestLogValidation(t *testing.T) {
+	l := NewLog()
+	if err := l.Add("", "b", 1, 1); err == nil {
+		t.Error("empty label accepted")
+	}
+	if err := l.Add("a", "a", 1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := l.Add("a", "b", 1, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := l.Add("a", "b", 1, nan()); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if err := l.Add("a", "b", 1, 1); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+// TestHandCheckedConvoy is the fixture of the acceptance criteria: a
+// coordinate-free contact log whose only (m=3, k=3) convoy is {a, b, c}
+// over ticks [1, 5], hand-checked. The d–a contact at tick 1 is filtered
+// by the weight threshold; at tick 6 the b–c contact stops and the
+// remaining component {a, b} is below m.
+func TestHandCheckedConvoy(t *testing.T) {
+	l := NewLog()
+	for tick := model.Tick(1); tick <= 5; tick++ {
+		if err := l.Add("a", "b", tick, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Add("b", "c", tick, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Add("d", "a", 1, 0.5); err != nil { // below Eps=1
+		t.Fatal(err)
+	}
+	if err := l.Add("a", "b", 6, 1); err != nil { // component of 2 < m
+		t.Fatal(err)
+	}
+
+	db, err := l.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{M: 3, K: 3, Eps: 1}
+	res, err := core.NewQuery(core.WithParams(p), core.WithCMC(), core.WithClusterer(l.Clusterer())).
+		Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d convoys (%v), want 1", len(res), res)
+	}
+	c := res[0]
+	var labels []string
+	for _, id := range c.Objects {
+		labels = append(labels, l.Label(id))
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(labels, want) {
+		t.Errorf("convoy objects = %v, want %v", labels, want)
+	}
+	if c.Start != 1 || c.End != 5 {
+		t.Errorf("convoy interval = [%d, %d], want [1, 5]", c.Start, c.End)
+	}
+}
+
+// labeledConvoys projects a result onto object labels so answers from
+// databases with different dense-ID assignments compare.
+func labeledConvoys(res core.Result, label func(model.ObjectID) string) []string {
+	out := make([]string, 0, len(res))
+	for _, c := range res {
+		ls := make([]string, len(c.Objects))
+		for i, id := range c.Objects {
+			ls[i] = label(id)
+		}
+		sort.Strings(ls)
+		out = append(out, fmt.Sprintf("%v@[%d,%d]", ls, c.Start, c.End))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDBSCANEquivalenceM2 pins the m=2 coincidence of the two density
+// notions: a DBSCAN cluster at minPts=2 is exactly a connected component
+// of the ≤-eps distance graph, so CMC over a trajectory database and CMC
+// over its derived contact log (threshold 1, weight-1 edges) find the
+// same convoys. Only m=2 — at larger m DBSCAN's core-point requirement
+// deliberately diverges from plain connectivity.
+func TestDBSCANEquivalenceM2(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		db := randomWalkDB(t, rand.New(rand.NewSource(int64(100+trial))))
+		p := core.Params{M: 2, K: 2, Eps: 1.5}
+		want, err := core.CMC(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := FromDB(db, p.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ldb, err := l.DB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg := core.Params{M: 2, K: 2, Eps: 1} // Eps thresholds weight-1 edges
+		got, err := core.NewQuery(core.WithParams(pg), core.WithCMC(), core.WithClusterer(l.Clusterer())).
+			Run(context.Background(), ldb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbLabel := func(id model.ObjectID) string { return db.Traj(id).Label }
+		wantL := labeledConvoys(want, dbLabel)
+		gotL := labeledConvoys(got, l.Label)
+		if !reflect.DeepEqual(wantL, gotL) {
+			t.Fatalf("trial %d: proxgraph convoys %v != dbscan convoys %v", trial, gotL, wantL)
+		}
+	}
+}
+
+// randomWalkDB builds a small random-walk trajectory database with labels
+// o0..oN and occasional gaps at the span edges.
+func randomWalkDB(t *testing.T, rng *rand.Rand) *model.DB {
+	t.Helper()
+	db := model.NewDB()
+	n := 4 + rng.Intn(4)
+	T := 6 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*6, rng.Float64()*6
+		lo := rng.Intn(2)
+		hi := T - rng.Intn(2)
+		var samples []model.Sample
+		for tick := lo; tick < hi; tick++ {
+			x += rng.Float64()*2 - 1
+			y += rng.Float64()*2 - 1
+			samples = append(samples, model.Sample{T: model.Tick(tick), P: geom.Pt(x, y)})
+		}
+		if len(samples) == 0 {
+			samples = []model.Sample{{T: 0, P: geom.Pt(x, y)}}
+		}
+		tr, err := model.NewTrajectory(fmt.Sprintf("o%d", i), samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Add(tr)
+	}
+	return db
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := NewLog()
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(l.Add("badger", "fox", 3, 1.5))
+	check(l.Add("fox", "owl", 1, 0.25))
+	check(l.Add("badger", "owl", 3, 2))
+	buf := &bytes.Buffer{}
+	check(tsio.WriteEdgeCSV(buf, l.Records()))
+	back, err := ReadLog(buf)
+	check(err)
+	if !reflect.DeepEqual(back.Records(), l.Records()) {
+		t.Fatalf("round trip records = %v, want %v", back.Records(), l.Records())
+	}
+	if lo, hi, ok := back.TimeRange(); !ok || lo != 1 || hi != 3 {
+		t.Fatalf("TimeRange = %d,%d,%v", lo, hi, ok)
+	}
+	if back.Objects() != 3 {
+		t.Fatalf("Objects = %d, want 3", back.Objects())
+	}
+}
+
+// TestSynthesizedDB checks the Log→DB bridge invariants: IDs and labels
+// match the log, every object is alive over exactly its contact span.
+func TestSynthesizedDB(t *testing.T) {
+	l := NewLog()
+	if err := l.Add("a", "b", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("b", "c", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	db, err := l.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("db.Len = %d, want 3", db.Len())
+	}
+	for id := 0; id < 3; id++ {
+		if got, want := db.Traj(id).Label, l.Label(id); got != want {
+			t.Errorf("traj %d label = %q, want %q", id, got, want)
+		}
+	}
+	// b spans ticks 2..5; a only tick 2; c only tick 5.
+	ids, _ := db.SnapshotAt(3)
+	if want := []model.ObjectID{1}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("alive at tick 3 = %v, want %v", ids, want)
+	}
+	// Memoization: same pointer until the next Add.
+	db2, _ := l.DB()
+	if db2 != db {
+		t.Error("DB() not memoized")
+	}
+	if err := l.Add("c", "d", 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	db3, _ := l.DB()
+	if db3 == db {
+		t.Error("DB() not invalidated by Add")
+	}
+	if db3.Len() != 4 {
+		t.Fatalf("db3.Len = %d, want 4", db3.Len())
+	}
+}

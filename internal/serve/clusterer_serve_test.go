@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Monitors that share (e, m) but name different clustering backends must
+// never share a clustering pass: a DBSCAN monitor reads positions, a
+// proxgraph monitor reads the contact graph, and the same tick stream can
+// hold a convoy for one and not the other.
+func TestFeedBackendIsolationHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createFeed(t, ts.URL, "iso", ParamsJSON{M: 2, K: 3, Eps: 1})
+	st := addMonitor(t, ts.URL, "iso", MonitorSpec{
+		ID: "graph", Params: ParamsJSON{M: 2, K: 3, Eps: 1}, Clusterer: "proxgraph"})
+	if st.Clusterer != "proxgraph" {
+		t.Fatalf("monitor clusterer = %q, want proxgraph", st.Clusterer)
+	}
+
+	// Same (e, m), different backend → two cluster groups.
+	var fs FeedStatus
+	doJSON(t, "GET", ts.URL+"/v1/feeds/iso", nil, http.StatusOK, &fs)
+	if fs.ClusterGroups != 2 {
+		t.Fatalf("cluster groups = %d, want 2 (backend is part of the key)", fs.ClusterGroups)
+	}
+	if fs.Clusterer != "dbscan" {
+		t.Fatalf("feed clusterer = %q, want dbscan", fs.Clusterer)
+	}
+
+	// Ticks 0..3: a and b are far apart geometrically (no DBSCAN cluster at
+	// e=1) but in contact on the proximity graph. Tick 4 breaks the contact.
+	ticks := int64(0)
+	for tick := model.Tick(0); tick < 4; tick++ {
+		pushTick(t, ts.URL, "iso", TickBatch{T: tick,
+			Positions: []Position{{ID: "a", X: 0, Y: 0}, {ID: "b", X: 50, Y: 50}},
+			Edges:     []EdgeJSON{{A: "a", B: "b", W: 1}}})
+		ticks++
+	}
+	pushTick(t, ts.URL, "iso", TickBatch{T: 4,
+		Positions: []Position{{ID: "a", X: 0, Y: 0}, {ID: "b", X: 50, Y: 50}}})
+	ticks++
+
+	// One pass per distinct key per tick: 2 groups × ticks.
+	doJSON(t, "GET", ts.URL+"/v1/feeds/iso", nil, http.StatusOK, &fs)
+	if want := ticks * 2; fs.ClusterPasses != want {
+		t.Fatalf("cluster passes = %d over %d ticks, want %d", fs.ClusterPasses, ticks, want)
+	}
+
+	// Only the proxgraph monitor saw a convoy: {a, b} over ticks 0..3.
+	var poll EventsResponse
+	doJSON(t, "GET", ts.URL+"/v1/feeds/iso/convoys", nil, http.StatusOK, &poll)
+	if len(poll.Events) != 1 {
+		t.Fatalf("events = %+v, want exactly one (proxgraph only)", poll.Events)
+	}
+	ev := poll.Events[0]
+	c := ev.Convoy
+	if ev.Monitor != "graph" || len(c.Objects) != 2 || c.Objects[0] != "a" || c.Objects[1] != "b" ||
+		c.Start != 0 || c.End != 3 {
+		t.Fatalf("event = %+v, want monitor graph convoy [a b]@[0,3]", ev)
+	}
+}
+
+// A feed created with clusterer "proxgraph" discovers convoys from a
+// coordinate-free contact stream (edge-only tick batches).
+func TestFeedEdgeOnlyStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var st FeedStatus
+	doJSON(t, "POST", ts.URL+"/v1/feeds",
+		FeedSpec{Name: "contacts", Params: ParamsJSON{M: 2, K: 2, Eps: 0.5}, Clusterer: "proxgraph"},
+		http.StatusCreated, &st)
+	if st.Clusterer != "proxgraph" {
+		t.Fatalf("feed clusterer = %q, want proxgraph", st.Clusterer)
+	}
+
+	// A bare edge-only batch (no "ticks" wrapper, no positions) is a valid
+	// ingestion body.
+	body := `{"t":0,"edges":[{"a":"x","b":"y","w":1}]}`
+	resp, err := http.Post(ts.URL+"/v1/feeds/contacts/ticks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare edge-only batch: status %d, want 200", resp.StatusCode)
+	}
+
+	pushTick(t, ts.URL, "contacts", TickBatch{T: 1, Edges: []EdgeJSON{{A: "x", B: "y", W: 1}}})
+	got := pushTick(t, ts.URL, "contacts", TickBatch{T: 2}) // contact lost
+	if len(got.Closed) != 1 || got.Closed[0].Objects[0] != "x" || got.Closed[0].Objects[1] != "y" ||
+		got.Closed[0].Start != 0 || got.Closed[0].End != 1 {
+		t.Fatalf("closed = %+v, want [x y]@[0,1]", got.Closed)
+	}
+
+	// An unknown backend is the client's mistake.
+	doJSON(t, "POST", ts.URL+"/v1/feeds",
+		FeedSpec{Name: "bogus", Params: ParamsJSON{M: 2, K: 2, Eps: 1}, Clusterer: "voronoi"},
+		http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/v1/feeds/contacts/monitors",
+		MonitorSpec{ID: "bad", Params: ParamsJSON{M: 2, K: 2, Eps: 1}, Clusterer: "voronoi"},
+		http.StatusBadRequest, nil)
+}
+
+// Malformed proximity edges are rejected at the wire, the offending batch
+// is not applied (its tick stays available), and labels interned while
+// validating it roll back.
+func TestTickEdgeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxEdgesPerTick: 2})
+	createFeed(t, ts.URL, "edgy", ParamsJSON{M: 2, K: 2, Eps: 1})
+
+	bad := []TickBatch{
+		{T: 0, Edges: []EdgeJSON{{A: "", B: "b", W: 1}}},                                                  // empty label
+		{T: 0, Edges: []EdgeJSON{{A: "a", B: "a", W: 1}}},                                                 // self-loop
+		{T: 0, Edges: []EdgeJSON{{A: "a", B: "b", W: -1}}},                                                // negative weight
+		{T: 0, Edges: []EdgeJSON{{A: "a", B: "b", W: 1}, {A: "b", B: "c", W: 1}, {A: "c", B: "d", W: 1}}}, // over the cap
+	}
+	for i, batch := range bad {
+		doJSON(t, "POST", ts.URL+"/v1/feeds/edgy/ticks",
+			TicksRequest{Ticks: []TickBatch{batch}}, http.StatusBadRequest, nil)
+		var st FeedStatus
+		doJSON(t, "GET", ts.URL+"/v1/feeds/edgy", nil, http.StatusOK, &st)
+		if st.Ticks != 0 || st.Objects != 0 {
+			t.Fatalf("batch %d: ticks=%d objects=%d after rejection, want 0/0 (rolled back)", i, st.Ticks, st.Objects)
+		}
+	}
+
+	// Tick 0 was never consumed by the rejected batches.
+	pushTick(t, ts.URL, "edgy", TickBatch{T: 0, Edges: []EdgeJSON{{A: "a", B: "b", W: 1}}})
+	var st FeedStatus
+	doJSON(t, "GET", ts.URL+"/v1/feeds/edgy", nil, http.StatusOK, &st)
+	if st.Ticks != 1 || st.Objects != 2 {
+		t.Fatalf("after valid batch: ticks=%d objects=%d, want 1/2", st.Ticks, st.Objects)
+	}
+}
+
+// contactLogCSV is the hand-checked fixture: a–b and b–c in contact over
+// ticks 1..5 (a convoy {a,b,c} under m=3, k=3, e=1 by transitivity), a weak
+// d–a contact below the threshold, and an undersized trailing a–b contact.
+const contactLogCSV = `a,b,t,w
+a,b,1,1
+b,c,1,1
+d,a,1,0.5
+a,b,2,1
+b,c,2,1
+a,b,3,1
+b,c,3,1
+a,b,4,1
+b,c,4,1
+a,b,5,1
+b,c,5,1
+a,b,6,1
+`
+
+// POST /v1/query?clusterer=proxgraph uploads an edge CSV instead of a
+// trajectory database and answers with graph-connectivity convoys; the
+// algorithm defaults to cmc and the CuTS family is rejected.
+func TestQueryClustererProxgraphE2E(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	post := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(url, "text/csv", strings.NewReader(contactLogCSV))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp, data
+	}
+
+	resp, data := post(ts.URL + "/v1/query?m=3&k=3&e=1&clusterer=proxgraph")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Algo != AlgoCMC || qr.Clusterer != "proxgraph" || qr.Cache != "miss" {
+		t.Fatalf("algo=%q clusterer=%q cache=%q, want cmc/proxgraph/miss", qr.Algo, qr.Clusterer, qr.Cache)
+	}
+	if len(qr.Convoys) != 1 {
+		t.Fatalf("convoys = %+v, want exactly one", qr.Convoys)
+	}
+	c := qr.Convoys[0]
+	if len(c.Objects) != 3 || c.Objects[0] != "a" || c.Objects[1] != "b" || c.Objects[2] != "c" ||
+		c.Start != 1 || c.End != 5 {
+		t.Fatalf("convoy = %+v, want [a b c]@[1,5]", c)
+	}
+
+	// The identical query is a cache hit; the same parameters under the
+	// default backend are a *different* key — the same bytes parse as a
+	// different kind of input, so they must never share an answer (here
+	// the bytes are not a trajectory CSV at all, so dbscan rejects them).
+	resp, data = post(ts.URL + "/v1/query?m=3&k=3&e=1&clusterer=proxgraph")
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || qr.Cache != "hit" {
+		t.Fatalf("repeat: status %d cache %q, want 200 hit", resp.StatusCode, qr.Cache)
+	}
+	resp, data = post(ts.URL + "/v1/query?m=3&k=3&e=1&algo=cmc")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("default-backend query over edge bytes: status %d (%s), want 400", resp.StatusCode, data)
+	}
+
+	// Explicit algo=cmc is fine; the CuTS family and unknown backends 400.
+	resp, data = post(ts.URL + "/v1/query?m=3&k=3&e=1&clusterer=proxgraph&algo=cmc")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit cmc: status %d: %s", resp.StatusCode, data)
+	}
+	resp, data = post(ts.URL + "/v1/query?m=3&k=3&e=1&clusterer=proxgraph&algo=cuts*")
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(data, []byte("algo=cmc")) {
+		t.Fatalf("cuts* with proxgraph: status %d (%s), want 400 naming algo=cmc", resp.StatusCode, data)
+	}
+	resp, data = post(ts.URL + "/v1/query?m=3&k=3&e=1&clusterer=voronoi")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown clusterer: status %d (%s), want 400", resp.StatusCode, data)
+	}
+
+	// A malformed edge CSV under proxgraph is the client's fault, not a 500.
+	resp, err := http.Post(ts.URL+"/v1/query?m=3&k=3&e=1&clusterer=proxgraph",
+		"text/csv", strings.NewReader("obj,t,x,y\n0,0,1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trajectory bytes under proxgraph: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// The cache key separates backends even for byte-identical uploads and
+// otherwise equal parameters.
+func TestQueryCacheKeyIncludesClusterer(t *testing.T) {
+	base := QueryRequest{Params: ParamsJSON{M: 2, K: 2, Eps: 1}, Algo: AlgoCMC}
+	plain, err := plan(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Clusterer = "proxgraph"
+	graph, err := plan(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.key("digest") == graph.key("digest") {
+		t.Fatalf("cache key %q shared across backends", plain.key("digest"))
+	}
+	// The default backend's canonical spellings share a key (and keep the
+	// legacy key shape, so existing cache entries stay addressable).
+	base.Clusterer = "dbscan"
+	named, err := plan(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.key("digest") != plain.key("digest") {
+		t.Fatalf("dbscan key %q != default key %q", named.key("digest"), plain.key("digest"))
+	}
+}

@@ -59,6 +59,10 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (tick batches and uploaded
 	// databases). Default 64 MiB.
 	MaxBodyBytes int64
+	// MaxEdgesPerTick caps the proximity edges one tick batch may carry
+	// (the contact graph a proxgraph monitor clusters is quadratic in the
+	// worst case, so the wire bounds it). Default 65536.
+	MaxEdgesPerTick int
 	// Metrics receives the server's instrument families (the convoyd_*
 	// catalogue; see serveMetrics). Nil means a private registry: the
 	// instruments still update and Server.Snapshot/GET /v1/stats still
@@ -121,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxEdgesPerTick <= 0 {
+		c.MaxEdgesPerTick = 65536
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)

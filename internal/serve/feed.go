@@ -17,9 +17,11 @@ import (
 // with a bounded command mailbox. It hosts a *table of monitors* — standing
 // convoy queries, each a core.Monitor with its own (m, k, e), added and
 // removed at runtime — over the single ingested stream. Per tick the worker
-// runs one clustering pass per *distinct* ClusterKey (e, m) among the live
-// monitors and fans the clusters out to every monitor in the group, so N
-// monitors sharing a key cost one DBSCAN pass, not N.
+// runs one clustering pass per *distinct* ClusterKey (e, m, backend) among
+// the live monitors and fans the clusters out to every monitor in the
+// group, so N monitors sharing a key cost one clustering pass, not N —
+// while monitors with equal (e, m) but different backends (DBSCAN over
+// positions vs proxgraph over contact edges) never share.
 //
 // All feed state — the monitor table, the label→ID mapping, the event
 // history, the subscriber set — is owned by the worker and touched by no
@@ -50,16 +52,21 @@ type feedReply struct {
 // feedMonitor is one entry of the monitor table: a standing convoy query
 // over the feed's stream.
 type feedMonitor struct {
-	id     string
-	p      core.Params
+	id string
+	p  core.Params
+	// key is the monitor's canonical clustering key — (e, m) plus the
+	// backend — the identity it shares a ClusterSource under. Monitors with
+	// equal (e, m) but different backends never share a pass.
+	key    core.ClusterKey
 	mon    *core.Monitor
 	closed uint64 // events this monitor has emitted
 }
 
 type feed struct {
-	name string
-	p    core.Params // creation params (the default monitor's)
-	cfg  Config
+	name    string
+	p       core.Params // creation params (the default monitor's)
+	backend string      // creation clusterer name (the default monitor's)
+	cfg     Config
 
 	cmds chan feedCmd
 	// done is closed after the worker drains; senders select on it so a
@@ -93,10 +100,15 @@ type feed struct {
 	draining bool
 }
 
-func newFeed(name string, p core.Params, cfg Config) (*feed, error) {
+func newFeed(name string, p core.Params, clusterer string, cfg Config) (*feed, error) {
+	cl, err := ParseClusterer(clusterer)
+	if err != nil {
+		return nil, badRequest(err)
+	}
 	f := &feed{
 		name:     name,
 		p:        p,
+		backend:  cl.Name(),
 		cfg:      cfg,
 		cmds:     make(chan feedCmd, cfg.FeedBuffer),
 		done:     make(chan struct{}),
@@ -106,7 +118,7 @@ func newFeed(name string, p core.Params, cfg Config) (*feed, error) {
 		subs:     make(map[chan Event]struct{}),
 	}
 	// The worker goroutine doesn't run yet, so the table is safe to touch.
-	if err := f.insertMonitor(DefaultMonitorID, p); err != nil {
+	if err := f.insertMonitor(DefaultMonitorID, p, clusterer); err != nil {
 		return nil, err
 	}
 	f.lastActive.Store(time.Now().UnixNano())
@@ -115,27 +127,34 @@ func newFeed(name string, p core.Params, cfg Config) (*feed, error) {
 }
 
 // insertMonitor adds a monitor to the table and ensures a cluster source
-// for its key exists (worker only, or before the worker starts).
-func (f *feed) insertMonitor(id string, p core.Params) error {
+// for its key — (e, m) plus the clustering backend — exists (worker only,
+// or before the worker starts).
+func (f *feed) insertMonitor(id string, p core.Params, clusterer string) error {
 	if _, ok := f.monitors[id]; ok {
 		return fmt.Errorf("%w: %q", errMonitorExists, id)
 	}
 	if len(f.monitors) >= f.cfg.MaxMonitorsPerFeed {
 		return fmt.Errorf("%w (%d)", errTooManyMonitors, f.cfg.MaxMonitorsPerFeed)
 	}
+	cl, err := ParseClusterer(clusterer)
+	if err != nil {
+		return badRequest(err)
+	}
 	mon, err := core.NewMonitor(p)
 	if err != nil {
 		return badRequest(err)
 	}
 	key := p.ClusterKey()
+	key.Backend = cl.Name()
+	key = key.Canonical()
 	if _, ok := f.sources[key]; !ok {
-		src, err := core.NewClusterSource(key)
+		src, err := core.NewClusterSourceWith(key, cl)
 		if err != nil {
 			return badRequest(err)
 		}
 		f.sources[key] = src
 	}
-	fm := &feedMonitor{id: id, p: p, mon: mon}
+	fm := &feedMonitor{id: id, p: p, key: key, mon: mon}
 	f.monitors[id] = fm
 	f.cfg.metrics.monitors.Inc()
 	at := sort.Search(len(f.order), func(i int) bool { return f.order[i].id >= id })
@@ -296,15 +315,50 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 				label := f.labels[dup]
 				return resp, reject(fmt.Errorf("tick %d: duplicate id %q", b.T, label))
 			}
+			// Proximity edges are validated like positions: non-finite or
+			// negative weights, self-loops and empty labels poison the
+			// contact graph the same way NaN poisons distance math. Unknown
+			// endpoint labels are interned (an edge can mention an object
+			// with no position this tick) and roll back with the batch.
+			if len(b.Edges) > f.cfg.MaxEdgesPerTick {
+				return resp, reject(fmt.Errorf("tick %d: %d edges exceed the per-tick limit %d", b.T, len(b.Edges), f.cfg.MaxEdgesPerTick))
+			}
+			var edges []core.ProxEdge
+			if len(b.Edges) > 0 {
+				edges = make([]core.ProxEdge, len(b.Edges))
+				for i, e := range b.Edges {
+					if e.A == "" || e.B == "" {
+						return resp, reject(fmt.Errorf("tick %d: edge %d has an empty object label", b.T, i))
+					}
+					if e.A == e.B {
+						return resp, reject(fmt.Errorf("tick %d: edge %d is a self-loop on %q", b.T, i, e.A))
+					}
+					if !geom.Finite(e.W) || e.W < 0 {
+						return resp, reject(fmt.Errorf("tick %d: edge %d (%q, %q) has bad weight %g (want finite ≥ 0)", b.T, i, e.A, e.B, e.W))
+					}
+					intern := func(label string) model.ObjectID {
+						id, ok := f.ids[label]
+						if !ok {
+							id = len(f.labels)
+							f.ids[label] = id
+							f.labels = append(f.labels, label)
+						}
+						return id
+					}
+					edges[i] = core.ProxEdge{A: intern(e.A), B: intern(e.B), W: e.W}
+				}
+			}
 			if f.started && b.T <= f.lastTick {
 				// Tick monotonicity is a feed-level invariant: it must fail
 				// before any monitor advances, or the table would desync.
 				return resp, reject(fmt.Errorf("tick %d not after %d", b.T, f.lastTick))
 			}
-			// One clustering pass per distinct (e, m) among live monitors.
+			// One clustering pass per distinct (e, m, backend) among live
+			// monitors.
+			snap := core.TickSnapshot{T: b.T, IDs: ids, Pts: pts, Edges: edges}
 			clusters := make(map[core.ClusterKey][][]model.ObjectID, len(f.sources))
 			for key, src := range f.sources {
-				clusters[key] = src.Snapshot(ids, pts)
+				clusters[key] = src.Cluster(snap)
 				f.clusterPasses++
 			}
 			// Meter the sharing: len(sources) passes actually ran where a
@@ -312,7 +366,7 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 			f.cfg.metrics.feedPasses.Add(float64(len(f.sources)))
 			f.cfg.metrics.feedPassesNaive.Add(float64(len(f.order)))
 			for _, fm := range f.order {
-				closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.p.ClusterKey()])
+				closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.key])
 				if err != nil {
 					// Unreachable after the feed-level tick check; surface
 					// as an internal error rather than corrupting the table.
@@ -339,11 +393,12 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 // monitorStatus snapshots one monitor's counters (worker only).
 func (f *feed) monitorStatus(fm *feedMonitor) MonitorStatus {
 	st := MonitorStatus{
-		ID:     fm.id,
-		Feed:   f.name,
-		Params: ParamsToJSON(fm.p),
-		Live:   fm.mon.Live(),
-		Closed: fm.closed,
+		ID:        fm.id,
+		Feed:      f.name,
+		Params:    ParamsToJSON(fm.p),
+		Clusterer: fm.key.BackendName(),
+		Live:      fm.mon.Live(),
+		Closed:    fm.closed,
 	}
 	if t, ok := fm.mon.LastTick(); ok {
 		st.LastTick = &t
@@ -357,6 +412,7 @@ func (f *feed) status(ctx context.Context) (FeedStatus, error) {
 		st := FeedStatus{
 			Name:          f.name,
 			Params:        ParamsToJSON(f.p),
+			Clusterer:     f.backend,
 			Ticks:         f.ticks,
 			Objects:       len(f.labels),
 			Closed:        f.nextSeq,
@@ -381,10 +437,10 @@ func (f *feed) status(ctx context.Context) (FeedStatus, error) {
 
 // addMonitor registers a standing query on the feed at runtime. A monitor
 // added mid-stream starts chaining at the next ingested tick.
-func (f *feed) addMonitor(ctx context.Context, id string, p core.Params) (MonitorStatus, error) {
+func (f *feed) addMonitor(ctx context.Context, id string, p core.Params, clusterer string) (MonitorStatus, error) {
 	f.touch()
 	v, err := f.do(ctx, func(f *feed) (any, error) {
-		if err := f.insertMonitor(id, p); err != nil {
+		if err := f.insertMonitor(id, p, clusterer); err != nil {
 			return MonitorStatus{}, err
 		}
 		return f.monitorStatus(f.monitors[id]), nil
@@ -438,16 +494,15 @@ func (f *feed) removeMonitor(ctx context.Context, id string) (MonitorCloseRespon
 				break
 			}
 		}
-		key := fm.p.ClusterKey()
 		shared := false
 		for _, other := range f.monitors {
-			if other.p.ClusterKey() == key {
+			if other.key == fm.key {
 				shared = true
 				break
 			}
 		}
 		if !shared {
-			delete(f.sources, key)
+			delete(f.sources, fm.key)
 		}
 		return resp, nil
 	})

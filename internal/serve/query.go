@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/proxgraph"
 	"repro/internal/trace"
 	"repro/internal/tsio"
 )
@@ -114,6 +115,12 @@ type queryPlan struct {
 	isCMC   bool
 	variant core.Variant
 	algo    string
+	// clusterer is the normalized clustering backend name ("dbscan" is
+	// spelled "" so legacy keys are unchanged). A non-default backend
+	// changes the answer, so it participates in the cache key, and it
+	// changes how the request body is parsed: proxgraph queries upload an
+	// edge CSV (a,b,t,w contact log), not a trajectory database.
+	clusterer string
 	// workers is the effective per-stage worker count: the request's
 	// workers field clamped to the server's MaxWorkersPerQuery (0 = 1 =
 	// serial). It never enters the cache key — the answer is identical for
@@ -124,9 +131,28 @@ type queryPlan struct {
 // plan validates the request once, up front, clamping the requested worker
 // count to the server's cap.
 func plan(req QueryRequest, maxWorkers int) (queryPlan, error) {
+	cl, err := ParseClusterer(req.Clusterer)
+	if err != nil {
+		return queryPlan{}, badRequest(err)
+	}
+	clusterer := ""
+	if cl.Name() != core.DefaultBackend {
+		clusterer = cl.Name()
+		// The CuTS family's filter step depends on Euclidean DBSCAN bounds,
+		// so a graph backend only runs under CMC — which is therefore the
+		// default algorithm for proxgraph queries rather than cuts*.
+		if req.Algo == "" {
+			req.Algo = AlgoCMC
+		}
+	}
 	isCMC, variant, err := ParseAlgo(req.Algo)
 	if err != nil {
 		return queryPlan{}, badRequest(err)
+	}
+	if clusterer != "" && !isCMC {
+		return queryPlan{}, badRequest(fmt.Errorf(
+			"serve: clusterer %q requires algo=cmc (the CuTS filter bounds are DBSCAN-specific; got algo=%q)",
+			clusterer, req.Algo))
 	}
 	p := req.Params.Params()
 	if err := p.Validate(); err != nil {
@@ -151,7 +177,7 @@ func plan(req QueryRequest, maxWorkers int) (queryPlan, error) {
 	if algo == "" {
 		algo = AlgoCuTSStar
 	}
-	return queryPlan{req: req, p: p, isCMC: isCMC, variant: variant, algo: algo, workers: workers}, nil
+	return queryPlan{req: req, p: p, isCMC: isCMC, variant: variant, algo: algo, clusterer: clusterer, workers: workers}, nil
 }
 
 // key is the cache key for this plan over a database with the digest. The
@@ -164,8 +190,8 @@ func (pl queryPlan) key(digest string) string {
 	if pl.isCMC {
 		delta, lambda = 0, 0
 	}
-	return fmt.Sprintf("%s|%d|%d|%g|%s|%g|%d",
-		digest, pl.p.M, pl.p.K, pl.p.Eps, pl.algo, delta, lambda)
+	return fmt.Sprintf("%s|%d|%d|%g|%s|%g|%d|%s",
+		digest, pl.p.M, pl.p.K, pl.p.Eps, pl.algo, delta, lambda, pl.clusterer)
 }
 
 func hashBytes(data []byte) string {
@@ -486,17 +512,37 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 	}
 	defer qsp.End() // idempotent; the success path ends it before Collect
 	t0 := time.Now()
-	db, err := parseDB(data)
-	if err != nil {
-		return QueryResponse{}, badRequest(err) // unparseable database
+	var db *model.DB
+	var err error
+	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
+	if pl.clusterer == proxgraph.Backend {
+		// A proxgraph query uploads an edge CSV (a,b,t,w contact log). The
+		// log synthesizes a positionless stand-in database — one row per
+		// object spanning its first to last contact — and the clusterer
+		// reads the contact graph itself, tick by tick, from the log.
+		log, lerr := proxgraph.ReadLog(bytes.NewReader(data))
+		if lerr != nil {
+			return QueryResponse{}, badRequest(lerr)
+		}
+		db, err = log.DB()
+		if err != nil {
+			return QueryResponse{}, badRequest(err)
+		}
+		qsp.Str("clusterer", pl.clusterer)
+		opts = append(opts, core.WithClusterer(log.Clusterer()))
+	} else {
+		db, err = parseDB(data)
+		if err != nil {
+			return QueryResponse{}, badRequest(err) // unparseable database
+		}
 	}
 	resp := QueryResponse{
-		Params: pl.req.Params,
-		Algo:   pl.algo,
-		Digest: digest,
-		Cache:  "miss",
+		Params:    pl.req.Params,
+		Algo:      pl.algo,
+		Clusterer: pl.clusterer,
+		Digest:    digest,
+		Cache:     "miss",
 	}
-	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
 	if pl.isCMC {
 		opts = append(opts, core.WithCMC())
 	} else {

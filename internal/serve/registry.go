@@ -48,8 +48,9 @@ func newRegistry(cfg Config) *registry {
 	return &registry{cfg: cfg, feeds: make(map[string]*feed)}
 }
 
-// create registers a new feed under the name.
-func (r *registry) create(name string, p core.Params) (*feed, error) {
+// create registers a new feed under the name, with the given clustering
+// backend for its default monitor ("" = dbscan).
+func (r *registry) create(name string, p core.Params, clusterer string) (*feed, error) {
 	if err := p.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
@@ -64,7 +65,7 @@ func (r *registry) create(name string, p core.Params) (*feed, error) {
 	if len(r.feeds) >= r.cfg.MaxFeeds {
 		return nil, fmt.Errorf("%w (%d)", errTooManyFeeds, r.cfg.MaxFeeds)
 	}
-	f, err := newFeed(name, p, r.cfg)
+	f, err := newFeed(name, p, clusterer, r.cfg)
 	if err != nil {
 		return nil, err
 	}

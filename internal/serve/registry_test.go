@@ -21,27 +21,27 @@ func TestRegistryMaxFeedsSentinel(t *testing.T) {
 	r := newRegistry(Config{MaxFeeds: 2}.withDefaults())
 	defer r.closeAll()
 	for _, name := range []string{"a", "b"} {
-		if _, err := r.create(name, testParams()); err != nil {
+		if _, err := r.create(name, testParams(), ""); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, err := r.create("c", testParams())
+	_, err := r.create("c", testParams(), "")
 	if !errors.Is(err, errTooManyFeeds) {
 		t.Fatalf("create over cap = %v, want errTooManyFeeds", err)
 	}
 	// Duplicate names and invalid params report their own sentinels.
-	if _, err := r.create("a", testParams()); !errors.Is(err, errFeedExists) {
+	if _, err := r.create("a", testParams(), ""); !errors.Is(err, errFeedExists) {
 		t.Fatalf("duplicate create = %v, want errFeedExists", err)
 	}
 	var bre *badRequestError
-	if _, err := r.create("c", core.Params{}); !errors.As(err, &bre) {
+	if _, err := r.create("c", core.Params{}, ""); !errors.As(err, &bre) {
 		t.Fatalf("invalid params = %v, want badRequestError", err)
 	}
 	// Removing frees the slot.
 	if _, err := r.remove(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.create("c", testParams()); err != nil {
+	if _, err := r.create("c", testParams(), ""); err != nil {
 		t.Fatalf("create after remove: %v", err)
 	}
 	if _, err := r.remove(context.Background(), "nope"); !errors.Is(err, errNoFeed) {
@@ -51,12 +51,12 @@ func TestRegistryMaxFeedsSentinel(t *testing.T) {
 
 func TestRegistryCreateAfterCloseAll(t *testing.T) {
 	r := newRegistry(Config{}.withDefaults())
-	f, err := r.create("a", testParams())
+	f, err := r.create("a", testParams(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	r.closeAll()
-	if _, err := r.create("b", testParams()); !errors.Is(err, errServerClosing) {
+	if _, err := r.create("b", testParams(), ""); !errors.Is(err, errServerClosing) {
 		t.Fatalf("create after closeAll = %v, want errServerClosing", err)
 	}
 	// The drained feed's worker is gone: operations fail with errFeedClosed.
@@ -71,11 +71,11 @@ func TestRegistryCreateAfterCloseAll(t *testing.T) {
 func TestRegistryEvictIdle(t *testing.T) {
 	r := newRegistry(Config{}.withDefaults())
 	defer r.closeAll()
-	stale, err := r.create("stale", testParams())
+	stale, err := r.create("stale", testParams(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := r.create("fresh", testParams())
+	fresh, err := r.create("fresh", testParams(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestRegistryEvictIdle(t *testing.T) {
 // must not keep an abandoned feed alive), while ingestion does.
 func TestIdleClockTouchSemantics(t *testing.T) {
 	cfg := Config{}.withDefaults()
-	f, err := newFeed("clock", testParams(), cfg)
+	f, err := newFeed("clock", testParams(), "", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +127,11 @@ func TestIdleClockTouchSemantics(t *testing.T) {
 func TestJanitorEvictsAndDrainsMonitorTable(t *testing.T) {
 	srv := New(Config{IdleTimeout: 40 * time.Millisecond})
 	defer srv.Close()
-	f, err := srv.reg.create("sleepy", testParams())
+	f, err := srv.reg.create("sleepy", testParams(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.addMonitor(context.Background(), "second", core.Params{M: 2, K: 1, Eps: 1}); err != nil {
+	if _, err := f.addMonitor(context.Background(), "second", core.Params{M: 2, K: 1, Eps: 1}, ""); err != nil {
 		t.Fatal(err)
 	}
 	for tick := int64(0); tick < 3; tick++ {

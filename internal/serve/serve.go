@@ -10,9 +10,12 @@
 //     observe, per monitor, convoys the moment they close — by polling or
 //     by tailing an NDJSON event stream (events are tagged with the
 //     monitor ID; ?monitor= filters). Per tick the feed worker runs one
-//     DBSCAN pass per *distinct* clustering key (e, m) among the live
-//     monitors and fans the clusters out to every monitor in the group, so
-//     the per-tick cost is O(distinct keys), not O(monitors). Deleting a
+//     clustering pass per *distinct* clustering key (e, m, backend) among
+//     the live monitors and fans the clusters out to every monitor in the
+//     group, so the per-tick cost is O(distinct keys), not O(monitors).
+//     Monitors choose their clustering backend at creation ("clusterer":
+//     "dbscan" over positions, or "proxgraph" over per-tick proximity
+//     edges carried in the tick batch). Deleting a
 //     monitor or a feed (or shutting the server down) drains open
 //     candidates, so no convoy that satisfied the lifetime bound is ever
 //     lost.
@@ -31,14 +34,14 @@
 //	GET    /v1/healthz                      liveness + feed count
 //	GET    /v1/stats                        read-only counter snapshot (ServerStats)
 //	GET    /v1/feeds                        list feed statuses
-//	POST   /v1/feeds                        create a feed     {name, params:{m,k,e}}
+//	POST   /v1/feeds                        create a feed     {name, params:{m,k,e}, clusterer?}
 //	GET    /v1/feeds/{name}                 one feed's status (incl. monitor table)
 //	DELETE /v1/feeds/{name}                 drain + delete    → {drained:[...]}
-//	POST   /v1/feeds/{name}/ticks           ingest            {ticks:[{t, positions:[{id,x,y}]}]}
+//	POST   /v1/feeds/{name}/ticks           ingest            {ticks:[{t, positions:[{id,x,y}], edges:[{a,b,w}]}]}
 //	GET    /v1/feeds/{name}/convoys         poll closed convoys (?since=seq&monitor=id)
 //	GET    /v1/feeds/{name}/events          NDJSON tail of closed convoys (?since=seq&monitor=id)
 //	GET    /v1/feeds/{name}/monitors        list the feed's standing queries
-//	POST   /v1/feeds/{name}/monitors        add a monitor     {id, params:{m,k,e}}
+//	POST   /v1/feeds/{name}/monitors        add a monitor     {id, params:{m,k,e}, clusterer?}
 //	GET    /v1/feeds/{name}/monitors/{id}   one monitor's status
 //	DELETE /v1/feeds/{name}/monitors/{id}   drain + remove    → {id, drained:[...]}
 //	POST   /v1/query                        batch query (body = CSV/CTB upload, params
@@ -304,7 +307,7 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest(fmt.Errorf("decode feed spec: invalid feed name %q", spec.Name)))
 		return
 	}
-	f, err := s.reg.create(spec.Name, spec.Params.Params())
+	f, err := s.reg.create(spec.Name, spec.Params.Params(), spec.Clusterer)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -373,7 +376,7 @@ func (s *Server) handleAddMonitor(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest(fmt.Errorf("decode monitor spec: invalid monitor id %q", spec.ID)))
 		return
 	}
-	st, err := f.addMonitor(r.Context(), spec.ID, spec.Params.Params())
+	st, err := f.addMonitor(r.Context(), spec.ID, spec.Params.Params(), spec.Clusterer)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -410,7 +413,8 @@ func (s *Server) handleDeleteMonitor(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeTicks accepts either {"ticks":[...]} or a single bare tick batch
-// {"t":..., "positions":[...]}.
+// {"t":..., "positions":[...]} (or {"t":..., "edges":[...]} for a
+// proximity-only batch).
 func decodeTicks(r io.Reader) ([]TickBatch, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -421,7 +425,7 @@ func decodeTicks(r io.Reader) ([]TickBatch, error) {
 		return req.Ticks, nil
 	}
 	var one TickBatch
-	if err := json.Unmarshal(data, &one); err == nil && one.Positions != nil {
+	if err := json.Unmarshal(data, &one); err == nil && (one.Positions != nil || one.Edges != nil) {
 		return []TickBatch{one}, nil
 	}
 	return nil, badRequest(errors.New(`decode ticks: want {"ticks":[{"t":0,"positions":[...]}]} or one bare batch`))
@@ -662,6 +666,7 @@ func queryFromURL(r *http.Request) (QueryRequest, error) {
 	}
 	req.Params = ParamsJSON{M: int(m), K: k, Eps: e}
 	req.Algo = q.Get("algo")
+	req.Clusterer = q.Get("clusterer")
 	if raw := q.Get("delta"); raw != "" {
 		if req.Delta, err = strconv.ParseFloat(raw, 64); err != nil {
 			return req, badRequest(fmt.Errorf("decode query: bad delta=%q", raw))

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/proxgraph"
 	"repro/internal/trace"
 )
 
@@ -79,11 +80,23 @@ type Position struct {
 	Y  float64 `json:"y"`
 }
 
+// EdgeJSON is one proximity observation in a tick batch: objects a and b
+// were in contact at the batch's tick with weight w. Edges feed
+// graph-connectivity monitors (clusterer "proxgraph"); geometric monitors
+// ignore them.
+type EdgeJSON struct {
+	A string  `json:"a"`
+	B string  `json:"b"`
+	W float64 `json:"w"`
+}
+
 // TickBatch is the ingestion unit of POST /v1/feeds/{name}/ticks: the
-// snapshot of every tracked object at one tick.
+// snapshot of every tracked object at one tick — positions, proximity
+// edges, or both (a coordinate-free contact feed sends only edges).
 type TickBatch struct {
 	T         model.Tick `json:"t"`
 	Positions []Position `json:"positions"`
+	Edges     []EdgeJSON `json:"edges,omitempty"`
 }
 
 // TicksRequest is the body of POST /v1/feeds/{name}/ticks. Either a single
@@ -116,6 +129,10 @@ type TicksError struct {
 type FeedSpec struct {
 	Name   string     `json:"name"`
 	Params ParamsJSON `json:"params"`
+	// Clusterer selects the default monitor's clustering backend: "dbscan"
+	// (default) or "proxgraph" (per-tick proximity edges, see
+	// TickBatch.Edges).
+	Clusterer string `json:"clusterer,omitempty"`
 }
 
 // MonitorSpec is the body of POST /v1/feeds/{name}/monitors: one standing
@@ -123,6 +140,10 @@ type FeedSpec struct {
 type MonitorSpec struct {
 	ID     string     `json:"id"`
 	Params ParamsJSON `json:"params"`
+	// Clusterer selects the monitor's clustering backend ("" = dbscan).
+	// Monitors share a clustering pass only when (e, m) AND the backend
+	// match.
+	Clusterer string `json:"clusterer,omitempty"`
 }
 
 // MonitorStatus describes one monitor of a feed (GET
@@ -131,6 +152,8 @@ type MonitorStatus struct {
 	ID     string     `json:"id"`
 	Feed   string     `json:"feed"`
 	Params ParamsJSON `json:"params"`
+	// Clusterer is the monitor's clustering backend name.
+	Clusterer string `json:"clusterer"`
 	// LastTick is the most recent tick this monitor advanced over; null
 	// before its first (monitors added mid-stream start at the next tick).
 	LastTick *model.Tick `json:"last_tick,omitempty"`
@@ -153,6 +176,8 @@ type FeedStatus struct {
 	Name string `json:"name"`
 	// Params are the feed's creation parameters (the default monitor's).
 	Params ParamsJSON `json:"params"`
+	// Clusterer is the feed's creation backend (the default monitor's).
+	Clusterer string `json:"clusterer"`
 	// LastTick is the most recently ingested tick; null before the first.
 	LastTick *model.Tick `json:"last_tick,omitempty"`
 	// Ticks counts ingested tick batches.
@@ -168,8 +193,9 @@ type FeedStatus struct {
 	NextSeq uint64 `json:"next_seq"`
 	// Monitors lists the feed's standing queries, ID-sorted.
 	Monitors []MonitorStatus `json:"monitors"`
-	// ClusterGroups counts the distinct clustering keys (e, m) among the
-	// live monitors — the number of DBSCAN passes each tick costs.
+	// ClusterGroups counts the distinct clustering keys (e, m, backend)
+	// among the live monitors — the number of clustering passes each tick
+	// costs.
 	ClusterGroups int `json:"cluster_groups"`
 	// ClusterPasses counts snapshot clustering passes over the feed's
 	// life: ticks × distinct keys, not ticks × monitors.
@@ -209,8 +235,15 @@ type QueryRequest struct {
 	// Path locates the database file under the server's data directory.
 	Path   string     `json:"path"`
 	Params ParamsJSON `json:"params"`
-	// Algo selects the algorithm: cmc, cuts, cuts+ or cuts* (default).
+	// Algo selects the algorithm: cmc, cuts, cuts+ or cuts* (default; with
+	// clusterer "proxgraph" the default becomes cmc and the CuTS family is
+	// rejected).
 	Algo string `json:"algo,omitempty"`
+	// Clusterer selects the clustering backend: "dbscan" (default) over a
+	// trajectory database, or "proxgraph" over a proximity-edge CSV
+	// ("a,b,t,w" header) — the Path (or upload body) is then parsed as an
+	// edge list and convoys are chains of connected contact components.
+	Clusterer string `json:"clusterer,omitempty"`
 	// Delta and Lambda override the automatic guidelines when > 0.
 	Delta  float64 `json:"delta,omitempty"`
 	Lambda int64   `json:"lambda,omitempty"`
@@ -273,6 +306,9 @@ type QueryResponse struct {
 	Convoys []ConvoyJSON `json:"convoys"`
 	Params  ParamsJSON   `json:"params"`
 	Algo    string       `json:"algo"`
+	// Clusterer is the clustering backend the run used; present only for
+	// non-default backends (a plain DBSCAN answer omits it).
+	Clusterer string `json:"clusterer,omitempty"`
 	// Stats carries the CuTS run statistics (absent for CMC).
 	Stats *StatsJSON `json:"stats,omitempty"`
 	// Digest identifies the database contents (sha256, hex).
@@ -362,5 +398,19 @@ func ParseAlgo(name string) (isCMC bool, v core.Variant, err error) {
 		return false, core.VariantCuTSStar, nil
 	default:
 		return false, 0, fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", name)
+	}
+}
+
+// ParseClusterer resolves a clustering backend name from the wire ("" and
+// "dbscan" are the built-in default; "proxgraph" is the graph-connectivity
+// backend clustering each tick's proximity edges).
+func ParseClusterer(name string) (core.Clusterer, error) {
+	switch strings.ToLower(name) {
+	case "", core.DefaultBackend:
+		return core.DefaultClusterer, nil
+	case proxgraph.Backend:
+		return proxgraph.Clusterer{}, nil
+	default:
+		return nil, fmt.Errorf("unknown clusterer %q (want %s or %s)", name, core.DefaultBackend, proxgraph.Backend)
 	}
 }

@@ -38,6 +38,30 @@ func FuzzReadCSV(f *testing.F) {
 	})
 }
 
+func FuzzReadEdgeCSV(f *testing.F) {
+	f.Add([]byte("a,b,t,w\n"))
+	f.Add([]byte("a,b,t,w\nx,y,0,1\ny,z,0,2.5\nx,y,1,0.25\n"))
+	f.Add([]byte("a,b,t,w\nx,y,0,nan\n"))
+	f.Add([]byte("a,b,t,w\nx,y,0,+Inf\n"))
+	f.Add([]byte("a,b,t,w\nx,y,0,1e999\n"))
+	f.Add([]byte("a,b,t,w\nx,y,0,-1\n")) // negative weight: reader keeps, Log rejects
+	f.Add([]byte("a,b,t,w\nx,x,0,1\n"))  // self loop: reader keeps, Log rejects
+	f.Add([]byte("a,b,t,w\nx,y,9223372036854775807,1\n"))
+	f.Add([]byte("obj,t,x,y\n")) // trajectory header, not an edge header
+	f.Add([]byte("a,b,t,w\n\"unterminated"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := ReadEdgeCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, e := range edges {
+			if !finite(e.W) {
+				t.Fatalf("edge %d: non-finite weight %v accepted", i, e.W)
+			}
+		}
+	})
+}
+
 func FuzzReadBinary(f *testing.F) {
 	// A valid stream as the base seed…
 	db := model.NewDB()

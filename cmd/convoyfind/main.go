@@ -68,6 +68,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
 		limit     = flag.Int("limit", 0, "stop after this many convoys, abandoning the remaining scan (0 = all)")
 		timeout   = flag.Duration("timeout", 0, "abort discovery after this long (0 = no deadline)")
+		noIncr    = flag.Bool("no-incremental", false, "force from-scratch clustering every tick (disables the incremental fast path; answers are identical)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -120,6 +121,7 @@ func main() {
 		input: *input, m: *m, k: *k, e: *e, algo: *algo, clusterer: *clusterer,
 		delta: *delta, lambda: *lambda, workers: *workers,
 		limit: *limit, stats: *stats, explain: *explain, format: *format,
+		noIncremental: *noIncr,
 	}
 	if err := run(ctx, os.Stdout, opts); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -148,6 +150,9 @@ type options struct {
 	stats     bool
 	explain   bool
 	format    string
+	// noIncremental pins every CMC clustering pass to the from-scratch
+	// path (-no-incremental); the answers never depend on it.
+	noIncremental bool
 }
 
 // loadDB picks the reader by file extension.
@@ -188,6 +193,9 @@ func buildQuery(o options, st *convoys.Stats, log *convoys.ProximityLog) (*convo
 	}
 	if o.limit > 0 {
 		opts = append(opts, convoys.WithLimit(o.limit))
+	}
+	if o.noIncremental {
+		opts = append(opts, convoys.WithIncremental(-1))
 	}
 	if log != nil {
 		if !strings.EqualFold(o.algo, "cmc") {

@@ -243,6 +243,19 @@ func WithLimit(n int) QueryOption { return core.WithLimit(n) }
 // clustering passes) into st, written once per Run/Seq completion.
 func WithStats(st *Stats) QueryOption { return core.WithStats(st) }
 
+// WithIncremental tunes the CMC scan's incremental clustering fast path.
+// A threshold in (0, 1] re-clusters only the neighborhoods disturbed since
+// the previous tick whenever the churned fraction of objects stays under
+// it; threshold ≤ 0 disables the fast path entirely. The default (option
+// absent) is DefaultChurnThreshold for serial CMC scans on the default
+// DBSCAN backend. Answers are identical either way — the option trades
+// memory (carried per-tick state) for per-tick clustering time.
+func WithIncremental(threshold float64) QueryOption { return core.WithIncremental(threshold) }
+
+// DefaultChurnThreshold is the churn fraction above which an incremental
+// clustering pass falls back to a from-scratch one.
+const DefaultChurnThreshold = core.DefaultChurnThreshold
+
 // WithClusterer swaps the per-tick clustering backend of a CMC query (nil
 // restores the default DBSCAN backend). The CuTS family's filter bounds are
 // DBSCAN-specific theorems, so a non-default backend requires WithCMC;

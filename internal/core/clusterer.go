@@ -56,6 +56,13 @@ type TickSnapshot struct {
 // share a clustering pass only when their keys — including the backend —
 // are equal. Implementations must be safe for concurrent Clusters calls
 // (the parallel CMC pipeline clusters many ticks at once).
+//
+// Clusterers are stateless across ticks by design — Clusters(key, snap)
+// is a pure function of its arguments. Stateful acceleration (reusing the
+// previous tick's structure) lives one layer up, behind ClusterSource and
+// the CMC scan's incremental engine (internal/increment), which reproduce
+// the default backend's answers exactly; a custom backend therefore never
+// needs cross-tick state for correctness and never gets it.
 type Clusterer interface {
 	Name() string
 	Clusters(key ClusterKey, snap TickSnapshot) [][]model.ObjectID

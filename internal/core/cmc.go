@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/increment"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -67,22 +69,28 @@ func (s *candidateSet) add(objs, support []model.ObjectID, start, end model.Tick
 	s.cands = append(s.cands, &candidate{objs: objs, support: support, start: start, end: end})
 }
 
+// snapshotAt returns the objects alive at tick t and their positions,
+// restricted to subset when non-nil (ascending IDs).
+func snapshotAt(db *model.DB, t model.Tick, subset []model.ObjectID) ([]model.ObjectID, []geom.Point) {
+	if subset == nil {
+		return db.SnapshotAt(t)
+	}
+	var ids []model.ObjectID
+	var pts []geom.Point
+	for _, id := range subset {
+		if pt, ok := db.Traj(id).LocationAt(t); ok {
+			ids = append(ids, id)
+			pts = append(pts, pt)
+		}
+	}
+	return ids, pts
+}
+
 // snapshotClusters clusters the objects alive at tick t with cl, restricted
 // to subset when non-nil (ascending IDs). Cluster member lists are
 // ascending object IDs (the Clusterer contract).
 func snapshotClusters(db *model.DB, cl Clusterer, p Params, t model.Tick, subset []model.ObjectID) [][]model.ObjectID {
-	var ids []model.ObjectID
-	var pts []geom.Point
-	if subset == nil {
-		ids, pts = db.SnapshotAt(t)
-	} else {
-		for _, id := range subset {
-			if pt, ok := db.Traj(id).LocationAt(t); ok {
-				ids = append(ids, id)
-				pts = append(pts, pt)
-			}
-		}
-	}
+	ids, pts := snapshotAt(db, t, subset)
 	return cl.Clusters(ClusterKey{Eps: p.Eps, M: p.M}, TickSnapshot{T: t, IDs: ids, Pts: pts})
 }
 
@@ -155,17 +163,30 @@ func flushCandidates(live []*candidate, k int64, out *[]Convoy, emit func(*candi
 // the given ascending object subset, pushing every batch of raw
 // (uncanonicalized) convoys that close at one tick — plus the final flush
 // batch — into emit. emit returning false abandons the scan (no error);
-// cancelling ctx aborts it with ctx.Err() at tick granularity. passes,
-// when non-nil, is atomically incremented once per snapshot clustering
-// pass, the work meter behind Stats.ClusterPasses.
+// cancelling ctx aborts it with ctx.Err() at tick granularity. meter, when
+// non-nil, is atomically bumped once per snapshot clustering pass — the
+// work meter behind Stats.ClusterPasses — and further splits passes into
+// full versus incremental and counts the objects actually re-clustered.
+//
+// incThreshold > 0 enables incremental clustering: each producer keeps an
+// increment.Engine that diffs consecutive snapshots and patches the
+// previous tick's neighborhood structure instead of re-running DBSCAN from
+// scratch, falling back to a rebuild when the dirty fraction exceeds the
+// threshold. The caller only sets it for the default grid-DBSCAN backend
+// (the engine reproduces exactly that backend's answers); cl is still used
+// for the non-incremental path.
 //
 // With workers > 1 the per-tick DBSCAN runs (the quadratic part) execute
 // concurrently while the candidate chaining folds the resulting snapshot
 // clusters strictly in tick order — a pipeline, not a per-tick barrier.
 // Because chainStep consumes exactly the clusters the serial scan would,
 // in exactly the same order, the emitted convoys are identical to the
-// serial scan by construction.
-func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int, passes *int64, emit func([]Convoy) bool) error {
+// serial scan by construction. On the incremental path the tick domain is
+// split into contiguous per-worker chunks, each owning its own engine
+// (ticks must reach an engine in order for diffing to make sense); the
+// answers are still identical for every worker count — only the counters
+// shift, since every chunk's first tick is a full pass.
+func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi model.Tick, subset []model.ObjectID, workers int, incThreshold float64, meter *scanMeter, emit func([]Convoy) bool) error {
 	span := int64(hi-lo) + 1
 	if span <= 0 {
 		return nil
@@ -184,17 +205,32 @@ func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi m
 	// the hot loop pays nothing.
 	tm := newStageTimer(trace.FromContext(ctx))
 	defer tm.flush()
-	produce := func(i int) [][]model.ObjectID {
-		if passes != nil {
-			atomic.AddInt64(passes, 1)
+	produce := func(eng *increment.Engine, i int) [][]model.ObjectID {
+		t := lo + model.Tick(i)
+		var t0 time.Time
+		if tm != nil {
+			t0 = time.Now()
 		}
-		if tm == nil {
-			return snapshotClusters(db, cl, p, lo+model.Tick(i), subset)
+		ids, pts := snapshotAt(db, t, subset)
+		var cs [][]model.ObjectID
+		if eng != nil {
+			var pass increment.Pass
+			cs, pass = eng.Tick(ids, pts)
+			meter.addPass(pass)
+		} else {
+			cs = cl.Clusters(ClusterKey{Eps: p.Eps, M: p.M}, TickSnapshot{T: t, IDs: ids, Pts: pts})
+			meter.addPass(increment.Pass{Full: true, Reclustered: len(ids)})
 		}
-		t0 := time.Now()
-		cs := snapshotClusters(db, cl, p, lo+model.Tick(i), subset)
-		tm.cluster.Add(int64(time.Since(t0)))
+		if tm != nil {
+			tm.cluster.Add(int64(time.Since(t0)))
+		}
 		return cs
+	}
+	newEngine := func() *increment.Engine {
+		if incThreshold <= 0 {
+			return nil
+		}
+		return increment.New(p.Eps, p.M, incThreshold)
 	}
 	var live []*candidate
 	stopped := false
@@ -216,12 +252,13 @@ func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi m
 		return true
 	}
 	if workers <= 1 {
+		eng := newEngine()
 		i := 0
 		for t := lo; ; t++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if !consume(i, produce(i)) {
+			if !consume(i, produce(eng, i)) {
 				return nil
 			}
 			i++
@@ -229,8 +266,24 @@ func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi m
 				break
 			}
 		}
+	} else if incThreshold > 0 {
+		// Incremental + parallel: contiguous per-worker tick chunks, one
+		// engine per chunk. The chunk size is capped so cancellation and
+		// early-stop keep reasonable granularity on huge domains.
+		chunk := int((span + int64(workers) - 1) / int64(workers))
+		if chunk > maxIncrementalChunk {
+			chunk = maxIncrementalChunk
+		}
+		if err := par.OrderedChunks(ctx, int(span), workers, chunk, newEngine, produce, consume); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
 	} else {
-		if err := orderedPipeline(ctx, int(span), workers, produce, consume); err != nil {
+		if err := orderedPipeline(ctx, int(span), workers, func(i int) [][]model.ObjectID {
+			return produce(nil, i)
+		}, consume); err != nil {
 			return err
 		}
 		if stopped {
@@ -253,10 +306,14 @@ func cmcScan(ctx context.Context, db *model.DB, cl Clusterer, p Params, lo, hi m
 // time into the refine span without gaining mid-window cancellation.
 func cmcWindow(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, subset []model.ObjectID, passes *int64) []Convoy {
 	var out []Convoy
-	cmcScan(ctx, db, DefaultClusterer, p, lo, hi, subset, 1, passes, func(batch []Convoy) bool {
+	var m scanMeter
+	cmcScan(ctx, db, DefaultClusterer, p, lo, hi, subset, 1, 0, &m, func(batch []Convoy) bool {
 		out = append(out, batch...)
 		return true
 	})
+	if passes != nil {
+		atomic.AddInt64(passes, atomic.LoadInt64(&m.passes))
+	}
 	return out
 }
 
@@ -264,6 +321,13 @@ func cmcWindow(ctx context.Context, db *model.DB, p Params, lo, hi model.Tick, s
 // that the span always fits an int (also on 32-bit platforms); larger —
 // degenerate — domains run serially.
 const maxPipelineSpan = 1 << 30
+
+// maxIncrementalChunk caps the contiguous tick range one incremental
+// engine owns in a parallel scan, so cancellation and early stop keep
+// sub-chunk granularity even on huge time domains. Each chunk's first tick
+// is a full pass, so larger chunks amortize better; 4096 keeps that
+// overhead under 0.03%.
+const maxIncrementalChunk = 4096
 
 // CMC answers the convoy query over the whole database with the Coherent
 // Moving Cluster algorithm and returns the canonical result.

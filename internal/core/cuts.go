@@ -174,6 +174,17 @@ type Stats struct {
 	// strictly fewer passes than a full one. Filled even when a run is
 	// cancelled mid-way.
 	ClusterPasses int64
+	// ClusterPassesFull and ClusterPassesIncremental split ClusterPasses
+	// by how the pass was answered: a from-scratch clustering run versus
+	// the incremental engine patching the previous tick's structure (CMC
+	// scans only — CuTS filter partitions and refinement windows always
+	// count as full). ObjectsReclustered sums, over the CMC scan's passes,
+	// the objects whose neighborhoods were actually recomputed; on a
+	// low-churn feed it is far below ClusterPasses × population, which is
+	// exactly the work the incremental path saves.
+	ClusterPassesFull        int64
+	ClusterPassesIncremental int64
+	ObjectsReclustered       int64
 }
 
 // TotalTime returns the end-to-end discovery time.

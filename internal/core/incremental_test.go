@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// churnWalkDB builds a database of n random walkers over [0, ticks) where
+// each object moves each tick with probability moveProb (non-movers keep
+// bit-identical positions — the situation the incremental engine exploits).
+func churnWalkDB(t *testing.T, seed int64, n, ticks int, moveProb float64) *model.DB {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]geom.Point, n)
+	for o := range rows {
+		rows[o] = make([]geom.Point, ticks)
+		p := geom.Pt(r.Float64()*60, r.Float64()*60)
+		for i := 0; i < ticks; i++ {
+			if i > 0 && r.Float64() < moveProb {
+				p = geom.Pt(p.X+r.NormFloat64(), p.Y+r.NormFloat64())
+			}
+			rows[o][i] = p
+		}
+	}
+	return buildDB(t, 0, rows...)
+}
+
+// TestCMCIncrementalMatchesFromScratch pins the batch acceptance property:
+// the incremental CMC scan answers exactly the from-scratch scan, across
+// churn rates and worker counts, while its counters prove that the
+// low-churn runs actually skipped work.
+func TestCMCIncrementalMatchesFromScratch(t *testing.T) {
+	p := Params{M: 3, K: 5, Eps: 4}
+	for _, tc := range []struct {
+		name     string
+		moveProb float64
+	}{
+		{"frozen", 0},
+		{"low-churn", 0.05},
+		{"high-churn", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db := churnWalkDB(t, 42, 40, 160, tc.moveProb)
+			for _, workers := range []int{1, 4} {
+				var on, off Stats
+				inc, err := NewQuery(WithParams(p), WithCMC(), WithWorkers(workers), WithStats(&on)).
+					Run(context.Background(), db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := NewQuery(WithParams(p), WithCMC(), WithWorkers(workers), WithStats(&off), WithIncremental(-1)).
+					Run(context.Background(), db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(inc, ref) {
+					t.Fatalf("workers=%d: incremental answer diverged\n got %v\nwant %v", workers, inc, ref)
+				}
+				if off.ClusterPassesIncremental != 0 {
+					t.Fatalf("workers=%d: WithIncremental(-1) still made %d incremental passes",
+						workers, off.ClusterPassesIncremental)
+				}
+				if on.ClusterPasses != on.ClusterPassesFull+on.ClusterPassesIncremental {
+					t.Fatalf("workers=%d: pass split %d+%d does not sum to %d",
+						workers, on.ClusterPassesFull, on.ClusterPassesIncremental, on.ClusterPasses)
+				}
+				if tc.moveProb <= 0.05 && on.ClusterPassesIncremental == 0 {
+					t.Fatalf("workers=%d: low churn but zero incremental passes (full=%d)",
+						workers, on.ClusterPassesFull)
+				}
+				if tc.moveProb <= 0.05 && on.ObjectsReclustered >= off.ObjectsReclustered/2 {
+					t.Fatalf("workers=%d: reclustered %d objects, from-scratch %d — no reuse",
+						workers, on.ObjectsReclustered, off.ObjectsReclustered)
+				}
+				if tc.moveProb == 1 && workers == 1 && on.ClusterPassesIncremental != 0 {
+					t.Fatalf("100%% churn must always fall back, got %d incremental passes",
+						on.ClusterPassesIncremental)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamerIncrementalMatchesFromScratch pins the streaming acceptance
+// property: a ClusterSource with the incremental engine feeds a Monitor the
+// same cluster stream as one forced onto the from-scratch path, so the
+// discovered convoys are identical; LastPass proves the engine engaged.
+func TestStreamerIncrementalMatchesFromScratch(t *testing.T) {
+	p := Params{M: 3, K: 4, Eps: 4}
+	db := churnWalkDB(t, 7, 35, 120, 0.05)
+
+	run := func(threshold float64) (Result, *ClusterSource) {
+		t.Helper()
+		src, err := NewClusterSource(p.ClusterKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if threshold <= 0 {
+			src.SetIncremental(0)
+		}
+		mon, err := NewMonitor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Convoy
+		lo, hi, _ := db.TimeRange()
+		for tk := lo; tk <= hi; tk++ {
+			ids, pts := db.SnapshotAt(tk)
+			batch, err := mon.AdvanceClusters(tk, src.Snapshot(ids, pts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, batch...)
+		}
+		out = append(out, mon.Close()...)
+		return Canonicalize(out), src
+	}
+
+	got, on := run(DefaultChurnThreshold)
+	want, off := run(0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental streaming diverged\n got %v\nwant %v", got, want)
+	}
+	if IncrementalDisabled() {
+		t.Skipf("%s set: incremental path unavailable", NoIncrementalEnv)
+	}
+	if !on.Incremental() || off.Incremental() {
+		t.Fatalf("Incremental() = %v/%v, want true/false", on.Incremental(), off.Incremental())
+	}
+	if inc, _ := on.LastPass(); !inc {
+		t.Fatalf("low-churn stream: last pass should have been incremental")
+	}
+	if inc, recl := off.LastPass(); inc || recl == 0 {
+		t.Fatalf("from-scratch source: LastPass = (%v, %d), want (false, population)", inc, recl)
+	}
+	// Batch ≡ streaming closes the loop: both incremental paths answer the
+	// from-scratch CMC result.
+	batch, err := NewQuery(WithParams(p), WithCMC()).Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("streaming and batch answers diverged\n got %v\nwant %v", got, batch)
+	}
+}
+
+// TestSetIncrementalResetsState pins the knob semantics: toggling drops the
+// engine state (next pass is full), and switching on is a no-op for
+// non-default backends.
+func TestSetIncrementalResetsState(t *testing.T) {
+	if IncrementalDisabled() {
+		t.Skipf("%s set", NoIncrementalEnv)
+	}
+	src, err := NewClusterSource(ClusterKey{Eps: 2, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []model.ObjectID{0, 1, 2}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	src.Snapshot(ids, pts)
+	src.Snapshot(ids, pts)
+	if inc, recl := src.LastPass(); !inc || recl != 0 {
+		t.Fatalf("identical tick: LastPass = (%v, %d), want (true, 0)", inc, recl)
+	}
+	src.SetIncremental(0.5)
+	src.Snapshot(ids, pts)
+	if inc, _ := src.LastPass(); inc {
+		t.Fatalf("pass right after SetIncremental must be full (fresh engine)")
+	}
+	src.SetIncremental(0)
+	if src.Incremental() {
+		t.Fatalf("SetIncremental(0) must disable the engine")
+	}
+	if got := src.Passes(); got != 3 {
+		t.Fatalf("Passes = %d, want 3 (counting both modes)", got)
+	}
+}

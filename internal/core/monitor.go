@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/increment"
 	"repro/internal/model"
 )
 
@@ -69,12 +70,25 @@ func (k ClusterKey) Validate() error {
 // ClusterSource computes the per-tick clusters of one pushed snapshot at a
 // fixed clustering key with a fixed Clusterer, counting how many clustering
 // passes it has run. It is the per-tick cluster stage of the streaming
-// engine; it holds no cross-tick state, so one source can drive any number
-// of Monitors. Not safe for concurrent use.
+// engine: its cluster output per tick is a pure function of that tick's
+// snapshot, so one source can drive any number of Monitors. Not safe for
+// concurrent use.
+//
+// As an internal acceleration the source may carry an incremental engine
+// (on by default for the grid-DBSCAN backend, see SetIncremental) that
+// reuses the previous tick's grid and neighborhood structure — cross-tick
+// state that changes how fast an answer is computed, never what it is. The
+// Clusterer itself stays stateless.
 type ClusterSource struct {
 	key    ClusterKey
 	c      Clusterer
 	passes int64
+
+	// eng, when non-nil, answers Cluster calls incrementally; lastInc and
+	// lastRecl describe the most recent pass for the feed-level metrics.
+	eng      *increment.Engine
+	lastInc  bool
+	lastRecl int
 }
 
 // NewClusterSource validates the key and returns a source with a zeroed
@@ -103,7 +117,11 @@ func NewClusterSourceWith(key ClusterKey, c Clusterer) (*ClusterSource, error) {
 		return nil, fmt.Errorf("core: NewClusterSourceWith: key backend %q does not match clusterer %q", key.BackendName(), c.Name())
 	}
 	key.Backend = c.Name()
-	return &ClusterSource{key: key.Canonical(), c: c}, nil
+	s := &ClusterSource{key: key.Canonical(), c: c}
+	if _, ok := c.(DBSCANClusterer); ok && !IncrementalDisabled() {
+		s.eng = increment.New(s.key.Eps, s.key.M, DefaultChurnThreshold)
+	}
+	return s, nil
 }
 
 // Key returns the source's clustering key (canonical).
@@ -116,6 +134,36 @@ func (s *ClusterSource) Clusterer() Clusterer { return s.c }
 // multi-monitor sharing tests and the monitors benchmark rely on.
 func (s *ClusterSource) Passes() int64 { return s.passes }
 
+// Incremental reports whether the source currently clusters through the
+// incremental engine.
+func (s *ClusterSource) Incremental() bool { return s.eng != nil }
+
+// SetIncremental switches incremental clustering on (threshold > 0, the
+// churn threshold above which a tick rebuilds from scratch) or off
+// (threshold ≤ 0 — every tick runs the from-scratch pass). Switching on is
+// a no-op for non-default backends and under the CONVOY_NO_INCREMENTAL
+// kill switch; switching either way drops any accumulated cross-tick
+// state, so the next pass is a full one. The cluster answers are identical
+// in both modes.
+func (s *ClusterSource) SetIncremental(threshold float64) {
+	if threshold <= 0 {
+		s.eng = nil
+		return
+	}
+	if _, ok := s.c.(DBSCANClusterer); !ok || IncrementalDisabled() {
+		return
+	}
+	s.eng = increment.New(s.key.Eps, s.key.M, threshold)
+}
+
+// LastPass describes the source's most recent clustering pass: whether it
+// was answered incrementally and how many objects were actually
+// re-clustered (the full snapshot on a from-scratch pass). It is the hook
+// the serve feed loop uses to split its pass counters.
+func (s *ClusterSource) LastPass() (incremental bool, reclustered int) {
+	return s.lastInc, s.lastRecl
+}
+
 // Cluster runs one clustering pass over a pushed tick snapshot. IDs need
 // not be sorted; cluster member lists come out ascending (the Clusterer
 // contract). The caller is responsible for snapshot validation (parallel
@@ -124,6 +172,12 @@ func (s *ClusterSource) Passes() int64 { return s.passes }
 // both do this before clustering.
 func (s *ClusterSource) Cluster(snap TickSnapshot) [][]model.ObjectID {
 	s.passes++
+	if s.eng != nil {
+		out, pass := s.eng.Tick(snap.IDs, snap.Pts)
+		s.lastInc, s.lastRecl = !pass.Full, pass.Reclustered
+		return out
+	}
+	s.lastInc, s.lastRecl = false, len(snap.IDs)
 	return s.c.Clusters(s.key, snap)
 }
 

@@ -46,6 +46,11 @@ type Query struct {
 	limit     int
 	statsOut  *Stats
 
+	// incremental selects the CMC incremental-clustering mode: 0 is the
+	// default (on for the grid-DBSCAN backend at DefaultChurnThreshold),
+	// < 0 is off, > 0 is a custom churn threshold. See WithIncremental.
+	incremental float64
+
 	// Ablation switches, carried for WithConfig round-trips.
 	noBoxPrune    bool
 	noClipTime    bool
@@ -109,6 +114,31 @@ func WithLambda(lambda int64) Option { return func(q *Query) { q.lambda = lambda
 // WithTolerance selects the filter's tolerance mode (actual — the tighter
 // default — or global, Figure 14).
 func WithTolerance(t dbscan.ToleranceMode) Option { return func(q *Query) { q.tol = t } }
+
+// WithIncremental tunes incremental per-tick clustering on the CMC scan.
+// threshold > 0 sets the churn threshold: the fraction of objects that may
+// move, appear or vanish in one tick before the engine abandons patching
+// the previous tick's structure and rebuilds from scratch. threshold ≤ 0
+// disables incremental clustering entirely (every tick runs from-scratch
+// DBSCAN — the reference path).
+//
+// Without this option incremental clustering is on by default at
+// DefaultChurnThreshold whenever it applies: the CMC algorithm with the
+// default grid-DBSCAN backend. It never applies to the CuTS family (their
+// clustering is over simplified polylines) or to non-default backends, and
+// the CONVOY_NO_INCREMENTAL environment variable force-disables it
+// process-wide. The answer set is identical with and without — only
+// Stats.ClusterPassesIncremental / ObjectsReclustered and the run time
+// change.
+func WithIncremental(threshold float64) Option {
+	return func(q *Query) {
+		if threshold <= 0 {
+			q.incremental = -1
+		} else {
+			q.incremental = threshold
+		}
+	}
+}
 
 // WithWorkers sets the number of goroutines every pipeline stage may use;
 // ≤ 1 runs serially. The answer set is identical for every worker count.
@@ -222,10 +252,13 @@ func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convo
 	if st.Workers < 1 {
 		st.Workers = 1
 	}
-	var passes int64
+	var meter scanMeter
 	defer func() {
 		if q.statsOut != nil {
-			st.ClusterPasses = atomic.LoadInt64(&passes)
+			st.ClusterPasses = atomic.LoadInt64(&meter.passes)
+			st.ClusterPassesIncremental = atomic.LoadInt64(&meter.incremental)
+			st.ClusterPassesFull = st.ClusterPasses - st.ClusterPassesIncremental
+			st.ObjectsReclustered = atomic.LoadInt64(&meter.reclustered)
 			*q.statsOut = st
 		}
 	}()
@@ -262,13 +295,13 @@ func (q *Query) run(ctx context.Context, db *model.DB, raw bool, emit func(Convo
 		sp.Int("limit", int64(q.limit))
 	}
 	defer func() {
-		sp.Int("cluster_passes", atomic.LoadInt64(&passes))
+		sp.Int("cluster_passes", atomic.LoadInt64(&meter.passes))
 		sp.End()
 	}()
 	if q.useCMC {
-		return q.runCMC(ctx, db, cl, raw, &passes, emit)
+		return q.runCMC(ctx, db, cl, raw, &meter, emit)
 	}
-	return q.runCuTS(ctx, db, raw, &st, &passes, emit)
+	return q.runCuTS(ctx, db, raw, &st, &meter.passes, emit)
 }
 
 // stream executes the query with canonical streaming emissions, applying
@@ -296,16 +329,36 @@ func (q *Query) collect(ctx context.Context, db *model.DB, out *[]Convoy) error 
 // runCMC scans the whole time domain with the CMC algorithm, clustering
 // each tick with cl, pushing closed convoys through the chosen emission
 // mode.
-func (q *Query) runCMC(ctx context.Context, db *model.DB, cl Clusterer, raw bool, passes *int64, emit func(Convoy) bool) error {
+func (q *Query) runCMC(ctx context.Context, db *model.DB, cl Clusterer, raw bool, meter *scanMeter, emit func(Convoy) bool) error {
 	lo, hi, ok := db.TimeRange()
 	if !ok {
 		return nil
 	}
+	incThreshold := q.incrementalThreshold(cl)
+	if incThreshold > 0 && q.workers > 1 && !raw {
+		// Streaming emissions promise a bounded pass overrun when the
+		// consumer breaks early (the Seq early-stop/cancellation bounds).
+		// The per-tick pipeline keeps that bound; the chunked incremental
+		// scan cannot — each chunk's worker clusters its whole contiguous
+		// range ahead of the consumer. Parallel streaming therefore stays
+		// on the from-scratch pipeline; batch collection (which never
+		// stops early) takes the chunked incremental path, and serial
+		// scans are always incremental.
+		incThreshold = 0
+	}
 	ctx, sp := trace.StartSpan(ctx, "scan")
 	sp.Int("ticks", int64(hi-lo)+1)
-	defer sp.End()
+	if incThreshold > 0 {
+		sp.Str("incremental", "true")
+	} else {
+		sp.Str("incremental", "false")
+	}
+	defer func() {
+		sp.Int("objects_reclustered", atomic.LoadInt64(&meter.reclustered))
+		sp.End()
+	}()
 	sink := emitBatches(raw, emit)
-	return cmcScan(ctx, db, cl, q.p, lo, hi, nil, q.workers, passes, sink)
+	return cmcScan(ctx, db, cl, q.p, lo, hi, nil, q.workers, incThreshold, meter, sink)
 }
 
 // emitBatches adapts a per-convoy emit to cmcScan's per-tick batch

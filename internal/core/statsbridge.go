@@ -10,6 +10,9 @@ package core
 // and unit sums are reported as-is.
 func (s Stats) Each(f func(name string, value float64)) {
 	f("cluster_passes", float64(s.ClusterPasses))
+	f("cluster_passes_full", float64(s.ClusterPassesFull))
+	f("cluster_passes_incremental", float64(s.ClusterPassesIncremental))
+	f("objects_reclustered", float64(s.ObjectsReclustered))
 	f("partitions", float64(s.NumPartitions))
 	f("candidates", float64(s.NumCandidates))
 	f("refine_units", s.RefineUnits)

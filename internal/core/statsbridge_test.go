@@ -7,15 +7,18 @@ import (
 
 func TestStatsEach(t *testing.T) {
 	st := Stats{
-		ClusterPasses: 7,
-		NumPartitions: 3,
-		NumCandidates: 5,
-		RefineUnits:   2.5,
-		VertexKept:    10,
-		VertexTotal:   40,
-		SimplifyTime:  250 * time.Millisecond,
-		FilterTime:    500 * time.Millisecond,
-		RefineTime:    time.Second,
+		ClusterPasses:            7,
+		ClusterPassesFull:        4,
+		ClusterPassesIncremental: 3,
+		ObjectsReclustered:       120,
+		NumPartitions:            3,
+		NumCandidates:            5,
+		RefineUnits:              2.5,
+		VertexKept:               10,
+		VertexTotal:              40,
+		SimplifyTime:             250 * time.Millisecond,
+		FilterTime:               500 * time.Millisecond,
+		RefineTime:               time.Second,
 	}
 	got := map[string]float64{}
 	st.Each(func(name string, v float64) {
@@ -25,15 +28,18 @@ func TestStatsEach(t *testing.T) {
 		got[name] = v
 	})
 	want := map[string]float64{
-		"cluster_passes":   7,
-		"partitions":       3,
-		"candidates":       5,
-		"refine_units":     2.5,
-		"vertex_kept":      10,
-		"vertex_total":     40,
-		"simplify_seconds": 0.25,
-		"filter_seconds":   0.5,
-		"refine_seconds":   1,
+		"cluster_passes":             7,
+		"cluster_passes_full":        4,
+		"cluster_passes_incremental": 3,
+		"objects_reclustered":        120,
+		"partitions":                 3,
+		"candidates":                 5,
+		"refine_units":               2.5,
+		"vertex_kept":                10,
+		"vertex_total":               40,
+		"simplify_seconds":           0.25,
+		"filter_seconds":             0.5,
+		"refine_seconds":             1,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("Each emitted %d names, want %d: %v", len(got), len(want), got)

@@ -62,6 +62,12 @@ type Scenario struct {
 	// When false, members exist only during their group window (Truck
 	// deliveries: each co-trip is a distinct trajectory).
 	GroupMembersFullSpan bool
+	// MoveProb is the per-tick probability a walker takes a step; on the
+	// other ticks it reports a bit-identical position (a parked commuter
+	// pinging from the same spot). 0 or ≥ 1 means every tick moves — the
+	// classic always-moving walker. Low values produce the low-churn
+	// streams the incremental clustering fast path is built for.
+	MoveProb float64
 }
 
 // walker moves with a smoothly drifting heading at constant speed,
@@ -76,7 +82,10 @@ type walker struct {
 	speed     float64
 	world     float64
 	curvature float64
-	r         *rand.Rand
+	// moveProb gates each step: in (0, 1) the walker only moves on that
+	// fraction of ticks and otherwise holds its exact position.
+	moveProb float64
+	r        *rand.Rand
 }
 
 func newWalker(r *rand.Rand, world, speed, curvature float64) *walker {
@@ -98,6 +107,9 @@ func newWalkerAt(r *rand.Rand, pos geom.Point, world, speed, curvature float64) 
 }
 
 func (w *walker) step() geom.Point {
+	if w.moveProb > 0 && w.moveProb < 1 && w.r.Float64() >= w.moveProb {
+		return w.pos // parked this tick: bit-identical position
+	}
 	w.heading += w.r.NormFloat64() * w.curvature
 	nx := w.pos.X + w.speed*math.Cos(w.heading)
 	ny := w.pos.Y + w.speed*math.Sin(w.heading)
@@ -175,6 +187,7 @@ func (sc Scenario) Generate() *model.DB {
 
 	for gi, g := range sc.Groups {
 		anchor := newWalker(r, sc.World, sc.Speed, curv)
+		anchor.moveProb = sc.MoveProb
 		// Precompute the anchor path over the group's window.
 		w0, w1 := g.Start, g.End
 		if w1 >= model.Tick(sc.T) {
@@ -209,6 +222,7 @@ func (sc Scenario) Generate() *model.DB {
 			pre := make([]geom.Point, w0)
 			if w0 > 0 {
 				wk := newWalkerAt(r, groupPos(w0), sc.World, sc.Speed, curv)
+				wk.moveProb = sc.MoveProb
 				for i := int(w0) - 1; i >= 0; i-- {
 					pre[i] = wk.step() // generated backwards from the window start
 				}
@@ -216,6 +230,7 @@ func (sc Scenario) Generate() *model.DB {
 			post := make([]geom.Point, model.Tick(sc.T)-1-w1)
 			if len(post) > 0 {
 				wk := newWalkerAt(r, groupPos(w1), sc.World, sc.Speed, curv)
+				wk.moveProb = sc.MoveProb
 				for i := range post {
 					post[i] = wk.step()
 				}
@@ -235,6 +250,7 @@ func (sc Scenario) Generate() *model.DB {
 	for b := 0; b < sc.Background; b++ {
 		lo, hi := span(0, model.Tick(sc.T)-1)
 		wkr := newWalker(r, sc.World, sc.Speed, curv)
+		wkr.moveProb = sc.MoveProb
 		path := make([]geom.Point, hi-lo+1)
 		for i := range path {
 			path[i] = wkr.step()

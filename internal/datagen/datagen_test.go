@@ -245,3 +245,52 @@ func TestContactProfile(t *testing.T) {
 		t.Error("no contact within Eps anywhere in the domain")
 	}
 }
+
+// measuredChurn is the fraction of consecutive-tick transitions in which
+// an object actually moved (any coordinate changed at all).
+func measuredChurn(db *model.DB) float64 {
+	var moved, transitions int
+	for id := 0; id < db.Len(); id++ {
+		s := db.Traj(id).Samples
+		for i := 1; i < len(s); i++ {
+			transitions++
+			if s[i].P != s[i-1].P {
+				moved++
+			}
+		}
+	}
+	if transitions == 0 {
+		return 0
+	}
+	return float64(moved) / float64(transitions)
+}
+
+// The Commute profile's point is its churn rate: parked objects report
+// bit-identical positions, so the measured per-tick move fraction tracks
+// the requested one — the property the incremental clustering fast path
+// and its benchmark depend on.
+func TestCommuteChurnRate(t *testing.T) {
+	p := Commute(0.05, 1)
+	if err := (core.Params{M: p.M, K: p.K, Eps: p.Eps}).Validate(); err != nil {
+		t.Fatalf("params invalid: %v", err)
+	}
+	db := p.Generate()
+	if n := db.Len(); n < 250 || n > 350 {
+		t.Errorf("N = %d, want ≈ 300", n)
+	}
+	if got := measuredChurn(db); got < 0.05 || got > 0.2 {
+		t.Errorf("measured churn %.3f at requested 0.1, want within [0.05, 0.2]", got)
+	}
+	// The sweep endpoints behave: near-frozen stays near-frozen, full
+	// churn moves essentially everything.
+	if got := measuredChurn(CommuteChurn(0.05, 1, 0.01).Generate()); got > 0.05 {
+		t.Errorf("churn 0.01: measured %.3f, want ≤ 0.05", got)
+	}
+	if got := measuredChurn(CommuteChurn(0.05, 1, 1).Generate()); got < 0.99 {
+		t.Errorf("churn 1: measured %.3f, want ≈ 1", got)
+	}
+	// Deterministic in the seed, like every profile.
+	if again := Commute(0.05, 1).Generate(); db.Len() != again.Len() {
+		t.Error("commute profile not deterministic")
+	}
+}

@@ -268,6 +268,57 @@ func Contact(scale float64, seed int64) Profile {
 	}
 }
 
+// Commute is a low-churn world built for the incremental clustering fast
+// path: a persistent population of ~300 objects where only about 10% move
+// between consecutive ticks (commuters parked at home or the office, a few
+// in transit). It is not one of the paper's datasets and stays out of
+// AllProfiles; the increment benchmark uses it as the favorable end of the
+// churn spectrum.
+func Commute(scale float64, seed int64) Profile {
+	return CommuteChurn(scale, seed, 0.1)
+}
+
+// CommuteChurn is Commute with an explicit per-tick move probability, so
+// the increment benchmark can sweep churn from near-frozen to
+// every-object-every-tick on an otherwise identical world. Jitter is zero
+// on purpose: a parked object reports a bit-identical position, which is
+// what lets the incremental engine skip its neighborhood entirely.
+func CommuteChurn(scale float64, seed int64, churn float64) Profile {
+	T := scaleTicks(3000, scale)
+	k := scaleTicks(120, scale)
+	window := scaleTicks(600, scale)
+	if window < k+2 {
+		window = k + 2
+	}
+	groups := groupWindows(seed+1, 12, T, window,
+		func(r *rand.Rand) int { return 3 + r.Intn(3) }, 4.0)
+	nGrouped := 0
+	for _, g := range groups {
+		nGrouped += g.Size
+	}
+	bg := 300 - nGrouped
+	if bg < 0 {
+		bg = 0
+	}
+	return Profile{
+		Name: "Commute",
+		Scenario: Scenario{
+			Seed:       seed,
+			T:          T,
+			World:      2000,
+			Speed:      6,
+			Groups:     groups,
+			Background: bg,
+			KeepProb:   1,
+			SpanFrac:   [2]float64{0.8, 1},
+			Jitter:     0,
+			Curvature:  0.08,
+			MoveProb:   churn,
+		},
+		M: 3, K: k, Eps: 10,
+	}
+}
+
 // AllProfiles returns the four dataset profiles at the given scale.
 func AllProfiles(scale float64, seed int64) []Profile {
 	return []Profile{

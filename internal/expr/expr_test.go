@@ -111,8 +111,8 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 13 {
-		t.Errorf("expected 13 experiments, got %d", len(Experiments))
+	if len(Experiments) != 14 {
+		t.Errorf("expected 14 experiments, got %d", len(Experiments))
 	}
 	if _, ok := Lookup("monitors"); !ok {
 		t.Error("monitors not found")
@@ -122,6 +122,9 @@ func TestLookupAndRunAll(t *testing.T) {
 	}
 	if _, ok := Lookup("soak"); !ok {
 		t.Error("soak not found")
+	}
+	if _, ok := Lookup("increment"); !ok {
+		t.Error("increment not found")
 	}
 	if _, ok := Lookup("clusterers"); !ok {
 		t.Error("clusterers not found")

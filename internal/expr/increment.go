@@ -1,0 +1,147 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+// The increment experiment (not in the paper): the incremental clustering
+// fast path against from-scratch per-tick DBSCAN over the churn spectrum.
+// The Commute profile sweeps the per-tick move probability from near-frozen
+// to every-object-every-tick on an otherwise identical world, and Contact
+// supplies a naturally mobile crowd. Every run asserts the two modes name
+// the same convoys — the fast path is a pure work optimization — and
+// records end-to-end wall time, a clustering-only loop time, the full /
+// incremental pass split and the objects actually re-clustered.
+
+// incrementWorld is one benchmarked database: a profile plus the churn
+// label it represents.
+type incrementWorld struct {
+	prof  datagen.Profile
+	churn float64 // -1 = the profile's natural movement (Contact)
+}
+
+// clusterOnlyLoop times a bare ClusterSource pass over every tick of the
+// database — the clustering cost with no convoy chaining on top, which is
+// the work the incremental engine actually saves.
+func clusterOnlyLoop(db *model.DB, p core.Params, incremental bool) (time.Duration, error) {
+	src, err := core.NewClusterSource(core.ClusterKey{Eps: p.Eps, M: p.M})
+	if err != nil {
+		return 0, err
+	}
+	if !incremental {
+		src.SetIncremental(0)
+	}
+	lo, hi, ok := db.TimeRange()
+	if !ok {
+		return 0, fmt.Errorf("empty database")
+	}
+	t0 := time.Now()
+	for t := lo; t <= hi; t++ {
+		ids, pts := db.SnapshotAt(t)
+		src.Snapshot(ids, pts)
+	}
+	return time.Since(t0), nil
+}
+
+// Increment prints and records the incremental-vs-from-scratch comparison.
+func Increment(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "Increment: incremental vs from-scratch per-tick clustering (CMC)")
+	fmt.Fprintln(w, "dataset\tchurn\tmode\ttime (ms)\tcluster (ms)\tpasses full/inc\treclustered\tspeedup\tcluster speedup")
+
+	worlds := []incrementWorld{
+		{datagen.CommuteChurn(o.Scale, o.Seed, 0.01), 0.01},
+		{datagen.CommuteChurn(o.Scale, o.Seed, 0.1), 0.1},
+		{datagen.CommuteChurn(o.Scale, o.Seed, 0.5), 0.5},
+		{datagen.CommuteChurn(o.Scale, o.Seed, 1.0), 1.0},
+		{datagen.Contact(o.Scale, o.Seed), -1},
+	}
+	ctx := context.Background()
+
+	for _, world := range worlds {
+		prof := world.prof
+		db := prof.Generate()
+		p := params(prof)
+		churnLabel := "natural"
+		if world.churn >= 0 {
+			churnLabel = fmt.Sprintf("%g%%", world.churn*100)
+		}
+
+		run := func(opts ...core.Option) (core.Result, core.Stats, time.Duration, error) {
+			var st core.Stats
+			opts = append(opts, core.WithParams(p), core.WithCMC(), core.WithStats(&st))
+			t0 := time.Now()
+			res, err := core.NewQuery(opts...).Run(ctx, db)
+			return res, st, time.Since(t0), err
+		}
+		ires, ist, iElapsed, err := run()
+		if err != nil {
+			return fmt.Errorf("expr: Increment %s churn %s incremental: %w", prof.Name, churnLabel, err)
+		}
+		fres, fst, fElapsed, err := run(core.WithIncremental(-1))
+		if err != nil {
+			return fmt.Errorf("expr: Increment %s churn %s from-scratch: %w", prof.Name, churnLabel, err)
+		}
+
+		// The fast path may only change how the answer is computed, never
+		// the answer. Compare up to ordering via the canonical relabeling.
+		label := func(id model.ObjectID) string {
+			if s := db.Traj(id).Label; s != "" {
+				return s
+			}
+			return fmt.Sprintf("o%d", id)
+		}
+		if !sameConvoys(relabel(ires, label), relabel(fres, label)) {
+			return fmt.Errorf("expr: Increment %s churn %s: incremental found %d convoy(s), from-scratch %d, and they disagree",
+				prof.Name, churnLabel, len(ires), len(fres))
+		}
+
+		iCluster, err := clusterOnlyLoop(db, p, true)
+		if err != nil {
+			return fmt.Errorf("expr: Increment %s churn %s: %w", prof.Name, churnLabel, err)
+		}
+		fCluster, err := clusterOnlyLoop(db, p, false)
+		if err != nil {
+			return fmt.Errorf("expr: Increment %s churn %s: %w", prof.Name, churnLabel, err)
+		}
+		speedup := float64(fElapsed) / float64(iElapsed)
+		clusterSpeedup := float64(fCluster) / float64(iCluster)
+
+		for _, row := range []struct {
+			mode           string
+			elapsed        time.Duration
+			cluster        time.Duration
+			st             core.Stats
+			n              int
+			speedup        float64
+			clusterSpeedup float64
+		}{
+			{"incremental", iElapsed, iCluster, ist, len(ires), speedup, clusterSpeedup},
+			{"full", fElapsed, fCluster, fst, len(fres), 1, 1},
+		} {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d/%d\t%d\t%.1fx\t%.1fx\n",
+				prof.Name, churnLabel, row.mode, ms(row.elapsed), ms(row.cluster),
+				row.st.ClusterPassesFull, row.st.ClusterPassesIncremental,
+				row.st.ObjectsReclustered, row.speedup, row.clusterSpeedup)
+			o.record(Record{Exp: "increment", Dataset: prof.Name, Method: row.mode,
+				Param: "churn", Value: world.churn,
+				Metrics: map[string]float64{
+					"time_ms":             msf(row.elapsed),
+					"cluster_ms":          msf(row.cluster),
+					"convoys":             float64(row.n),
+					"passes_full":         float64(row.st.ClusterPassesFull),
+					"passes_incremental":  float64(row.st.ClusterPassesIncremental),
+					"objects_reclustered": float64(row.st.ObjectsReclustered),
+					"speedup":             row.speedup,
+					"cluster_speedup":     row.clusterSpeedup,
+				}})
+		}
+	}
+	return w.Flush()
+}

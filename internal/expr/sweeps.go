@@ -234,6 +234,7 @@ var Experiments = []struct {
 	{"cancel", "time-to-abort and wasted work vs cancel point (Truck, Car)", Cancel},
 	{"soak", "HTTP load scenarios against an in-process convoyd", Soak},
 	{"clusterers", "DBSCAN vs graph-connectivity backend (Contact)", Clusterers},
+	{"increment", "incremental vs from-scratch per-tick clustering (Commute churn sweep, Contact)", Increment},
 }
 
 // RunAll executes every experiment in paper order.

@@ -27,12 +27,17 @@ const maxPointCells = 1 << 20
 // PointIndex is a uniform grid over points, stored as a dense array sized
 // to the points' bounding box (hash-map grids dominated the clustering
 // profile). The zero value is not usable; construct with NewPointIndex.
+// The index is reusable across point sets via Reset, which keeps the cell
+// buckets' backing arrays — the per-tick rebuild in snapshot clustering
+// would otherwise churn the allocator.
 type PointIndex struct {
-	cell   float64
-	origin geom.Point
-	nx, ny int
-	cells  [][]int
-	pts    []geom.Point
+	baseCell float64 // requested cell size; Reset re-derives cell from it
+	cell     float64
+	origin   geom.Point
+	nx, ny   int
+	cells    [][]int
+	used     []int // non-empty cell indices, for O(points) clearing
+	pts      []geom.Point
 }
 
 // NewPointIndex builds an index over pts with the given cell size (possibly
@@ -48,9 +53,26 @@ func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
 	if cell <= 0 {
 		panic("grid: cell size must be positive")
 	}
-	idx := &PointIndex{cell: cell, pts: pts}
+	idx := &PointIndex{baseCell: cell}
+	idx.Reset(pts)
+	return idx
+}
+
+// Reset re-indexes the given points in place, exactly as if the index had
+// been rebuilt with NewPointIndex at the original cell size, but reusing
+// the cell buckets' backing arrays. Only the buckets that were populated
+// are cleared (O(points), not O(cells)), so repeated Resets over similar
+// point sets settle into a steady state with no per-call allocation.
+func (idx *PointIndex) Reset(pts []geom.Point) {
+	for _, c := range idx.used {
+		idx.cells[c] = idx.cells[c][:0]
+	}
+	idx.used = idx.used[:0]
+	idx.cell = idx.baseCell
+	idx.pts = pts
 	if len(pts) == 0 {
-		return idx
+		idx.nx, idx.ny = 0, 0
+		return
 	}
 	bounds := geom.RectOf(pts...)
 	idx.origin = geom.Pt(bounds.MinX, bounds.MinY)
@@ -72,12 +94,22 @@ func NewPointIndex(pts []geom.Point, cell float64) *PointIndex {
 			idx.cell *= 2
 		}
 	}
-	idx.cells = make([][]int, idx.nx*idx.ny)
+	// Reslicing within capacity keeps the hidden buckets' backing arrays;
+	// the clear loop above already emptied every populated bucket, so a
+	// resurrected bucket is always empty.
+	n := idx.nx * idx.ny
+	if n <= cap(idx.cells) {
+		idx.cells = idx.cells[:n]
+	} else {
+		idx.cells = append(idx.cells[:cap(idx.cells)], make([][]int, n-cap(idx.cells))...)
+	}
 	for i, p := range pts {
 		c := idx.cellOf(p)
+		if len(idx.cells[c]) == 0 {
+			idx.used = append(idx.used, c)
+		}
 		idx.cells[c] = append(idx.cells[c], i)
 	}
-	return idx
 }
 
 // finiteExtent reports whether a grid extent is usable: non-finite widths

@@ -231,3 +231,93 @@ func TestRectIndexHugeFiniteExtent(t *testing.T) {
 		t.Errorf("Intersecting = %v, want [0]", got)
 	}
 }
+
+// TestPointIndexResetEquivalence pins Reset's contract: after Reset(pts)
+// the index answers every query exactly as a freshly constructed index
+// would, across point sets of different sizes, extents and degeneracy
+// (including the non-finite single-cell fallback and the empty set).
+func TestPointIndexResetEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	sets := [][]geom.Point{}
+	for _, n := range []int{40, 7, 0, 120, 40} {
+		pts := make([]geom.Point, n)
+		extent := 10 + r.Float64()*90
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*extent-extent/2, r.Float64()*extent)
+		}
+		sets = append(sets, pts)
+	}
+	sets = append(sets, []geom.Point{geom.Pt(math.NaN(), 0), geom.Pt(1, 1)}) // fallback path
+	sets = append(sets, sets[0])                                             // recover from fallback
+
+	reused := NewPointIndex(nil, 2.0)
+	for si, pts := range sets {
+		reused.Reset(pts)
+		fresh := NewPointIndex(pts, 2.0)
+		for q := 0; q < 50; q++ {
+			p := geom.Pt(r.Float64()*120-60, r.Float64()*120-60)
+			rad := r.Float64() * 10
+			got := reused.Within(p, rad, nil)
+			want := fresh.Within(p, rad, nil)
+			if len(got) != len(want) {
+				t.Fatalf("set %d: Within(%v, %g) = %v, fresh index says %v", si, p, rad, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("set %d: Within(%v, %g) = %v, fresh index says %v", si, p, rad, got, want)
+				}
+			}
+		}
+		if reused.Len() != fresh.Len() {
+			t.Fatalf("set %d: Len = %d, want %d", si, reused.Len(), fresh.Len())
+		}
+	}
+}
+
+// TestPointIndexResetNoAllocSteadyState pins the reuse promise: repeated
+// Resets over same-shaped point sets must settle into zero allocations per
+// call (the reason the incremental clustering engine can afford a grid
+// rebuild every tick).
+func TestPointIndexResetNoAllocSteadyState(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	pts := make([]geom.Point, 500)
+	perturb := func() {
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+		}
+	}
+	perturb()
+	idx := NewPointIndex(pts, 5.0)
+	for i := 0; i < 10; i++ { // warm the buckets across varied layouts
+		perturb()
+		idx.Reset(pts)
+	}
+	allocs := testing.AllocsPerRun(20, func() { idx.Reset(pts) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Reset allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkPointIndexRebuild contrasts the per-tick grid rebuild idioms:
+// constructing a fresh index versus Reset on a reused one.
+func BenchmarkPointIndexRebuild(b *testing.B) {
+	r := rand.New(rand.NewSource(37))
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*200, r.Float64()*200)
+	}
+	b.Run("new", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewPointIndex(pts, 5.0)
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		idx := NewPointIndex(pts, 5.0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.Reset(pts)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package increment
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// FuzzIncrementalTicks decodes the fuzz input into a tick-diff script —
+// add / remove / nudge / teleport operations over a small id space — and
+// asserts after every tick that the Engine's clusters equal the
+// from-scratch DBSCAN answer. The id space is kept small (64 ids) so the
+// diff machinery sees heavy slot reuse, and the world is byte-scaled
+// (coordinates 0..255 at ε=8) so clusters actually form and dissolve.
+func FuzzIncrementalTicks(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 0, 10, 10, 0, 1, 12, 10, 0, 2, 14, 10})
+	f.Add([]byte{2, 2, 0, 1, 1, 1, 1, 2, 9, 9, 200, 200, 3, 3, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const eps, m = 8.0, 2
+		e := New(eps, m, DefaultChurnThreshold)
+		pos := map[model.ObjectID]geom.Point{}
+		next := func() (byte, bool) {
+			if len(data) == 0 {
+				return 0, false
+			}
+			b := data[0]
+			data = data[1:]
+			return b, true
+		}
+		for tick := 0; tick < 64; tick++ {
+			nops, ok := next()
+			if !ok {
+				break
+			}
+			for op := 0; op < int(nops%8); op++ {
+				kind, ok := next()
+				if !ok {
+					break
+				}
+				idb, _ := next()
+				id := model.ObjectID(idb % 64)
+				switch kind % 4 {
+				case 0: // add / teleport to absolute byte coordinates
+					xb, _ := next()
+					yb, _ := next()
+					pos[id] = geom.Pt(float64(xb), float64(yb))
+				case 1: // remove
+					delete(pos, id)
+				case 2: // nudge: small sub-ε displacement
+					db, _ := next()
+					if p, live := pos[id]; live {
+						pos[id] = geom.Pt(p.X+float64(db%7)-3, p.Y+float64(db/32)-3)
+					}
+				case 3: // clone-adjacent spawn: densify around an existing object
+					if p, live := pos[id]; live {
+						pos[model.ObjectID((int(id)+1)%64)] = geom.Pt(p.X+1, p.Y)
+					}
+				}
+			}
+			ids := make([]model.ObjectID, 0, len(pos))
+			for id := range pos {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			pts := make([]geom.Point, len(ids))
+			for i, id := range ids {
+				pts[i] = pos[id]
+			}
+			got, pass := e.Tick(ids, pts)
+			want := reference(ids, pts, eps, m)
+			if !reflect.DeepEqual(sortClusters(got), want) {
+				t.Fatalf("tick %d (full=%v): incremental diverged from reference\n got %v\nwant %v",
+					tick, pass.Full, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,580 @@
+// Package increment maintains per-tick snapshot DBSCAN incrementally: an
+// Engine keeps the previous tick's positions, ε-neighborhoods and core
+// flags, diffs each new snapshot against them, and re-clusters only the
+// objects whose neighborhoods can have changed — the moved, appeared and
+// vanished ones plus their ε-neighbors. Between consecutive ticks of a
+// trajectory database most objects barely move (and in low-churn feeds
+// most do not move at all), so the expensive part of the per-tick pass —
+// the radius queries and neighborhood sorts — is skipped for the clean
+// majority. Cluster labels are then recomputed by a cheap flood fill over
+// the maintained adjacency, which touches only slice memory.
+//
+// The Engine's output is exactly the maximal-cluster answer of
+// dbscan.SnapshotClustersMaximal over the same snapshot (same ε-predicate,
+// D2(p, q) ≤ ε², which is symmetric in IEEE arithmetic — the property the
+// symmetric neighborhood patching relies on). Only the order of the
+// returned cluster list differs: the Engine orders clusters by ascending
+// member list rather than by discovery order. Every consumer in this
+// repository sorts or set-dedups cluster lists, so the discovery answers
+// are identical; tests compare order-insensitively.
+//
+// When the diff is not worth it the Engine falls back: a churn fraction
+// above the configured threshold, the first tick, and a Reset all trigger
+// a full (but still stateful and grid-accelerated) rebuild; degenerate
+// input — duplicate IDs, non-finite coordinates, mismatched slice lengths
+// — drops all state and takes the stateless reference path, so garbage
+// input can never corrupt the incremental state.
+//
+// An Engine is single-stream state: it is NOT safe for concurrent use.
+// Every Tick answers exactly for the snapshot it is given no matter what
+// came before — the carried state only determines how much work the pass
+// skips — but interleaving unrelated streams destroys the reuse, so the
+// parallel CMC scan gives each worker its own Engine over a contiguous
+// tick range (see par.OrderedChunks).
+package increment
+
+import (
+	"sort"
+
+	"repro/internal/dbscan"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+// DefaultChurnThreshold is the churn fraction above which an incremental
+// tick is abandoned for a full rebuild. Diffing costs roughly one
+// neighborhood recomputation per dirty object plus patching its neighbors,
+// so beyond ~a quarter of the population the from-scratch pass (which
+// never patches) is at least as cheap.
+const DefaultChurnThreshold = 0.25
+
+// Pass describes what one Tick call did.
+type Pass struct {
+	// Full reports a from-scratch pass: the first tick, churn above the
+	// threshold, a degenerate snapshot, or a Reset since the last tick.
+	Full bool
+	// Reclustered counts the objects whose neighborhoods were recomputed
+	// (the whole snapshot on a full pass; moved+appeared+vanished on an
+	// incremental one).
+	Reclustered int
+}
+
+// Engine is the incremental clustering state for one (eps, m) key over one
+// tick stream. Construct with New; not safe for concurrent use.
+type Engine struct {
+	eps   float64
+	m     int
+	churn float64
+
+	started bool
+
+	// Slot space: each tracked object occupies a slot in the dense arrays
+	// below for as long as it stays alive; slots of vanished objects are
+	// recycled through free. Working in slots keeps the hot loops on
+	// contiguous memory instead of map lookups.
+	slotOf map[model.ObjectID]int32
+	idOf   []model.ObjectID
+	alive  []bool
+	pos    []geom.Point
+	nh     [][]int32 // ε-neighborhood as ascending slots, self included
+	free   []int32
+
+	// Generation stamps replace per-tick clearing of the slot arrays.
+	gen      uint64
+	seen     []uint64 // slot → gen it was last present in (diff phase)
+	dirtyGen []uint64 // slot → gen it was last dirty in (patch phase)
+
+	aliveSlots []int32          // slots alive as of the last tick, snapshot order
+	prevIDs    []model.ObjectID // last tick's ids, for the same-order fast path
+	snapSlot   []int32          // snapshot index → slot
+	dup        map[model.ObjectID]struct{}
+
+	idx  *grid.PointIndex
+	cand []int // grid query scratch
+
+	movedIdx    []int32 // scratch: snapshot indices of moved objects
+	appearedIdx []int32 // scratch: snapshot indices of appeared objects
+	vanishedSl  []int32 // scratch: slots of vanished objects
+	newNH       []int32 // scratch: recomputed neighborhood
+
+	// Flood-fill scratch, also stamp-based.
+	emitGen   uint64
+	visited   []uint64 // slot → emitGen it was labeled a core in
+	memberTag uint64
+	memberGen []uint64 // slot → memberTag of the component collecting it
+	queue     []int32
+	members   []int32
+
+	fullPasses  int64
+	incPasses   int64
+	reclustered int64
+	objectsSeen int64
+}
+
+// New returns an empty Engine for the given clustering key. m is the
+// DBSCAN density threshold (neighborhood size including self);
+// churnThreshold is the dirty fraction above which a tick falls back to a
+// full rebuild (≤ 0 rebuilds every tick — useful only for tests; callers
+// wanting "off" should simply not route through an Engine).
+func New(eps float64, m int, churnThreshold float64) *Engine {
+	return &Engine{eps: eps, m: m, churn: churnThreshold}
+}
+
+// Reset drops all cross-tick state (the next Tick is a full pass). The
+// lifetime counters are preserved.
+func (e *Engine) Reset() {
+	e.started = false
+	clear(e.slotOf)
+	e.idOf = e.idOf[:0]
+	e.alive = e.alive[:0]
+	e.pos = e.pos[:0]
+	e.nh = e.nh[:0]
+	e.seen = e.seen[:0]
+	e.dirtyGen = e.dirtyGen[:0]
+	e.visited = e.visited[:0]
+	e.memberGen = e.memberGen[:0]
+	e.free = e.free[:0]
+	e.aliveSlots = e.aliveSlots[:0]
+	e.prevIDs = e.prevIDs[:0]
+}
+
+// Counters returns the lifetime pass accounting: full and incremental
+// passes, total objects re-clustered, and total objects seen. The reuse
+// ratio is 1 − reclustered/seen.
+func (e *Engine) Counters() (full, incremental, reclustered, seen int64) {
+	return e.fullPasses, e.incPasses, e.reclustered, e.objectsSeen
+}
+
+// Tick advances the engine by one snapshot (parallel ids/pts slices,
+// consecutive ticks of one stream) and returns its maximal DBSCAN clusters
+// — each an ascending id list, the cluster list ordered by ascending
+// member list — plus what the pass did.
+func (e *Engine) Tick(ids []model.ObjectID, pts []geom.Point) ([][]model.ObjectID, Pass) {
+	n := len(ids)
+	e.objectsSeen += int64(n)
+	if !e.cleanInput(ids, pts) {
+		// Degenerate input: answer with the stateless reference path and
+		// drop all state, so the next good tick starts from scratch.
+		e.Reset()
+		e.fullPasses++
+		e.reclustered += int64(n)
+		return statelessClusters(ids, pts, e.eps, e.m), Pass{Full: true, Reclustered: n}
+	}
+	e.gen++
+	g := e.gen
+
+	// Diff against the previous tick.
+	moved := e.movedIdx[:0]
+	appeared := e.appearedIdx[:0]
+	vanished := e.vanishedSl[:0]
+	fastSame := e.started && len(ids) == len(e.prevIDs)
+	if fastSame {
+		for i := range ids {
+			if ids[i] != e.prevIDs[i] {
+				fastSame = false
+				break
+			}
+		}
+	}
+	e.snapSlot = growTo(e.snapSlot, n)
+	switch {
+	case fastSame:
+		// Identical id sequence: snapSlot is already correct and nothing
+		// appeared or vanished — only position compares remain.
+		for i := range ids {
+			if e.pos[e.snapSlot[i]] != pts[i] {
+				moved = append(moved, int32(i))
+			}
+		}
+	case e.started:
+		for i, id := range ids {
+			s, ok := e.slotOf[id]
+			if !ok {
+				e.snapSlot[i] = -1
+				appeared = append(appeared, int32(i))
+				continue
+			}
+			e.snapSlot[i] = s
+			e.seen[s] = g
+			if e.pos[s] != pts[i] {
+				moved = append(moved, int32(i))
+			}
+		}
+		for _, s := range e.aliveSlots {
+			if e.seen[s] != g {
+				vanished = append(vanished, s)
+			}
+		}
+	}
+	e.movedIdx, e.appearedIdx, e.vanishedSl = moved, appeared, vanished
+
+	dirty := len(moved) + len(appeared) + len(vanished)
+	denom := n
+	if denom == 0 {
+		denom = 1
+	}
+	if !e.started || float64(dirty) > e.churn*float64(denom) {
+		e.rebuild(ids, pts)
+		e.fullPasses++
+		e.reclustered += int64(n)
+		return e.emit(), Pass{Full: true, Reclustered: n}
+	}
+
+	// Incremental pass. Phase 1: allocate slots for appeared objects and
+	// stamp every dirty slot, so the patch phases can tell clean neighbors
+	// (whose lists must be edited in place) from dirty ones (recomputed
+	// from the grid anyway).
+	for _, i := range appeared {
+		s := e.allocSlot(ids[i], pts[i])
+		e.snapSlot[i] = s
+		e.seen[s] = g
+		e.dirtyGen[s] = g
+	}
+	for _, i := range moved {
+		s := e.snapSlot[i]
+		e.dirtyGen[s] = g
+		e.pos[s] = pts[i]
+	}
+
+	// Phase 2: unlink vanished objects from their clean neighbors. Marking
+	// all of them dead first keeps vanished↔vanished pairs from patching
+	// each other.
+	for _, s := range vanished {
+		e.alive[s] = false
+	}
+	for _, s := range vanished {
+		for _, q := range e.nh[s] {
+			if q == s || !e.alive[q] || e.dirtyGen[q] == g {
+				continue
+			}
+			e.nh[q] = removeSorted(e.nh[q], s)
+		}
+	}
+
+	// Phase 3: re-bucket the grid over the new snapshot — O(n) inserts
+	// with reused buckets, no distance math (see grid.Reset).
+	e.resetGrid(pts)
+
+	// Phase 4: recompute each dirty object's neighborhood and patch the
+	// symmetric entries of its clean neighbors. Both sides of every edge
+	// use the same predicate on the same positions, so the adjacency ends
+	// up exactly the from-scratch one.
+	for _, i := range appeared {
+		e.recompute(i, pts, g)
+	}
+	for _, i := range moved {
+		e.recompute(i, pts, g)
+	}
+
+	// Phase 5: retire vanished slots and refresh the tick bookkeeping.
+	for _, s := range vanished {
+		delete(e.slotOf, e.idOf[s])
+		e.nh[s] = e.nh[s][:0]
+		e.free = append(e.free, s)
+	}
+	if !fastSame {
+		e.aliveSlots = e.aliveSlots[:0]
+		for i := 0; i < n; i++ {
+			e.aliveSlots = append(e.aliveSlots, e.snapSlot[i])
+		}
+		e.prevIDs = append(e.prevIDs[:0], ids...)
+	}
+	e.incPasses++
+	e.reclustered += int64(dirty)
+	return e.emit(), Pass{Full: false, Reclustered: dirty}
+}
+
+// cleanInput validates one snapshot: parallel slices, finite coordinates,
+// no duplicate ids. Ascending id sequences (what database replays produce)
+// validate without the set.
+func (e *Engine) cleanInput(ids []model.ObjectID, pts []geom.Point) bool {
+	if len(ids) != len(pts) {
+		return false
+	}
+	for _, p := range pts {
+		if !geom.Finite(p.X) || !geom.Finite(p.Y) {
+			return false
+		}
+	}
+	asc := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			if ids[i] == ids[i-1] {
+				return false
+			}
+			asc = false
+			break
+		}
+	}
+	if asc {
+		return true
+	}
+	if e.dup == nil {
+		e.dup = make(map[model.ObjectID]struct{}, len(ids))
+	} else {
+		clear(e.dup)
+	}
+	for _, id := range ids {
+		if _, ok := e.dup[id]; ok {
+			return false
+		}
+		e.dup[id] = struct{}{}
+	}
+	return true
+}
+
+// rebuild recomputes all state from the snapshot (slots become the
+// snapshot indices), reusing every backing array.
+func (e *Engine) rebuild(ids []model.ObjectID, pts []geom.Point) {
+	n := len(ids)
+	e.ensureSlots(n)
+	if e.slotOf == nil {
+		e.slotOf = make(map[model.ObjectID]int32, n)
+	} else {
+		clear(e.slotOf)
+	}
+	e.free = e.free[:0]
+	e.aliveSlots = e.aliveSlots[:0]
+	e.snapSlot = growTo(e.snapSlot, n)
+	g := e.gen
+	for i := 0; i < n; i++ {
+		s := int32(i)
+		e.slotOf[ids[i]] = s
+		e.idOf[i] = ids[i]
+		e.alive[i] = true
+		e.pos[i] = pts[i]
+		e.seen[i] = g
+		e.dirtyGen[i] = g
+		e.snapSlot[i] = s
+		e.aliveSlots = append(e.aliveSlots, s)
+	}
+	e.resetGrid(pts)
+	for i := 0; i < n; i++ {
+		e.nh[i] = e.neighborhood(pts[i], e.nh[i][:0])
+	}
+	e.prevIDs = append(e.prevIDs[:0], ids...)
+	e.started = true
+}
+
+// ensureSlots grows every slot-indexed array to length n, preserving the
+// backing arrays (and the per-slot neighborhood capacities) across
+// shrink/grow cycles.
+func (e *Engine) ensureSlots(n int) {
+	e.idOf = growTo(e.idOf, n)
+	e.alive = growTo(e.alive, n)
+	e.pos = growTo(e.pos, n)
+	e.nh = growTo(e.nh, n)
+	e.seen = growTo(e.seen, n)
+	e.dirtyGen = growTo(e.dirtyGen, n)
+	e.visited = growTo(e.visited, n)
+	e.memberGen = growTo(e.memberGen, n)
+}
+
+// allocSlot assigns a slot to a newly appeared object. The resurrected
+// slot may hold stale data from an earlier occupant; every field that
+// matters is overwritten here or stamped by the caller.
+func (e *Engine) allocSlot(id model.ObjectID, p geom.Point) int32 {
+	var s int32
+	if k := len(e.free); k > 0 {
+		s = e.free[k-1]
+		e.free = e.free[:k-1]
+	} else {
+		s = int32(len(e.idOf))
+		e.ensureSlots(len(e.idOf) + 1)
+	}
+	e.idOf[s] = id
+	e.alive[s] = true
+	e.pos[s] = p
+	e.nh[s] = e.nh[s][:0]
+	e.slotOf[id] = s
+	return s
+}
+
+func (e *Engine) resetGrid(pts []geom.Point) {
+	if e.idx == nil {
+		cell := e.eps
+		if cell <= 0 {
+			cell = 1 // mirror dbscan.SnapshotAdjacency's degenerate-ε cell
+		}
+		e.idx = grid.NewPointIndex(pts, cell)
+		return
+	}
+	e.idx.Reset(pts)
+}
+
+// neighborhood returns the ascending slot list of the points within eps of
+// p (self included), appended to dst.
+func (e *Engine) neighborhood(p geom.Point, dst []int32) []int32 {
+	e.cand = e.idx.Within(p, e.eps, e.cand[:0])
+	for _, i := range e.cand {
+		dst = append(dst, e.snapSlot[i])
+	}
+	sortInt32(dst)
+	return dst
+}
+
+// recompute rebuilds the neighborhood of the dirty snapshot index i and
+// patches the symmetric entries of its clean neighbors: edges only in the
+// old list are removed from their other endpoint, edges only in the new
+// list are inserted. Dirty endpoints are skipped — they recompute their
+// own lists from the same grid.
+func (e *Engine) recompute(i int32, pts []geom.Point, g uint64) {
+	s := e.snapSlot[i]
+	newNH := e.neighborhood(pts[i], e.newNH[:0])
+	old := e.nh[s]
+	oi, ni := 0, 0
+	for oi < len(old) || ni < len(newNH) {
+		switch {
+		case ni >= len(newNH) || (oi < len(old) && old[oi] < newNH[ni]):
+			q := old[oi]
+			oi++
+			if q != s && e.alive[q] && e.dirtyGen[q] != g {
+				e.nh[q] = removeSorted(e.nh[q], s)
+			}
+		case oi >= len(old) || newNH[ni] < old[oi]:
+			q := newNH[ni]
+			ni++
+			if q != s && e.dirtyGen[q] != g {
+				e.nh[q] = insertSorted(e.nh[q], s)
+			}
+		default:
+			oi++
+			ni++
+		}
+	}
+	e.nh[s] = append(e.nh[s][:0], newNH...)
+	e.newNH = newNH
+}
+
+// emit flood-fills the maintained adjacency into maximal clusters: one
+// cluster per core component, holding its cores plus every border in a
+// core's neighborhood (borders may belong to several clusters, exactly
+// like dbscan.ClusterMaximal). Member lists come out as ascending ids; the
+// cluster list is ordered by ascending member list.
+func (e *Engine) emit() [][]model.ObjectID {
+	e.emitGen++
+	eg := e.emitGen
+	var out [][]model.ObjectID
+	for _, s := range e.aliveSlots {
+		if len(e.nh[s]) < e.m || e.visited[s] == eg {
+			continue
+		}
+		e.memberTag++
+		tag := e.memberTag
+		queue := e.queue[:0]
+		members := e.members[:0]
+		queue = append(queue, s)
+		e.visited[s] = eg
+		for head := 0; head < len(queue); head++ {
+			c := queue[head]
+			if e.memberGen[c] != tag {
+				e.memberGen[c] = tag
+				members = append(members, c)
+			}
+			for _, q := range e.nh[c] {
+				if len(e.nh[q]) >= e.m {
+					if e.visited[q] != eg {
+						e.visited[q] = eg
+						queue = append(queue, q)
+					}
+					continue
+				}
+				if e.memberGen[q] != tag {
+					e.memberGen[q] = tag
+					members = append(members, q)
+				}
+			}
+		}
+		ids := make([]model.ObjectID, len(members))
+		for i, sl := range members {
+			ids[i] = e.idOf[sl]
+		}
+		sort.Ints(ids)
+		out = append(out, ids)
+		e.queue = queue
+		e.members = members[:0]
+	}
+	sort.Slice(out, func(i, j int) bool { return lessIDs(out[i], out[j]) })
+	return out
+}
+
+// statelessClusters is the reference path for degenerate snapshots: map
+// dbscan.SnapshotClustersMaximal's index clusters to ids. A length
+// mismatch has no meaningful answer and returns nil.
+func statelessClusters(ids []model.ObjectID, pts []geom.Point, eps float64, m int) [][]model.ObjectID {
+	if len(ids) != len(pts) {
+		return nil
+	}
+	cls := dbscan.SnapshotClustersMaximal(pts, eps, m)
+	if len(cls) == 0 {
+		return nil
+	}
+	out := make([][]model.ObjectID, len(cls))
+	for ci, c := range cls {
+		objs := make([]model.ObjectID, len(c))
+		for i, idx := range c {
+			objs[i] = ids[idx]
+		}
+		sort.Ints(objs)
+		out[ci] = objs
+	}
+	return out
+}
+
+// growTo reslices s to length n, preserving hidden elements within
+// capacity (their stale contents are guarded by generation stamps or
+// overwritten on slot allocation).
+func growTo[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]T, n-cap(s))...)
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// searchInt32 returns the insertion index of v in ascending s and whether
+// v is present.
+func searchInt32(s []int32, v int32) (int, bool) {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo] == v
+}
+
+func removeSorted(s []int32, v int32) []int32 {
+	i, ok := searchInt32(s, v)
+	if !ok {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}
+
+func insertSorted(s []int32, v int32) []int32 {
+	i, ok := searchInt32(s, v)
+	if ok {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func lessIDs(a, b []model.ObjectID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -202,3 +202,132 @@ func OrderedPipeline[T any](ctx context.Context, n, workers int, produce func(i 
 	}
 	return ret
 }
+
+// OrderedChunks is OrderedPipeline for stateful producers: the index space
+// [0, n) is cut into contiguous chunks of the given size, each chunk runs
+// sequentially on one worker against a fresh state from newState, and the
+// results are still consumed strictly in index order on the calling
+// goroutine. It exists for producers that exploit coherence between
+// consecutive indices (the incremental per-tick clustering engine reuses
+// the previous tick's neighborhoods), where per-index scattering would
+// destroy exactly the locality being exploited: parallelism degrades to
+// per-worker runs of contiguous ranges, with one cold (from-scratch) index
+// per chunk instead of per index.
+//
+// With workers ≤ 1 (or a single chunk) the whole span runs on one state —
+// byte-identical to the serial loop. produce must be pure apart from its
+// own state; chunk ≤ 0 selects one chunk per worker. The in-flight window
+// is bounded (~workers+1 chunks) for backpressure, and teardown mirrors
+// OrderedPipeline: consume returning false abandons the rest and returns
+// nil, a cancelled ctx returns ctx.Err().
+func OrderedChunks[S, T any](ctx context.Context, n, workers, chunk int, newState func() S, produce func(s S, i int) T, consume func(i int, v T) bool) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = (n + workers - 1) / workers
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nchunks := (n + chunk - 1) / chunk
+	workers = norm(workers, nchunks)
+	annotate(ctx, n, workers)
+	if workers <= 1 {
+		s := newState()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !consume(i, produce(s, i)) {
+				return nil
+			}
+		}
+		return nil
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type job struct {
+		lo, hi int
+		out    chan T
+	}
+	jobs := make(chan job)
+	order := make(chan job, workers) // in-order chunk slots; caps the window
+	go func() {
+		defer close(jobs)
+		defer close(order)
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			// The result channel buffers the whole chunk, so a producer
+			// never blocks on a consumer that is tearing down.
+			j := job{lo: lo, hi: hi, out: make(chan T, hi-lo)}
+			select {
+			case order <- j:
+			case <-pctx.Done():
+				return
+			}
+			select {
+			case jobs <- j:
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s := newState()
+				for i := j.lo; i < j.hi; i++ {
+					if pctx.Err() != nil {
+						j.out <- *new(T) // buffered: never blocks
+						continue
+					}
+					j.out <- produce(s, i)
+				}
+			}
+		}()
+	}
+	var ret error
+	live := true
+	consumed := 0
+	for j := range order {
+		for i := j.lo; i < j.hi; i++ {
+			if !live {
+				select { // tearing down: discard without ever blocking
+				case <-j.out:
+				default:
+				}
+				continue
+			}
+			select {
+			case v := <-j.out:
+				if err := ctx.Err(); err != nil {
+					ret, live = err, false
+					cancel()
+				} else if !consume(i, v) {
+					live = false
+					cancel()
+				} else {
+					consumed++
+				}
+			case <-ctx.Done():
+				ret, live = ctx.Err(), false
+				cancel()
+			}
+		}
+	}
+	wg.Wait()
+	if ret == nil && live && consumed < n {
+		// The feeder tore down before every chunk was enqueued (e.g. a
+		// pre-cancelled ctx): surface the cancellation, exactly like
+		// OrderedPipeline.
+		ret = ctx.Err()
+	}
+	return ret
+}

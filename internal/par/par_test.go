@@ -186,3 +186,122 @@ func TestOrderedPipelineCancelWhileProducing(t *testing.T) {
 		t.Fatal("pipeline deadlocked after cancellation")
 	}
 }
+
+// chunkTag records which state produced which index, for the contiguity
+// assertions below.
+type chunkTag struct {
+	state int64
+	index int
+}
+
+func TestOrderedChunksOrderingAndContiguity(t *testing.T) {
+	for _, tc := range []struct{ n, workers, chunk int }{
+		{100, 1, 0}, {100, 4, 7}, {100, 4, 0}, {5, 8, 2}, {1, 3, 10}, {64, 3, 64},
+	} {
+		var nextState int64
+		newState := func() *int64 {
+			id := atomic.AddInt64(&nextState, 1)
+			return &id
+		}
+		var got []chunkTag
+		err := OrderedChunks(context.Background(), tc.n, tc.workers, tc.chunk, newState,
+			func(s *int64, i int) chunkTag { return chunkTag{state: *s, index: i} },
+			func(i int, v chunkTag) bool {
+				got = append(got, v)
+				return true
+			})
+		if err != nil {
+			t.Fatalf("%+v: err = %v", tc, err)
+		}
+		if len(got) != tc.n {
+			t.Fatalf("%+v: consumed %d of %d", tc, len(got), tc.n)
+		}
+		for i, v := range got {
+			if v.index != i {
+				t.Fatalf("%+v: out-of-order consume: position %d got index %d", tc, i, v.index)
+			}
+		}
+		// Every state must own exactly one contiguous index range: the
+		// whole point of chunking is that a stateful producer sees
+		// consecutive indices.
+		ranges := map[int64][2]int{}
+		for _, v := range got {
+			r, ok := ranges[v.state]
+			if !ok {
+				ranges[v.state] = [2]int{v.index, v.index}
+				continue
+			}
+			if v.index != r[1]+1 {
+				t.Fatalf("%+v: state %d jumped from %d to %d", tc, v.state, r[1], v.index)
+			}
+			r[1] = v.index
+			ranges[v.state] = r
+		}
+		if tc.workers <= 1 && len(ranges) != 1 {
+			t.Fatalf("%+v: serial run used %d states, want 1", tc, len(ranges))
+		}
+	}
+}
+
+func TestOrderedChunksEarlyStop(t *testing.T) {
+	var consumed int
+	err := OrderedChunks(context.Background(), 1000, 4, 10,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) int { return i },
+		func(i int, v int) bool {
+			consumed++
+			return i < 25
+		})
+	if err != nil {
+		t.Fatalf("early stop must return nil, got %v", err)
+	}
+	if consumed != 26 {
+		t.Fatalf("consumed %d results, want 26 (stop at index 25)", consumed)
+	}
+}
+
+func TestOrderedChunksCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var consumed int
+	err := OrderedChunks(ctx, 1000, 4, 10,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) int { return i },
+		func(i int, v int) bool {
+			consumed++
+			if consumed == 20 {
+				cancel()
+			}
+			return true
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if consumed >= 1000 {
+		t.Fatalf("cancellation did not stop the scan (consumed %d)", consumed)
+	}
+}
+
+func TestOrderedChunksPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := OrderedChunks(ctx, 100, 4, 10,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) int { return i },
+		func(i int, v int) bool { return true })
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOrderedChunksEmpty(t *testing.T) {
+	called := false
+	if err := OrderedChunks(context.Background(), 0, 4, 8,
+		func() struct{} { called = true; return struct{}{} },
+		func(_ struct{}, i int) int { return i },
+		func(i int, v int) bool { return true }); err != nil {
+		t.Fatalf("empty span: err = %v", err)
+	}
+	if called {
+		t.Fatalf("empty span must not construct state")
+	}
+}

@@ -86,13 +86,25 @@ type feed struct {
 	// live monitors; entries are dropped when their last monitor goes.
 	sources map[core.ClusterKey]*core.ClusterSource
 	// clusterPasses counts snapshot clustering passes over the feed's whole
-	// life (sources come and go with their monitors; this does not).
+	// life (sources come and go with their monitors; this does not). The
+	// three meters after it split that work: full vs incremental passes,
+	// and the objects actually re-clustered (objectsSeen is the
+	// denominator of the feed's reuse ratio).
 	clusterPasses int64
-	lastTick      model.Tick
-	started       bool
-	ids           map[string]model.ObjectID // label → dense ID
-	labels        []string                  // dense ID → label
-	ticks         int64                     // ingested tick batches
+	passesFull    int64
+	passesInc     int64
+	reclustered   int64
+	objectsSeen   int64
+	// incremental is the feed-level knob (FeedSpec.Incremental): nil means
+	// the default (incremental clustering on where it applies), false
+	// forces every source onto the from-scratch path. Applies to sources
+	// created later too.
+	incremental *bool
+	lastTick    model.Tick
+	started     bool
+	ids         map[string]model.ObjectID // label → dense ID
+	labels      []string                  // dense ID → label
+	ticks       int64                     // ingested tick batches
 
 	history  []Event // ring of the last cfg.HistoryLimit events
 	nextSeq  uint64  // seq of the next event to emit
@@ -151,6 +163,9 @@ func (f *feed) insertMonitor(id string, p core.Params, clusterer string) error {
 		src, err := core.NewClusterSourceWith(key, cl)
 		if err != nil {
 			return badRequest(err)
+		}
+		if f.cfg.DisableIncremental || (f.incremental != nil && !*f.incremental) {
+			src.SetIncremental(0)
 		}
 		f.sources[key] = src
 	}
@@ -357,14 +372,30 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 			// monitors.
 			snap := core.TickSnapshot{T: b.T, IDs: ids, Pts: pts, Edges: edges}
 			clusters := make(map[core.ClusterKey][][]model.ObjectID, len(f.sources))
+			var tickFull, tickInc, tickRecl int64
 			for key, src := range f.sources {
 				clusters[key] = src.Cluster(snap)
 				f.clusterPasses++
+				if inc, recl := src.LastPass(); inc {
+					tickInc++
+					tickRecl += int64(recl)
+				} else {
+					tickFull++
+					tickRecl += int64(recl)
+				}
 			}
+			f.passesFull += tickFull
+			f.passesInc += tickInc
+			f.reclustered += tickRecl
+			f.objectsSeen += int64(len(ids)) * int64(len(f.sources))
 			// Meter the sharing: len(sources) passes actually ran where a
 			// per-monitor engine would have run len(order).
 			f.cfg.metrics.feedPasses.Add(float64(len(f.sources)))
 			f.cfg.metrics.feedPassesNaive.Add(float64(len(f.order)))
+			f.cfg.metrics.feedPassesFull.Add(float64(tickFull))
+			f.cfg.metrics.feedPassesInc.Add(float64(tickInc))
+			f.cfg.metrics.feedReclustered.Add(float64(tickRecl))
+			f.cfg.metrics.feedObjectsSeen.Add(float64(len(ids) * len(f.sources)))
 			for _, fm := range f.order {
 				closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.key])
 				if err != nil {
@@ -410,16 +441,22 @@ func (f *feed) monitorStatus(fm *feedMonitor) MonitorStatus {
 func (f *feed) status(ctx context.Context) (FeedStatus, error) {
 	v, err := f.do(ctx, func(f *feed) (any, error) {
 		st := FeedStatus{
-			Name:          f.name,
-			Params:        ParamsToJSON(f.p),
-			Clusterer:     f.backend,
-			Ticks:         f.ticks,
-			Objects:       len(f.labels),
-			Closed:        f.nextSeq,
-			NextSeq:       f.nextSeq,
-			Monitors:      make([]MonitorStatus, 0, len(f.monitors)),
-			ClusterGroups: len(f.sources),
-			ClusterPasses: f.clusterPasses,
+			Name:                     f.name,
+			Params:                   ParamsToJSON(f.p),
+			Clusterer:                f.backend,
+			Ticks:                    f.ticks,
+			Objects:                  len(f.labels),
+			Closed:                   f.nextSeq,
+			NextSeq:                  f.nextSeq,
+			Monitors:                 make([]MonitorStatus, 0, len(f.monitors)),
+			ClusterGroups:            len(f.sources),
+			ClusterPasses:            f.clusterPasses,
+			ClusterPassesFull:        f.passesFull,
+			ClusterPassesIncremental: f.passesInc,
+			ObjectsReclustered:       f.reclustered,
+		}
+		if f.objectsSeen > 0 {
+			st.ReuseRatio = 1 - float64(f.reclustered)/float64(f.objectsSeen)
 		}
 		for _, fm := range f.order {
 			st.Live += fm.mon.Live()
@@ -433,6 +470,30 @@ func (f *feed) status(ctx context.Context) (FeedStatus, error) {
 	})
 	st, _ := v.(FeedStatus)
 	return st, err
+}
+
+// setIncremental applies the feed-level incremental-clustering knob to
+// every current cluster source and records it for sources created later.
+// nil leaves the default (incremental on where it applies); false forces
+// the from-scratch path; true restores the default threshold. The
+// server-wide DisableIncremental config and the process kill switch both
+// override a true.
+func (f *feed) setIncremental(ctx context.Context, on *bool) error {
+	if on == nil {
+		return nil
+	}
+	_, err := f.do(ctx, func(f *feed) (any, error) {
+		f.incremental = on
+		for _, src := range f.sources {
+			if *on && !f.cfg.DisableIncremental {
+				src.SetIncremental(core.DefaultChurnThreshold)
+			} else {
+				src.SetIncremental(0)
+			}
+		}
+		return nil, nil
+	})
+	return err
 }
 
 // addMonitor registers a standing query on the feed at runtime. A monitor

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// staticBatch is a frozen two-object snapshot: the best case for the
+// incremental fast path (after the first tick every pass is a no-op).
+func staticBatch(t model.Tick) TickBatch {
+	return TickBatch{T: t, Positions: []Position{
+		{ID: "a", X: 0, Y: 0}, {ID: "b", X: 0.5, Y: 0}}}
+}
+
+// A feed on the default backend takes the incremental path by default, and
+// the pass split plus reuse ratio surface in the feed status and /v1/stats.
+func TestFeedIncrementalCountersAndReuseRatio(t *testing.T) {
+	if core.IncrementalDisabled() {
+		t.Skipf("%s is set", core.NoIncrementalEnv)
+	}
+	_, ts := newTestServer(t, Config{})
+	createFeed(t, ts.URL, "inc", ParamsJSON{M: 2, K: 3, Eps: 1})
+	const ticks = 10
+	for tick := model.Tick(0); tick < ticks; tick++ {
+		pushTick(t, ts.URL, "inc", staticBatch(tick))
+	}
+
+	var fs FeedStatus
+	doJSON(t, "GET", ts.URL+"/v1/feeds/inc", nil, http.StatusOK, &fs)
+	if fs.ClusterPasses != ticks {
+		t.Fatalf("cluster passes = %d, want %d", fs.ClusterPasses, ticks)
+	}
+	if fs.ClusterPassesFull != 1 || fs.ClusterPassesIncremental != ticks-1 {
+		t.Fatalf("pass split = %d full / %d incremental, want 1 / %d",
+			fs.ClusterPassesFull, fs.ClusterPassesIncremental, ticks-1)
+	}
+	// Only the first (full) pass touched the two objects; every later
+	// frozen tick reused the carried state wholesale.
+	if fs.ObjectsReclustered != 2 {
+		t.Fatalf("objects reclustered = %d, want 2 (first full pass only)", fs.ObjectsReclustered)
+	}
+	if fs.ReuseRatio < 0.5 {
+		t.Fatalf("reuse ratio = %g, want ≥ 0.5 on a frozen feed", fs.ReuseRatio)
+	}
+
+	var st ServerStats
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if st.ClusterPassesFull != fs.ClusterPassesFull ||
+		st.ClusterPassesIncremental != fs.ClusterPassesIncremental ||
+		st.ObjectsReclustered != fs.ObjectsReclustered {
+		t.Fatalf("server stats split = %d/%d/%d, want feed's %d/%d/%d",
+			st.ClusterPassesFull, st.ClusterPassesIncremental, st.ObjectsReclustered,
+			fs.ClusterPassesFull, fs.ClusterPassesIncremental, fs.ObjectsReclustered)
+	}
+	if st.ObjectsSeen != 2*ticks {
+		t.Fatalf("objects seen = %d, want %d", st.ObjectsSeen, 2*ticks)
+	}
+	if st.ReuseRatio < 0.5 {
+		t.Fatalf("server reuse ratio = %g, want ≥ 0.5", st.ReuseRatio)
+	}
+}
+
+// "incremental": false in the feed spec pins the feed to from-scratch
+// passes; Config.DisableIncremental does the same server-wide even when
+// the spec asks for the fast path.
+func TestFeedIncrementalKnobOff(t *testing.T) {
+	off := false
+	on := true
+	cases := []struct {
+		name string
+		cfg  Config
+		spec *bool
+	}{
+		{"spec-false", Config{}, &off},
+		{"server-disabled", Config{DisableIncremental: true}, &on},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, tc.cfg)
+			var st FeedStatus
+			doJSON(t, "POST", ts.URL+"/v1/feeds",
+				FeedSpec{Name: "f", Params: ParamsJSON{M: 2, K: 3, Eps: 1}, Incremental: tc.spec},
+				http.StatusCreated, &st)
+			for tick := model.Tick(0); tick < 5; tick++ {
+				pushTick(t, ts.URL, "f", staticBatch(tick))
+			}
+			var fs FeedStatus
+			doJSON(t, "GET", ts.URL+"/v1/feeds/f", nil, http.StatusOK, &fs)
+			if fs.ClusterPasses != 5 || fs.ClusterPassesIncremental != 0 || fs.ClusterPassesFull != 5 {
+				t.Fatalf("passes = %d (%d full, %d incremental), want 5 full from-scratch passes",
+					fs.ClusterPasses, fs.ClusterPassesFull, fs.ClusterPassesIncremental)
+			}
+			if fs.ReuseRatio != 0 {
+				t.Fatalf("reuse ratio = %g on a from-scratch feed, want 0", fs.ReuseRatio)
+			}
+		})
+	}
+}
+
+// Removing the last monitor on a clustering key releases its source —
+// including the incremental engine's carried state. A re-added monitor
+// with the same key starts from a full pass, never from a stranger's
+// (possibly stale) snapshot diff.
+func TestMonitorRemovalDropsIncrementalState(t *testing.T) {
+	if core.IncrementalDisabled() {
+		t.Skipf("%s is set", core.NoIncrementalEnv)
+	}
+	_, ts := newTestServer(t, Config{})
+	createFeed(t, ts.URL, "life", ParamsJSON{M: 2, K: 3, Eps: 1})
+	side := MonitorSpec{ID: "side", Params: ParamsJSON{M: 2, K: 3, Eps: 2}}
+	addMonitor(t, ts.URL, "life", side)
+
+	// Two sources (e=1 and e=2). Tick 0 is full for both; tick 1 is
+	// incremental for both.
+	pushTick(t, ts.URL, "life", staticBatch(0))
+	pushTick(t, ts.URL, "life", staticBatch(1))
+	var fs FeedStatus
+	doJSON(t, "GET", ts.URL+"/v1/feeds/life", nil, http.StatusOK, &fs)
+	if fs.ClusterPassesFull != 2 || fs.ClusterPassesIncremental != 2 {
+		t.Fatalf("pass split = %d full / %d incremental, want 2 / 2",
+			fs.ClusterPassesFull, fs.ClusterPassesIncremental)
+	}
+
+	// Drop and re-add the e=2 monitor. Its source was released with it, so
+	// tick 2 must be a full pass for the fresh source while the surviving
+	// e=1 source stays incremental.
+	doJSON(t, "DELETE", ts.URL+"/v1/feeds/life/monitors/side", nil, http.StatusOK, nil)
+	addMonitor(t, ts.URL, "life", side)
+	pushTick(t, ts.URL, "life", staticBatch(2))
+	doJSON(t, "GET", ts.URL+"/v1/feeds/life", nil, http.StatusOK, &fs)
+	if fs.ClusterPassesFull != 3 || fs.ClusterPassesIncremental != 3 {
+		t.Fatalf("after re-add: pass split = %d full / %d incremental, want 3 / 3 (state dropped with the monitor)",
+			fs.ClusterPassesFull, fs.ClusterPassesIncremental)
+	}
+}
+
+// The per-query incremental knob changes work, never answers — so it is
+// deliberately absent from the cache key, and a ?incremental=false repeat
+// of a cached query is a hit.
+func TestQueryIncrementalKnobOutsideCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const db = "obj,t,x,y\n" +
+		"0,0,0,0\n1,0,0.5,0\n" +
+		"0,1,1,0\n1,1,1.5,0\n" +
+		"0,2,2,0\n1,2,2.5,0\n"
+
+	post := func(url string) QueryResponse {
+		t.Helper()
+		resp, err := http.Post(url, "text/csv", strings.NewReader(db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr QueryResponse
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+
+	first := post(ts.URL + "/v1/query?m=2&k=3&e=1&algo=cmc")
+	if first.Cache != "miss" || len(first.Convoys) != 1 {
+		t.Fatalf("first query: cache=%q convoys=%+v, want miss with one convoy", first.Cache, first.Convoys)
+	}
+	repeat := post(ts.URL + "/v1/query?m=2&k=3&e=1&algo=cmc&incremental=false")
+	if repeat.Cache != "hit" {
+		t.Fatalf("incremental=false repeat: cache=%q, want hit (knob is not part of the key)", repeat.Cache)
+	}
+	if len(repeat.Convoys) != 1 || repeat.Convoys[0].Start != first.Convoys[0].Start ||
+		repeat.Convoys[0].End != first.Convoys[0].End {
+		t.Fatalf("answers differ across the knob: %+v vs %+v", first.Convoys, repeat.Convoys)
+	}
+
+	// A malformed flag is the client's mistake.
+	resp, err := http.Post(ts.URL+"/v1/query?m=2&k=3&e=1&algo=cmc&incremental=maybe",
+		"text/csv", strings.NewReader(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("incremental=maybe: status %d, want 400", resp.StatusCode)
+	}
+}

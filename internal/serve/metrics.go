@@ -44,6 +44,15 @@ import (
 //	feed_cluster_passes_naive_total   passes a per-monitor engine would have
 //	                                  run (ticks × monitors); the difference
 //	                                  is the work shared clustering saved
+//	feed_cluster_passes_full_total    passes that clustered from scratch
+//	feed_cluster_passes_incremental_total
+//	                                  passes answered by the incremental
+//	                                  engine (previous-tick structure
+//	                                  patched; full + incremental = passes)
+//	feed_objects_reclustered_total    objects whose neighborhoods were
+//	                                  recomputed; against objects_seen this
+//	                                  yields the feed's reuse ratio
+//	feed_objects_seen_total           objects pushed through clustering
 type serveMetrics struct {
 	reg *metrics.Registry
 
@@ -62,6 +71,10 @@ type serveMetrics struct {
 	feedIngestSeconds *metrics.Histogram
 	feedPasses        *metrics.Counter
 	feedPassesNaive   *metrics.Counter
+	feedPassesFull    *metrics.Counter
+	feedPassesInc     *metrics.Counter
+	feedReclustered   *metrics.Counter
+	feedObjectsSeen   *metrics.Counter
 	feedsCreated      *metrics.Counter
 	feedsDeleted      *metrics.Counter
 	feedsEvicted      *metrics.Counter
@@ -110,6 +123,14 @@ func newServeMetrics(reg *metrics.Registry) *serveMetrics {
 		"Snapshot clustering passes actually run (one per distinct key per tick).")
 	m.feedPassesNaive = reg.Counter("convoyd_feed_cluster_passes_naive_total",
 		"Clustering passes a per-monitor engine would have run (ticks times monitors); the gap to the actual counter is the shared-clustering saving.")
+	m.feedPassesFull = reg.Counter("convoyd_feed_cluster_passes_full_total",
+		"Clustering passes that ran from scratch (first ticks, high churn, degenerate input, or incremental clustering off).")
+	m.feedPassesInc = reg.Counter("convoyd_feed_cluster_passes_incremental_total",
+		"Clustering passes answered by the incremental engine patching the previous tick's structure; full plus incremental equals the pass total.")
+	m.feedReclustered = reg.Counter("convoyd_feed_objects_reclustered_total",
+		"Objects whose neighborhoods were recomputed during feed clustering; compare with objects_seen for the reuse ratio.")
+	m.feedObjectsSeen = reg.Counter("convoyd_feed_objects_seen_total",
+		"Objects pushed through feed clustering (positions times sharing keys); the denominator of the reuse ratio.")
 	m.feedsCreated = reg.Counter("convoyd_feeds_created_total", "Feeds created.")
 	m.feedsDeleted = reg.Counter("convoyd_feeds_deleted_total", "Feeds deleted over HTTP.")
 	m.feedsEvicted = reg.Counter("convoyd_feeds_evicted_total", "Feeds evicted by the idle janitor.")
@@ -268,6 +289,17 @@ type ServerStats struct {
 	// cost. Naive minus actual is the shared-clustering saving.
 	ClusterPasses      int64 `json:"cluster_passes"`
 	ClusterPassesNaive int64 `json:"cluster_passes_naive"`
+	// ClusterPassesFull / ClusterPassesIncremental split ClusterPasses by
+	// how the pass was answered: from scratch versus the incremental
+	// engine patching the previous tick's structure. ObjectsReclustered
+	// and ObjectsSeen meter the object-level work: ReuseRatio is the
+	// fraction of object appearances whose neighborhoods were reused
+	// (1 − reclustered/seen; 0 before any clustering).
+	ClusterPassesFull        int64   `json:"cluster_passes_full"`
+	ClusterPassesIncremental int64   `json:"cluster_passes_incremental"`
+	ObjectsReclustered       int64   `json:"objects_reclustered"`
+	ObjectsSeen              int64   `json:"objects_seen"`
+	ReuseRatio               float64 `json:"reuse_ratio"`
 	// Queries counts finished batch queries; Computes the discovery runs
 	// actually started (misses that reached the core). CacheHits, Misses
 	// and Dedups partition the successful queries by how they were
@@ -294,25 +326,32 @@ type ServerStats struct {
 func (s *Server) Snapshot() ServerStats {
 	m := s.cfg.metrics
 	st := ServerStats{
-		Feeds:              s.reg.count(),
-		FeedsCreated:       int64(m.feedsCreated.Value()),
-		FeedsDeleted:       int64(m.feedsDeleted.Value()),
-		FeedsEvicted:       int64(m.feedsEvicted.Value()),
-		Monitors:           int64(m.monitors.Value()),
-		Ticks:              int64(m.feedTicks.Value()),
-		Positions:          int64(m.feedPositions.Value()),
-		Events:             int64(m.feedEvents.Value()),
-		ClusterPasses:      int64(m.feedPasses.Value()),
-		ClusterPassesNaive: int64(m.feedPassesNaive.Value()),
-		Queries:            int64(m.queriesTotal.Value()),
-		QueryComputes:      int64(m.queryComputes.Value()),
-		CacheHits:          int64(m.cacheHits.Value()),
-		CacheMisses:        int64(m.cacheMisses.Value()),
-		CacheDedups:        int64(m.cacheDedups.Value()),
-		QueriesCanceled:    int64(m.queriesCanceled.Value()),
-		QueriesTimedOut:    int64(m.queriesTimedOut.Value()),
-		QueriesRejected:    int64(m.queriesRejected.Value()),
-		QueryInflight:      int64(m.queryInflight.Value()),
+		Feeds:                    s.reg.count(),
+		FeedsCreated:             int64(m.feedsCreated.Value()),
+		FeedsDeleted:             int64(m.feedsDeleted.Value()),
+		FeedsEvicted:             int64(m.feedsEvicted.Value()),
+		Monitors:                 int64(m.monitors.Value()),
+		Ticks:                    int64(m.feedTicks.Value()),
+		Positions:                int64(m.feedPositions.Value()),
+		Events:                   int64(m.feedEvents.Value()),
+		ClusterPasses:            int64(m.feedPasses.Value()),
+		ClusterPassesNaive:       int64(m.feedPassesNaive.Value()),
+		ClusterPassesFull:        int64(m.feedPassesFull.Value()),
+		ClusterPassesIncremental: int64(m.feedPassesInc.Value()),
+		ObjectsReclustered:       int64(m.feedReclustered.Value()),
+		ObjectsSeen:              int64(m.feedObjectsSeen.Value()),
+		Queries:                  int64(m.queriesTotal.Value()),
+		QueryComputes:            int64(m.queryComputes.Value()),
+		CacheHits:                int64(m.cacheHits.Value()),
+		CacheMisses:              int64(m.cacheMisses.Value()),
+		CacheDedups:              int64(m.cacheDedups.Value()),
+		QueriesCanceled:          int64(m.queriesCanceled.Value()),
+		QueriesTimedOut:          int64(m.queriesTimedOut.Value()),
+		QueriesRejected:          int64(m.queriesRejected.Value()),
+		QueryInflight:            int64(m.queryInflight.Value()),
+	}
+	if st.ObjectsSeen > 0 {
+		st.ReuseRatio = 1 - float64(st.ObjectsReclustered)/float64(st.ObjectsSeen)
 	}
 	if s.q.lru != nil {
 		st.CacheEntries = s.q.lru.len()

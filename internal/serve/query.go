@@ -515,6 +515,12 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 	var db *model.DB
 	var err error
 	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
+	// Like workers, the incremental knob cannot change the answer set — only
+	// how much clustering work each tick costs — so it stays out of the cache
+	// key and is applied here, after the key was computed.
+	if e.cfg.DisableIncremental || (pl.req.Incremental != nil && !*pl.req.Incremental) {
+		opts = append(opts, core.WithIncremental(-1))
+	}
 	if pl.clusterer == proxgraph.Backend {
 		// A proxgraph query uploads an edge CSV (a,b,t,w contact log). The
 		// log synthesizes a positionless stand-in database — one row per

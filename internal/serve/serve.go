@@ -312,6 +312,10 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if err := f.setIncremental(r.Context(), spec.Incremental); err != nil {
+		writeErr(w, err)
+		return
+	}
 	loggerFrom(r.Context(), s.cfg.Logger).Info("feed created",
 		"feed", spec.Name, "m", spec.Params.M, "k", spec.Params.K, "e", spec.Params.Eps)
 	st, err := f.status(r.Context())
@@ -693,6 +697,13 @@ func queryFromURL(r *http.Request) (QueryRequest, error) {
 		if req.Explain, err = strconv.ParseBool(raw); err != nil {
 			return req, badRequest(fmt.Errorf("decode query: bad explain=%q (want a boolean)", raw))
 		}
+	}
+	if raw := q.Get("incremental"); raw != "" {
+		v, perr := strconv.ParseBool(raw)
+		if perr != nil {
+			return req, badRequest(fmt.Errorf("decode query: bad incremental=%q (want a boolean)", raw))
+		}
+		req.Incremental = &v
 	}
 	return req, nil
 }

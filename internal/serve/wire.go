@@ -133,6 +133,14 @@ type FeedSpec struct {
 	// (default) or "proxgraph" (per-tick proximity edges, see
 	// TickBatch.Edges).
 	Clusterer string `json:"clusterer,omitempty"`
+	// Incremental, when false, forces every clustering pass of this feed
+	// onto the from-scratch path; absent/true keeps the default
+	// (incremental clustering for dbscan monitors, reusing the previous
+	// tick's structure when few objects moved). The answers are identical
+	// either way — this is a performance knob, also forced off server-wide
+	// by Config.DisableIncremental (convoyd -no-incremental) or the
+	// CONVOY_NO_INCREMENTAL environment variable.
+	Incremental *bool `json:"incremental,omitempty"`
 }
 
 // MonitorSpec is the body of POST /v1/feeds/{name}/monitors: one standing
@@ -200,6 +208,17 @@ type FeedStatus struct {
 	// ClusterPasses counts snapshot clustering passes over the feed's
 	// life: ticks × distinct keys, not ticks × monitors.
 	ClusterPasses int64 `json:"cluster_passes"`
+	// ClusterPassesFull / ClusterPassesIncremental split ClusterPasses by
+	// how each pass was answered: from-scratch DBSCAN versus the
+	// incremental engine patching the previous tick's structure.
+	ClusterPassesFull        int64 `json:"cluster_passes_full"`
+	ClusterPassesIncremental int64 `json:"cluster_passes_incremental"`
+	// ObjectsReclustered counts the objects whose neighborhoods were
+	// recomputed across all passes; ReuseRatio is the fraction of object
+	// appearances that were reused instead (1 − reclustered/seen, 0
+	// before any clustering). A low-churn feed sits near 1.
+	ObjectsReclustered int64   `json:"objects_reclustered"`
+	ReuseRatio         float64 `json:"reuse_ratio"`
 }
 
 // Event is one closed convoy on a feed's event log, as served by
@@ -264,6 +283,12 @@ type QueryRequest struct {
 	// the profile describes this request, not a months-old cached run —
 	// but its answer is cached like any other, Explain stripped.
 	Explain bool `json:"explain,omitempty"`
+	// Incremental, when false, forces this query's CMC scan onto the
+	// from-scratch clustering path; absent/true keeps the default
+	// (incremental clustering where it applies). Like workers, it cannot
+	// change the answer set — only the work — so it is not part of the
+	// cache key.
+	Incremental *bool `json:"incremental,omitempty"`
 }
 
 // StatsJSON is the wire form of the CuTS run statistics.
@@ -276,28 +301,37 @@ type StatsJSON struct {
 	NumCandidates int     `json:"candidates"`
 	RefineUnits   float64 `json:"refine_units"`
 	ClusterPasses int64   `json:"cluster_passes"`
-	SimplifyMS    float64 `json:"simplify_ms"`
-	FilterMS      float64 `json:"filter_ms"`
-	RefineMS      float64 `json:"refine_ms"`
-	TotalMS       float64 `json:"total_ms"`
+	// ClusterPassesFull / Incremental split the pass count by clustering
+	// mode; ObjectsReclustered meters the incremental path's object-level
+	// work (see core.Stats).
+	ClusterPassesFull        int64   `json:"cluster_passes_full"`
+	ClusterPassesIncremental int64   `json:"cluster_passes_incremental"`
+	ObjectsReclustered       int64   `json:"objects_reclustered"`
+	SimplifyMS               float64 `json:"simplify_ms"`
+	FilterMS                 float64 `json:"filter_ms"`
+	RefineMS                 float64 `json:"refine_ms"`
+	TotalMS                  float64 `json:"total_ms"`
 }
 
 // StatsToJSON converts run statistics to their wire form.
 func StatsToJSON(st core.Stats) StatsJSON {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	return StatsJSON{
-		Variant:       st.Variant.String(),
-		Delta:         st.Delta,
-		Lambda:        st.Lambda,
-		Workers:       st.Workers,
-		NumPartitions: st.NumPartitions,
-		NumCandidates: st.NumCandidates,
-		RefineUnits:   st.RefineUnits,
-		ClusterPasses: st.ClusterPasses,
-		SimplifyMS:    ms(st.SimplifyTime),
-		FilterMS:      ms(st.FilterTime),
-		RefineMS:      ms(st.RefineTime),
-		TotalMS:       ms(st.TotalTime()),
+		Variant:                  st.Variant.String(),
+		Delta:                    st.Delta,
+		Lambda:                   st.Lambda,
+		Workers:                  st.Workers,
+		NumPartitions:            st.NumPartitions,
+		NumCandidates:            st.NumCandidates,
+		RefineUnits:              st.RefineUnits,
+		ClusterPasses:            st.ClusterPasses,
+		ClusterPassesFull:        st.ClusterPassesFull,
+		ClusterPassesIncremental: st.ClusterPassesIncremental,
+		ObjectsReclustered:       st.ObjectsReclustered,
+		SimplifyMS:               ms(st.SimplifyTime),
+		FilterMS:                 ms(st.FilterTime),
+		RefineMS:                 ms(st.RefineTime),
+		TotalMS:                  ms(st.TotalTime()),
 	}
 }
 

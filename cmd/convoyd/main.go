@@ -5,6 +5,8 @@
 // Usage:
 //
 //	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64] [-max-edges-per-tick 65536] [-request-timeout 30s]
+//	        [-data-dir dir] [-no-wal] [-wal-fsync always|interval|never] [-wal-fsync-interval 100ms]
+//	        [-wal-segment-bytes 4194304] [-wal-segment-age 0] [-wal-retain-ticks 0]
 //	        [-metrics-addr :9090] [-pprof] [-log-format text|json] [-log-level info] [-slow-query 250ms] [-trace-sample 0.01]
 //
 // Quick start against a running server:
@@ -29,6 +31,23 @@
 // "edges":[{"a":...,"b":...,"w":...}] (capped by -max-edges-per-tick), so
 // coordinate-free contact streams work end to end. Batch queries take the
 // same backend with ?clusterer=proxgraph over an "a,b,t,w" contact CSV.
+//
+// # Durable feeds
+//
+// With -data-dir set, feeds survive restarts and crashes: every accepted
+// tick batch is written ahead to a per-feed log under <dir>/feeds before
+// any monitor advances, monitor registrations are journaled, and startup
+// replays the logs so the feed table comes back state-identical —
+// including after a SIGKILL mid-append (the torn final record is
+// truncated away). Durability costs what -wal-fsync says: "always" syncs
+// every batch (crash-proof, slowest), "interval" syncs on a -wal-fsync-
+// interval timer (the default; a crash loses at most the last interval),
+// "never" leaves it to the OS. -wal-retain-ticks bounds the log (and the
+// historical-query window); -no-wal keeps feeds in-memory even with a
+// -data-dir. Two endpoints ride on the log:
+//
+//	curl -X POST localhost:8764/v1/feeds/fleet/query -d '{"params":{"m":2,"k":3,"e":1},"from":0,"to":500}'
+//	curl localhost:8764/v1/feeds/fleet/wal
 //
 // # Observability
 //
@@ -81,6 +100,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // buildLogger assembles the process logger from the -log-format and
@@ -119,8 +139,26 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "trace every request and log a structured record with the full span tree for any request slower than this (0 = off)")
 		traceSample = flag.Float64("trace-sample", 0, "probability in [0,1] of tracing an ordinary request into /debug/traces (explain and slow-query tracing work regardless)")
 		noIncr      = flag.Bool("no-incremental", false, "force every clustering pass (feeds and batch queries) onto the from-scratch path; answers are identical, the incremental reuse is just disabled")
+
+		walDir           = flag.String("data-dir", "", "durable-feed directory: per-feed write-ahead logs live under <dir>/feeds and are replayed on start (empty = feeds are in-memory)")
+		noWAL            = flag.Bool("no-wal", false, "kill switch: keep feeds in-memory even when -data-dir is set")
+		walFsync         = flag.String("wal-fsync", "interval", "WAL tick durability: always (sync every batch), interval (timer) or never")
+		walFsyncInterval = flag.Duration("wal-fsync-interval", 100*time.Millisecond, "fsync timer period under -wal-fsync=interval")
+		walSegBytes      = flag.Int64("wal-segment-bytes", 4<<20, "rotate a feed's active WAL segment beyond this size")
+		walSegAge        = flag.Duration("wal-segment-age", 0, "also rotate a feed's active WAL segment after this long (0 = size-only rotation)")
+		walRetain        = flag.Int64("wal-retain-ticks", 0, "compact WAL segments wholly older than the last tick minus this many ticks; bounds disk and the historical-query window (0 = retain everything)")
 	)
 	flag.Parse()
+
+	fsync, err := wal.ParseFsyncPolicy(*walFsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convoyd:", err)
+		os.Exit(2)
+	}
+	feedDir := *walDir
+	if *noWAL {
+		feedDir = ""
+	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -132,6 +170,12 @@ func main() {
 	reg := metrics.NewRegistry()
 	srv := serve.New(serve.Config{
 		DataDir:            *dataDir,
+		WALDir:             feedDir,
+		WALFsync:           fsync,
+		WALFsyncInterval:   *walFsyncInterval,
+		WALSegmentBytes:    *walSegBytes,
+		WALSegmentAge:      *walSegAge,
+		WALRetainTicks:     *walRetain,
 		IdleTimeout:        *idle,
 		QueryWorkers:       *workers,
 		CacheEntries:       *cache,
@@ -146,6 +190,9 @@ func main() {
 		SlowQuery:          *slowQuery,
 	})
 	reg.PublishExpvar("convoyd")
+	if feedDir != "" {
+		logger.Info("durable feeds enabled", "data_dir", feedDir, "fsync", fsync.String())
+	}
 
 	// The API mux: everything the serve package routes lives under /v1,
 	// so the observability endpoints can share the listener without the

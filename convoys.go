@@ -99,6 +99,7 @@ import (
 	"repro/internal/stjoin"
 	"repro/internal/trace"
 	"repro/internal/tsio"
+	"repro/internal/wal"
 )
 
 // Core model types.
@@ -451,6 +452,22 @@ type (
 	// ServerStats is the read-only counter snapshot returned by
 	// Server.Snapshot and GET /v1/stats.
 	ServerStats = serve.ServerStats
+	// HistoryQueryRequest is a batch convoy query over the tick window a
+	// durable feed's write-ahead log retains
+	// (POST /v1/feeds/{name}/query body).
+	HistoryQueryRequest = serve.HistoryQueryRequest
+	// HistoryQueryResponse is the historical-query answer.
+	HistoryQueryResponse = serve.HistoryQueryResponse
+	// WALStatusJSON describes a durable feed's write-ahead log — segments,
+	// bytes, tick span, fsync time and recovery stats
+	// (GET /v1/feeds/{name}/wal).
+	WALStatusJSON = serve.WALStatusJSON
+	// WALRecoveryJSON summarizes the replay that resurrected a feed after
+	// a restart (nested in WALStatusJSON).
+	WALRecoveryJSON = serve.WALRecoveryJSON
+	// FsyncPolicy says when write-ahead-log appends are forced to stable
+	// storage (ServeConfig.WALFsync; convoyd -wal-fsync).
+	FsyncPolicy = wal.FsyncPolicy
 	// MetricsRegistry holds metric instruments and renders them in the
 	// Prometheus text format (mount its Handler as /metrics). Pass one in
 	// ServeConfig.Metrics to receive the server's convoyd_* families.
@@ -465,6 +482,19 @@ func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 // ServeConfig.Metrics; srv.MetricsRegistry().Handler() serves the
 // exposition (cmd/convoyd wires this up behind -metrics-addr).
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Write-ahead-log fsync policies for ServeConfig.WALFsync. FsyncAlways
+// (the zero value) syncs every append; FsyncInterval batches syncs on a
+// timer; FsyncNever leaves flushing to the OS.
+const (
+	FsyncAlways   = wal.FsyncAlways
+	FsyncInterval = wal.FsyncInterval
+	FsyncNever    = wal.FsyncNever
+)
+
+// ParseFsyncPolicy resolves an fsync policy name ("always", "interval",
+// "never"; "" = always) — the convoyd -wal-fsync values.
+func ParseFsyncPolicy(name string) (FsyncPolicy, error) { return wal.ParseFsyncPolicy(name) }
 
 // Request-scoped tracing and query explain profiles (the trace package;
 // see README "Tracing, explain & logging"). A Server traces through

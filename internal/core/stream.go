@@ -93,6 +93,14 @@ func (s *Streamer) Close() []Convoy { return s.mon.Close() }
 // stored databases, and StreamDB uses it to state the Streamer/CMC
 // equivalence. Iteration stops at the first error from fn, which is
 // returned. An empty database replays zero ticks.
+//
+// This is deliberately NOT the serving layer's crash-recovery path.
+// ReplayTicks densifies: it visits every tick of the domain and fills
+// gaps by interpolating each trajectory — the right semantics for turning
+// a trajectory file into a stream. WAL recovery (internal/serve over
+// internal/wal) must instead reproduce only the ticks clients actually
+// POSTed, verbatim and gaps included, so it replays logged batches
+// directly and never interpolates.
 func ReplayTicks(db *model.DB, fn func(t model.Tick, ids []model.ObjectID, pts []geom.Point) error) error {
 	lo, hi, ok := db.TimeRange()
 	if !ok {

@@ -111,8 +111,8 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 14 {
-		t.Errorf("expected 14 experiments, got %d", len(Experiments))
+	if len(Experiments) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(Experiments))
 	}
 	if _, ok := Lookup("monitors"); !ok {
 		t.Error("monitors not found")
@@ -128,6 +128,9 @@ func TestLookupAndRunAll(t *testing.T) {
 	}
 	if _, ok := Lookup("clusterers"); !ok {
 		t.Error("clusterers not found")
+	}
+	if _, ok := Lookup("wal"); !ok {
+		t.Error("wal not found")
 	}
 	var buf bytes.Buffer
 	if err := RunAll(tinyOptions(&buf)); err != nil {

@@ -235,6 +235,7 @@ var Experiments = []struct {
 	{"soak", "HTTP load scenarios against an in-process convoyd", Soak},
 	{"clusterers", "DBSCAN vs graph-connectivity backend (Contact)", Clusterers},
 	{"increment", "incremental vs from-scratch per-tick clustering (Commute churn sweep, Contact)", Increment},
+	{"wal", "feed ingest throughput per WAL fsync policy vs in-memory, plus recovery replay time", Wal},
 }
 
 // RunAll executes every experiment in paper order.

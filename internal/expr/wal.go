@@ -1,0 +1,239 @@
+package expr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// The wal experiment (not in the paper): what durability costs on the
+// ingest path. It drives the same random-walk tick stream into four fresh
+// in-process convoyds — one in-memory, one per WAL fsync policy — over
+// HTTP, recording tick throughput and per-batch latency. The durable modes
+// finish with a restart, so the row also carries the recovery replay time
+// of the stream just written. The expected shape: never ≈ interval ≈
+// memory (the log write is buffered sequential I/O), always pays an fsync
+// per batch and lands an order of magnitude or more below, with the gap
+// set by the disk's flush latency.
+
+// walBaseTicks is the stream length at Scale 1; walObjects the random-walk
+// population per tick batch.
+const (
+	walBaseTicks = 2000
+	walObjects   = 100
+)
+
+// walModes are the compared configurations, in the printed order.
+var walModes = []struct {
+	name  string
+	fsync wal.FsyncPolicy
+	wal   bool
+}{
+	{"memory", 0, false},
+	{"wal-never", wal.FsyncNever, true},
+	{"wal-interval", wal.FsyncInterval, true},
+	{"wal-always", wal.FsyncAlways, true},
+}
+
+// Wal prints and records the ingest-throughput comparison.
+func Wal(o Options) error {
+	w := tab(o)
+	fmt.Fprintln(w, "WAL: feed ingest throughput per fsync policy vs in-memory")
+	fmt.Fprintln(w, "mode\tticks\tticks/s\tp50 (ms)\tp95 (ms)\twal MiB\trecovery (ms)")
+	ticks := int(float64(walBaseTicks) * o.Scale)
+	if ticks < 20 {
+		ticks = 20
+	}
+	for _, mode := range walModes {
+		res, err := walOne(mode.fsync, mode.wal, ticks, o.Seed)
+		if err != nil {
+			return fmt.Errorf("expr: Wal %s: %w", mode.name, err)
+		}
+		rec, mib := "-", "-"
+		if mode.wal {
+			rec = fmt.Sprintf("%.1f", res.recoveryMS)
+			mib = fmt.Sprintf("%.2f", float64(res.walBytes)/(1<<20))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.2f\t%.2f\t%s\t%s\n",
+			mode.name, ticks, res.ticksPerSec, res.p50MS, res.p95MS, mib, rec)
+		m := map[string]float64{
+			"ticks":          float64(ticks),
+			"ticks_per_sec":  res.ticksPerSec,
+			"p50_ms":         res.p50MS,
+			"p95_ms":         res.p95MS,
+			"ingest_ms":      res.ingestMS,
+			"closed_convoys": float64(res.closed),
+		}
+		if mode.wal {
+			m["wal_bytes"] = float64(res.walBytes)
+			m["recovery_ms"] = res.recoveryMS
+			m["replayed_ticks"] = float64(res.replayedTicks)
+		}
+		o.record(Record{Exp: "wal", Method: mode.name, Metrics: m})
+	}
+	return w.Flush()
+}
+
+// walResult is one mode's measurements.
+type walResult struct {
+	ticksPerSec   float64
+	p50MS, p95MS  float64
+	ingestMS      float64
+	closed        int
+	walBytes      int64
+	recoveryMS    float64
+	replayedTicks int64
+}
+
+// walOne hosts a fresh convoyd, streams the random walk into one feed and
+// — in the durable modes — restarts the server to time the recovery.
+func walOne(fsync wal.FsyncPolicy, durable bool, ticks int, seed int64) (walResult, error) {
+	cfg := serve.Config{Metrics: metrics.NewRegistry()}
+	if durable {
+		dir, err := os.MkdirTemp("", "convoy-wal-bench")
+		if err != nil {
+			return walResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
+		cfg.WALFsync = fsync
+	}
+	srv := serve.New(cfg)
+	base, stop, err := walHost(srv)
+	if err != nil {
+		srv.Close()
+		return walResult{}, err
+	}
+	if err := walPost(base+"/v1/feeds", serve.FeedSpec{
+		Name: "bench", Params: serve.ParamsJSON{M: 5, K: 50, Eps: 4},
+	}, nil); err != nil {
+		stop()
+		return walResult{}, err
+	}
+
+	// The workload: walObjects random walkers, one batch per tick, posted
+	// sequentially — the latency of each POST is the client-observed cost
+	// of one durable (or not) ingest.
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, walObjects)
+	ys := make([]float64, walObjects)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+	}
+	lat := make([]float64, 0, ticks)
+	var res walResult
+	t0 := time.Now()
+	for tick := 0; tick < ticks; tick++ {
+		batch := serve.TickBatch{T: model.Tick(tick), Positions: make([]serve.Position, walObjects)}
+		for i := range xs {
+			xs[i] += rng.Float64() - 0.5
+			ys[i] += rng.Float64() - 0.5
+			batch.Positions[i] = serve.Position{ID: fmt.Sprintf("o%03d", i), X: xs[i], Y: ys[i]}
+		}
+		var tr serve.TicksResponse
+		r0 := time.Now()
+		err := walPost(base+"/v1/feeds/bench/ticks", serve.TicksRequest{Ticks: []serve.TickBatch{batch}}, &tr)
+		if err != nil {
+			stop()
+			return walResult{}, err
+		}
+		lat = append(lat, msf(time.Since(r0)))
+		res.closed += len(tr.Closed)
+	}
+	res.ingestMS = msf(time.Since(t0))
+	res.ticksPerSec = float64(ticks) / (res.ingestMS / 1000)
+	sort.Float64s(lat)
+	res.p50MS = lat[len(lat)/2]
+	res.p95MS = lat[len(lat)*95/100]
+	if durable {
+		var ws serve.WALStatusJSON
+		if err := walGet(base+"/v1/feeds/bench/wal", &ws); err != nil {
+			stop()
+			return walResult{}, err
+		}
+		res.walBytes = ws.Bytes
+	}
+	stop()
+
+	if durable {
+		// The bill's other side: reopen the directory and replay the stream
+		// (fresh registry — instruments register once per registry).
+		cfg.Metrics = metrics.NewRegistry()
+		srv2 := serve.New(cfg)
+		base2, stop2, err := walHost(srv2)
+		if err != nil {
+			srv2.Close()
+			return walResult{}, err
+		}
+		defer stop2()
+		var ws serve.WALStatusJSON
+		if err := walGet(base2+"/v1/feeds/bench/wal", &ws); err != nil {
+			return walResult{}, err
+		}
+		if ws.Recovery == nil {
+			return walResult{}, fmt.Errorf("restarted server reports no recovery")
+		}
+		res.recoveryMS = ws.Recovery.DurationMS
+		res.replayedTicks = ws.Recovery.ReplayedTicks
+	}
+	return res, nil
+}
+
+// walHost serves an in-process convoyd on a loopback port; stop closes the
+// listener and drains the server.
+func walHost(srv *serve.Server) (base string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() {
+		hs.Close()
+		srv.Close()
+	}, nil
+}
+
+// walPost / walGet are the harness's minimal JSON client.
+func walPost(url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return walDecode(resp, out)
+}
+
+func walGet(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return walDecode(resp, out)
+}
+
+func walDecode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: status %d", resp.Request.URL, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config tunes the server. The zero value is usable: every field has a
@@ -56,6 +57,31 @@ type Config struct {
 	// databases by file path relative to this directory. Empty disables
 	// path references (uploads only).
 	DataDir string
+	// WALDir, when non-empty, makes feeds durable: every feed owns a
+	// write-ahead log under WALDir/feeds/<name>, every accepted tick batch
+	// is logged before it is applied, monitor registrations are journaled,
+	// and New replays the logs so a restarted server is state-identical to
+	// one that never stopped. Empty (the default, and convoyd without
+	// -data-dir or with -no-wal) keeps feeds purely in-memory.
+	WALDir string
+	// WALFsync is the tick-record durability policy (wal.FsyncAlways,
+	// the zero value and safest; FsyncInterval; FsyncNever). convoyd maps
+	// -wal-fsync here.
+	WALFsync wal.FsyncPolicy
+	// WALFsyncInterval is the timer period under wal.FsyncInterval.
+	// Default 100ms.
+	WALFsyncInterval time.Duration
+	// WALSegmentBytes rotates a feed's active WAL segment beyond this
+	// size. Default 4 MiB.
+	WALSegmentBytes int64
+	// WALSegmentAge rotates a feed's active WAL segment after this long
+	// regardless of size. 0 disables age rotation.
+	WALSegmentAge time.Duration
+	// WALRetainTicks, when > 0, compacts WAL segments wholly older than
+	// lastTick−WALRetainTicks after each rotation. Bounds disk and the
+	// historical-query window; convoys longer than the horizon recover
+	// truncated. 0 retains everything.
+	WALRetainTicks int64
 	// MaxBodyBytes caps request bodies (tick batches and uploaded
 	// databases). Default 64 MiB.
 	MaxBodyBytes int64
@@ -135,6 +161,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEdgesPerTick <= 0 {
 		c.MaxEdgesPerTick = 65536
+	}
+	if c.WALFsyncInterval <= 0 {
+		c.WALFsyncInterval = 100 * time.Millisecond
+	}
+	if c.WALSegmentBytes <= 0 {
+		c.WALSegmentBytes = 4 << 20
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)

@@ -110,9 +110,18 @@ type feed struct {
 	nextSeq  uint64  // seq of the next event to emit
 	subs     map[chan Event]struct{}
 	draining bool
+
+	// w is the feed's write-ahead log bundle; nil for in-memory feeds
+	// (Config.WALDir unset). recovering is true only during the pre-worker
+	// replay, when applyBatch must not re-log what it reads from the log.
+	w          *feedWAL
+	recovering bool
 }
 
-func newFeed(name string, p core.Params, clusterer string, cfg Config) (*feed, error) {
+// buildFeed assembles a feed with its default monitor but does not start
+// the worker — recovery replays into the quiescent feed first; newFeed
+// starts it immediately.
+func buildFeed(name string, p core.Params, clusterer string, cfg Config, w *feedWAL) (*feed, error) {
 	cl, err := ParseClusterer(clusterer)
 	if err != nil {
 		return nil, badRequest(err)
@@ -128,12 +137,21 @@ func newFeed(name string, p core.Params, clusterer string, cfg Config) (*feed, e
 		sources:  make(map[core.ClusterKey]*core.ClusterSource),
 		ids:      make(map[string]model.ObjectID),
 		subs:     make(map[chan Event]struct{}),
+		w:        w,
 	}
 	// The worker goroutine doesn't run yet, so the table is safe to touch.
 	if err := f.insertMonitor(DefaultMonitorID, p, clusterer); err != nil {
 		return nil, err
 	}
 	f.lastActive.Store(time.Now().UnixNano())
+	return f, nil
+}
+
+func newFeed(name string, p core.Params, clusterer string, cfg Config, w *feedWAL) (*feed, error) {
+	f, err := buildFeed(name, p, clusterer, cfg, w)
+	if err != nil {
+		return nil, err
+	}
 	go f.run()
 	return f, nil
 }
@@ -291,134 +309,161 @@ func (f *feed) ingest(ctx context.Context, batches []TickBatch) (TicksResponse, 
 	v, err := f.do(ctx, func(f *feed) (any, error) {
 		resp := TicksResponse{Closed: []ConvoyJSON{}}
 		for _, b := range batches {
-			ids := make([]model.ObjectID, len(b.Positions))
-			pts := make([]geom.Point, len(b.Positions))
-			// Labels interned for this batch are rolled back if any
-			// validation below rejects it, so rejected batches never grow
-			// the feed's label table.
-			base := len(f.labels)
-			reject := func(err error) error {
-				for _, label := range f.labels[base:] {
-					delete(f.ids, label)
-				}
-				f.labels = f.labels[:base]
-				return badRequest(err)
+			closed, err := f.applyBatch(b)
+			resp.Closed = append(resp.Closed, closed...)
+			if err != nil {
+				return resp, err
 			}
-			for i, pos := range b.Positions {
-				if pos.ID == "" {
-					return resp, reject(fmt.Errorf("tick %d: position %d has empty id", b.T, i))
-				}
-				if !geom.Finite(pos.X) || !geom.Finite(pos.Y) {
-					// NaN/Inf poisons distance math and could panic the
-					// clustering grid; the wire must never hand a monitor
-					// non-finite geometry.
-					return resp, reject(fmt.Errorf("tick %d: position %q has non-finite coordinates (%g, %g)", b.T, pos.ID, pos.X, pos.Y))
-				}
-				id, ok := f.ids[pos.ID]
-				if !ok {
-					id = len(f.labels)
-					f.ids[pos.ID] = id
-					f.labels = append(f.labels, pos.ID)
-				}
-				ids[i] = id
-				pts[i] = geom.Pt(pos.X, pos.Y)
-			}
-			if dup, ok := core.FirstDuplicateID(ids); ok {
-				// A repeated ID would cluster with itself and fake a convoy
-				// out of one real object (the same shared check the core
-				// Streamer runs).
-				label := f.labels[dup]
-				return resp, reject(fmt.Errorf("tick %d: duplicate id %q", b.T, label))
-			}
-			// Proximity edges are validated like positions: non-finite or
-			// negative weights, self-loops and empty labels poison the
-			// contact graph the same way NaN poisons distance math. Unknown
-			// endpoint labels are interned (an edge can mention an object
-			// with no position this tick) and roll back with the batch.
-			if len(b.Edges) > f.cfg.MaxEdgesPerTick {
-				return resp, reject(fmt.Errorf("tick %d: %d edges exceed the per-tick limit %d", b.T, len(b.Edges), f.cfg.MaxEdgesPerTick))
-			}
-			var edges []core.ProxEdge
-			if len(b.Edges) > 0 {
-				edges = make([]core.ProxEdge, len(b.Edges))
-				for i, e := range b.Edges {
-					if e.A == "" || e.B == "" {
-						return resp, reject(fmt.Errorf("tick %d: edge %d has an empty object label", b.T, i))
-					}
-					if e.A == e.B {
-						return resp, reject(fmt.Errorf("tick %d: edge %d is a self-loop on %q", b.T, i, e.A))
-					}
-					if !geom.Finite(e.W) || e.W < 0 {
-						return resp, reject(fmt.Errorf("tick %d: edge %d (%q, %q) has bad weight %g (want finite ≥ 0)", b.T, i, e.A, e.B, e.W))
-					}
-					intern := func(label string) model.ObjectID {
-						id, ok := f.ids[label]
-						if !ok {
-							id = len(f.labels)
-							f.ids[label] = id
-							f.labels = append(f.labels, label)
-						}
-						return id
-					}
-					edges[i] = core.ProxEdge{A: intern(e.A), B: intern(e.B), W: e.W}
-				}
-			}
-			if f.started && b.T <= f.lastTick {
-				// Tick monotonicity is a feed-level invariant: it must fail
-				// before any monitor advances, or the table would desync.
-				return resp, reject(fmt.Errorf("tick %d not after %d", b.T, f.lastTick))
-			}
-			// One clustering pass per distinct (e, m, backend) among live
-			// monitors.
-			snap := core.TickSnapshot{T: b.T, IDs: ids, Pts: pts, Edges: edges}
-			clusters := make(map[core.ClusterKey][][]model.ObjectID, len(f.sources))
-			var tickFull, tickInc, tickRecl int64
-			for key, src := range f.sources {
-				clusters[key] = src.Cluster(snap)
-				f.clusterPasses++
-				if inc, recl := src.LastPass(); inc {
-					tickInc++
-					tickRecl += int64(recl)
-				} else {
-					tickFull++
-					tickRecl += int64(recl)
-				}
-			}
-			f.passesFull += tickFull
-			f.passesInc += tickInc
-			f.reclustered += tickRecl
-			f.objectsSeen += int64(len(ids)) * int64(len(f.sources))
-			// Meter the sharing: len(sources) passes actually ran where a
-			// per-monitor engine would have run len(order).
-			f.cfg.metrics.feedPasses.Add(float64(len(f.sources)))
-			f.cfg.metrics.feedPassesNaive.Add(float64(len(f.order)))
-			f.cfg.metrics.feedPassesFull.Add(float64(tickFull))
-			f.cfg.metrics.feedPassesInc.Add(float64(tickInc))
-			f.cfg.metrics.feedReclustered.Add(float64(tickRecl))
-			f.cfg.metrics.feedObjectsSeen.Add(float64(len(ids) * len(f.sources)))
-			for _, fm := range f.order {
-				closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.key])
-				if err != nil {
-					// Unreachable after the feed-level tick check; surface
-					// as an internal error rather than corrupting the table.
-					return resp, fmt.Errorf("serve: monitor %q: %w", fm.id, err)
-				}
-				for _, c := range closed {
-					f.emit(fm.id, c)
-					fm.closed++
-					resp.Closed = append(resp.Closed, f.history[len(f.history)-1].Convoy)
-				}
-			}
-			f.lastTick, f.started = b.T, true
-			f.ticks++
-			f.cfg.metrics.feedTicks.Inc()
-			f.cfg.metrics.feedPositions.Add(float64(len(b.Positions)))
 			resp.Accepted++
 		}
 		return resp, nil
 	})
 	resp, _ := v.(TicksResponse)
 	return resp, err
+}
+
+// applyBatch validates and applies one tick batch (worker only, or during
+// the pre-worker recovery replay). On a durable feed the batch is logged
+// to the WAL after validation and *before* any monitor advances — the
+// write-ahead contract: an acknowledged batch is re-applied by recovery,
+// a rejected one leaves no trace on disk or in memory. Returns the
+// convoys the batch closed.
+func (f *feed) applyBatch(b TickBatch) ([]ConvoyJSON, error) {
+	ids := make([]model.ObjectID, len(b.Positions))
+	pts := make([]geom.Point, len(b.Positions))
+	// Labels interned for this batch are rolled back if any validation
+	// below rejects it, so rejected batches never grow the feed's label
+	// table.
+	base := len(f.labels)
+	rollback := func() {
+		for _, label := range f.labels[base:] {
+			delete(f.ids, label)
+		}
+		f.labels = f.labels[:base]
+	}
+	reject := func(err error) error {
+		rollback()
+		return badRequest(err)
+	}
+	for i, pos := range b.Positions {
+		if pos.ID == "" {
+			return nil, reject(fmt.Errorf("tick %d: position %d has empty id", b.T, i))
+		}
+		if !geom.Finite(pos.X) || !geom.Finite(pos.Y) {
+			// NaN/Inf poisons distance math and could panic the
+			// clustering grid; the wire must never hand a monitor
+			// non-finite geometry.
+			return nil, reject(fmt.Errorf("tick %d: position %q has non-finite coordinates (%g, %g)", b.T, pos.ID, pos.X, pos.Y))
+		}
+		id, ok := f.ids[pos.ID]
+		if !ok {
+			id = len(f.labels)
+			f.ids[pos.ID] = id
+			f.labels = append(f.labels, pos.ID)
+		}
+		ids[i] = id
+		pts[i] = geom.Pt(pos.X, pos.Y)
+	}
+	if dup, ok := core.FirstDuplicateID(ids); ok {
+		// A repeated ID would cluster with itself and fake a convoy
+		// out of one real object (the same shared check the core
+		// Streamer runs).
+		label := f.labels[dup]
+		return nil, reject(fmt.Errorf("tick %d: duplicate id %q", b.T, label))
+	}
+	// Proximity edges are validated like positions: non-finite or
+	// negative weights, self-loops and empty labels poison the
+	// contact graph the same way NaN poisons distance math. Unknown
+	// endpoint labels are interned (an edge can mention an object
+	// with no position this tick) and roll back with the batch.
+	if len(b.Edges) > f.cfg.MaxEdgesPerTick {
+		return nil, reject(fmt.Errorf("tick %d: %d edges exceed the per-tick limit %d", b.T, len(b.Edges), f.cfg.MaxEdgesPerTick))
+	}
+	var edges []core.ProxEdge
+	if len(b.Edges) > 0 {
+		edges = make([]core.ProxEdge, len(b.Edges))
+		for i, e := range b.Edges {
+			if e.A == "" || e.B == "" {
+				return nil, reject(fmt.Errorf("tick %d: edge %d has an empty object label", b.T, i))
+			}
+			if e.A == e.B {
+				return nil, reject(fmt.Errorf("tick %d: edge %d is a self-loop on %q", b.T, i, e.A))
+			}
+			if !geom.Finite(e.W) || e.W < 0 {
+				return nil, reject(fmt.Errorf("tick %d: edge %d (%q, %q) has bad weight %g (want finite ≥ 0)", b.T, i, e.A, e.B, e.W))
+			}
+			intern := func(label string) model.ObjectID {
+				id, ok := f.ids[label]
+				if !ok {
+					id = len(f.labels)
+					f.ids[label] = id
+					f.labels = append(f.labels, label)
+				}
+				return id
+			}
+			edges[i] = core.ProxEdge{A: intern(e.A), B: intern(e.B), W: e.W}
+		}
+	}
+	if f.started && b.T <= f.lastTick {
+		// Tick monotonicity is a feed-level invariant: it must fail
+		// before any monitor advances, or the table would desync.
+		return nil, reject(fmt.Errorf("tick %d not after %d", b.T, f.lastTick))
+	}
+	if f.w != nil && !f.recovering {
+		// Log-before-apply. A batch the log refuses is rolled back whole —
+		// the feed must never hold state its recovery cannot reproduce.
+		if err := f.w.log.Append(tickBlock(b)); err != nil {
+			rollback()
+			return nil, fmt.Errorf("serve: wal append: %w", err)
+		}
+	}
+	// One clustering pass per distinct (e, m, backend) among live
+	// monitors.
+	snap := core.TickSnapshot{T: b.T, IDs: ids, Pts: pts, Edges: edges}
+	clusters := make(map[core.ClusterKey][][]model.ObjectID, len(f.sources))
+	var tickFull, tickInc, tickRecl int64
+	for key, src := range f.sources {
+		clusters[key] = src.Cluster(snap)
+		f.clusterPasses++
+		if inc, recl := src.LastPass(); inc {
+			tickInc++
+			tickRecl += int64(recl)
+		} else {
+			tickFull++
+			tickRecl += int64(recl)
+		}
+	}
+	f.passesFull += tickFull
+	f.passesInc += tickInc
+	f.reclustered += tickRecl
+	f.objectsSeen += int64(len(ids)) * int64(len(f.sources))
+	// Meter the sharing: len(sources) passes actually ran where a
+	// per-monitor engine would have run len(order).
+	f.cfg.metrics.feedPasses.Add(float64(len(f.sources)))
+	f.cfg.metrics.feedPassesNaive.Add(float64(len(f.order)))
+	f.cfg.metrics.feedPassesFull.Add(float64(tickFull))
+	f.cfg.metrics.feedPassesInc.Add(float64(tickInc))
+	f.cfg.metrics.feedReclustered.Add(float64(tickRecl))
+	f.cfg.metrics.feedObjectsSeen.Add(float64(len(ids) * len(f.sources)))
+	var out []ConvoyJSON
+	for _, fm := range f.order {
+		closed, err := fm.mon.AdvanceClusters(b.T, clusters[fm.key])
+		if err != nil {
+			// Unreachable after the feed-level tick check; surface
+			// as an internal error rather than corrupting the table.
+			return out, fmt.Errorf("serve: monitor %q: %w", fm.id, err)
+		}
+		for _, c := range closed {
+			f.emit(fm.id, c)
+			fm.closed++
+			out = append(out, f.history[len(f.history)-1].Convoy)
+		}
+	}
+	f.lastTick, f.started = b.T, true
+	f.ticks++
+	f.cfg.metrics.feedTicks.Inc()
+	f.cfg.metrics.feedPositions.Add(float64(len(b.Positions)))
+	return out, nil
 }
 
 // monitorStatus snapshots one monitor's counters (worker only).
@@ -472,37 +517,63 @@ func (f *feed) status(ctx context.Context) (FeedStatus, error) {
 	return st, err
 }
 
-// setIncremental applies the feed-level incremental-clustering knob to
-// every current cluster source and records it for sources created later.
-// nil leaves the default (incremental on where it applies); false forces
-// the from-scratch path; true restores the default threshold. The
-// server-wide DisableIncremental config and the process kill switch both
-// override a true.
+// applyIncremental applies the feed-level incremental-clustering knob to
+// every current cluster source and records it for sources created later
+// (worker only, or during recovery replay). nil is a no-op.
+func (f *feed) applyIncremental(on *bool) {
+	if on == nil {
+		return
+	}
+	f.incremental = on
+	for _, src := range f.sources {
+		if *on && !f.cfg.DisableIncremental {
+			src.SetIncremental(core.DefaultChurnThreshold)
+		} else {
+			src.SetIncremental(0)
+		}
+	}
+}
+
+// setIncremental is the client-facing incremental knob. nil leaves the
+// default (incremental on where it applies); false forces the from-scratch
+// path; true restores the default threshold. The server-wide
+// DisableIncremental config and the process kill switch both override a
+// true. On a durable feed the flip is journaled before it applies.
 func (f *feed) setIncremental(ctx context.Context, on *bool) error {
 	if on == nil {
 		return nil
 	}
 	_, err := f.do(ctx, func(f *feed) (any, error) {
-		f.incremental = on
-		for _, src := range f.sources {
-			if *on && !f.cfg.DisableIncremental {
-				src.SetIncremental(core.DefaultChurnThreshold)
-			} else {
-				src.SetIncremental(0)
+		if f.w != nil {
+			if err := f.appendSpecOp(specOp{Op: opIncremental, On: on}); err != nil {
+				return nil, fmt.Errorf("serve: journal incremental flip: %w", err)
 			}
 		}
+		f.applyIncremental(on)
 		return nil, nil
 	})
 	return err
 }
 
 // addMonitor registers a standing query on the feed at runtime. A monitor
-// added mid-stream starts chaining at the next ingested tick.
+// added mid-stream starts chaining at the next ingested tick. On a durable
+// feed the registration is journaled after it validates; a journal failure
+// unwinds the insert so memory and disk cannot disagree.
 func (f *feed) addMonitor(ctx context.Context, id string, p core.Params, clusterer string) (MonitorStatus, error) {
 	f.touch()
 	v, err := f.do(ctx, func(f *feed) (any, error) {
 		if err := f.insertMonitor(id, p, clusterer); err != nil {
 			return MonitorStatus{}, err
+		}
+		if f.w != nil {
+			pj := ParamsToJSON(p)
+			op := specOp{Op: opMonitorAdd, ID: id, Params: &pj, Clusterer: f.monitors[id].key.BackendName()}
+			if err := f.appendSpecOp(op); err != nil {
+				// A just-inserted monitor has no live candidates, so the
+				// unwind drains nothing and emits no events.
+				_, _ = f.dropMonitor(id)
+				return MonitorStatus{}, fmt.Errorf("serve: journal monitor add: %w", err)
+			}
 		}
 		return f.monitorStatus(f.monitors[id]), nil
 	})
@@ -536,36 +607,56 @@ func (f *feed) listMonitors(ctx context.Context) ([]MonitorStatus, error) {
 	return sts, err
 }
 
-// removeMonitor drains one monitor — its open candidates with sufficient
+// dropMonitor drains one monitor — its open candidates with sufficient
 // lifetime become tagged events — and drops it from the table, releasing
-// its cluster source when no other monitor shares the key.
+// its cluster source when no other monitor shares the key (worker only,
+// or during recovery replay).
+func (f *feed) dropMonitor(id string) ([]ConvoyJSON, error) {
+	fm, ok := f.monitors[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errNoMonitor, id)
+	}
+	drained := f.drainMonitor(fm)
+	delete(f.monitors, id)
+	f.cfg.metrics.monitors.Dec()
+	for i, other := range f.order {
+		if other == fm {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	shared := false
+	for _, other := range f.monitors {
+		if other.key == fm.key {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		delete(f.sources, fm.key)
+	}
+	return drained, nil
+}
+
+// removeMonitor is the client-facing monitor removal. On a durable feed
+// the removal is journaled before the monitor drains, so a crash between
+// the two replays the removal rather than resurrecting the monitor.
 func (f *feed) removeMonitor(ctx context.Context, id string) (MonitorCloseResponse, error) {
 	f.touch()
 	v, err := f.do(ctx, func(f *feed) (any, error) {
-		fm, ok := f.monitors[id]
-		if !ok {
+		if _, ok := f.monitors[id]; !ok {
 			return MonitorCloseResponse{}, fmt.Errorf("%w: %q", errNoMonitor, id)
 		}
-		resp := MonitorCloseResponse{ID: id, Drained: f.drainMonitor(fm)}
-		delete(f.monitors, id)
-		f.cfg.metrics.monitors.Dec()
-		for i, other := range f.order {
-			if other == fm {
-				f.order = append(f.order[:i], f.order[i+1:]...)
-				break
+		if f.w != nil {
+			if err := f.appendSpecOp(specOp{Op: opMonitorRemove, ID: id}); err != nil {
+				return MonitorCloseResponse{}, fmt.Errorf("serve: journal monitor remove: %w", err)
 			}
 		}
-		shared := false
-		for _, other := range f.monitors {
-			if other.key == fm.key {
-				shared = true
-				break
-			}
+		drained, err := f.dropMonitor(id)
+		if err != nil {
+			return MonitorCloseResponse{}, err
 		}
-		if !shared {
-			delete(f.sources, fm.key)
-		}
-		return resp, nil
+		return MonitorCloseResponse{ID: id, Drained: drained}, nil
 	})
 	resp, _ := v.(MonitorCloseResponse)
 	return resp, err
@@ -636,6 +727,14 @@ func (f *feed) close(ctx context.Context) (FeedCloseResponse, error) {
 		// The table dies with the feed: its monitors leave the gauge even
 		// though the map itself is not cleared.
 		f.cfg.metrics.monitors.Add(-float64(len(f.order)))
+		if f.w != nil {
+			// Release the file handles with the feed; the files stay on
+			// disk (the registry removes the directory on DELETE, keeps it
+			// on idle eviction so a restart resurrects the feed).
+			if err := f.w.close(); err != nil {
+				f.cfg.Logger.Error("wal close failed", "feed", f.name, "error", err.Error())
+			}
+		}
 		f.draining = true
 		return resp, nil
 	})

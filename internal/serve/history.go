@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/proxgraph"
+)
+
+// Historical queries: POST /v1/feeds/{name}/query runs a batch convoy
+// query over the tick window a durable feed's WAL retains. The window
+// streams out of the log exactly as clients ingested it — verbatim ticks,
+// gaps included — and feeds the same core.Query engine batch queries use,
+// so a historical answer over [from, to] equals a batch query over the
+// same stream slice. Unlike /v1/query the answer is never cached: the log
+// grows with every tick, so a window's contents are a moving target.
+
+// historyQuery validates, reads the window and runs the discovery. The
+// run holds a query-pool slot like a batch query, so a burst of
+// historical queries cannot starve the engine.
+func (s *Server) historyQuery(ctx context.Context, f *feed, req HistoryQueryRequest) (HistoryQueryResponse, error) {
+	if req.Algo == "" {
+		// A historical query replays a live stream's ticks, where CMC is
+		// the canonical semantics; the CuTS family stays opt-in.
+		req.Algo = AlgoCMC
+	}
+	pl, err := plan(QueryRequest{
+		Params:      req.Params,
+		Algo:        req.Algo,
+		Clusterer:   req.Clusterer,
+		Delta:       req.Delta,
+		Lambda:      req.Lambda,
+		Workers:     req.Workers,
+		Incremental: req.Incremental,
+	}, s.cfg.MaxWorkersPerQuery)
+	if err != nil {
+		return HistoryQueryResponse{}, err
+	}
+	from, to := model.Tick(math.MinInt64), model.Tick(math.MaxInt64)
+	if req.From != nil {
+		from = *req.From
+	}
+	if req.To != nil {
+		to = *req.To
+	}
+	if from > to {
+		return HistoryQueryResponse{}, badRequest(fmt.Errorf("serve: history window inverted (from %d > to %d)", from, to))
+	}
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	t0 := time.Now()
+	batches, err := f.window(ctx, from, to)
+	if err != nil {
+		return HistoryQueryResponse{}, err
+	}
+	resp := HistoryQueryResponse{
+		Convoys:   []ConvoyJSON{},
+		Params:    pl.req.Params,
+		Algo:      pl.algo,
+		Clusterer: pl.clusterer,
+		From:      req.From,
+		To:        req.To,
+		Ticks:     len(batches),
+	}
+	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
+	if s.cfg.DisableIncremental || (pl.req.Incremental != nil && !*pl.req.Incremental) {
+		opts = append(opts, core.WithIncremental(-1))
+	}
+	var db *model.DB
+	if pl.clusterer == proxgraph.Backend {
+		// Cluster the logged contact edges: rebuild the window's edge log
+		// and let the graph backend read it tick by tick, exactly like an
+		// uploaded a,b,t,w contact log.
+		log := proxgraph.NewLog()
+		edges := 0
+		for _, b := range batches {
+			for _, e := range b.Edges {
+				if err := log.Add(e.A, e.B, b.T, e.W); err != nil {
+					return HistoryQueryResponse{}, fmt.Errorf("serve: history window edges: %w", err)
+				}
+				edges++
+			}
+		}
+		if edges == 0 {
+			return resp, nil // no contacts in the window: no convoys
+		}
+		if db, err = log.DB(); err != nil {
+			return HistoryQueryResponse{}, fmt.Errorf("serve: history window edges: %w", err)
+		}
+		opts = append(opts, core.WithClusterer(log.Clusterer()))
+	} else {
+		if db, err = windowDB(batches); err != nil {
+			return HistoryQueryResponse{}, err
+		}
+		if db.Len() == 0 {
+			return resp, nil // no positions in the window: no convoys
+		}
+	}
+	resp.Objects = db.Len()
+	if pl.isCMC {
+		opts = append(opts, core.WithCMC())
+	} else {
+		opts = append(opts,
+			core.WithVariant(pl.variant),
+			core.WithDelta(pl.req.Delta),
+			core.WithLambda(pl.req.Lambda))
+	}
+	var st core.Stats
+	opts = append(opts, core.WithStats(&st))
+	release, err := s.q.acquire(ctx)
+	if err != nil {
+		return HistoryQueryResponse{}, err
+	}
+	defer release()
+	res, err := core.NewQuery(opts...).Run(ctx, db)
+	if err != nil {
+		return HistoryQueryResponse{}, err
+	}
+	if !pl.isCMC {
+		js := StatsToJSON(st)
+		resp.Stats = &js
+	}
+	labels := DBLabels(db)
+	for _, c := range res {
+		resp.Convoys = append(resp.Convoys, ConvoyToJSON(c, labels))
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	return resp, nil
+}

@@ -53,6 +53,20 @@ import (
 //	                                  recomputed; against objects_seen this
 //	                                  yields the feed's reuse ratio
 //	feed_objects_seen_total           objects pushed through clustering
+//	wal_appended_records_total        WAL records appended (one per batch)
+//	wal_appended_bytes_total          framed WAL bytes appended
+//	wal_fsyncs_total                  active-segment fsyncs
+//	wal_fsync_seconds                 fsync latency (the durability tax a
+//	                                  -wal-fsync=always ingest pays per batch)
+//	wal_segments                      open WAL segments across durable feeds
+//	wal_recovered_feeds_total         feeds rebuilt from their WAL at start
+//	wal_replayed_ticks_total          tick batches re-applied by recovery
+//	wal_truncated_bytes_total         torn-tail bytes dropped by recovery
+//	wal_recovery_seconds              wall time of the last recovery-on-start
+//
+// serveMetrics also implements wal.Observer (OnAppend/OnFsync/OnSegments),
+// the wal package's metrics-free hook; callbacks may arrive from each
+// log's interval-fsync goroutine, which the atomic instruments tolerate.
 type serveMetrics struct {
 	reg *metrics.Registry
 
@@ -79,6 +93,16 @@ type serveMetrics struct {
 	feedsDeleted      *metrics.Counter
 	feedsEvicted      *metrics.Counter
 	monitors          *metrics.Gauge
+
+	walAppendedRecords *metrics.Counter
+	walAppendedBytes   *metrics.Counter
+	walFsyncs          *metrics.Counter
+	walFsyncSeconds    *metrics.Histogram
+	walSegments        *metrics.Gauge
+	walRecoveredFeeds  *metrics.Counter
+	walReplayedTicks   *metrics.Counter
+	walTruncatedBytes  *metrics.Counter
+	walRecoverySeconds *metrics.Gauge
 
 	// Unregistered side counters backing the ServerStats snapshot: the
 	// labeled families above cannot be summed per label value without
@@ -136,8 +160,41 @@ func newServeMetrics(reg *metrics.Registry) *serveMetrics {
 	m.feedsEvicted = reg.Counter("convoyd_feeds_evicted_total", "Feeds evicted by the idle janitor.")
 	m.monitors = reg.Gauge("convoyd_monitors",
 		"Standing queries (monitors) registered across all feeds.")
+	m.walAppendedRecords = reg.Counter("convoyd_wal_appended_records_total",
+		"Write-ahead-log records appended across all durable feeds (one per accepted tick batch).")
+	m.walAppendedBytes = reg.Counter("convoyd_wal_appended_bytes_total",
+		"Framed write-ahead-log bytes appended across all durable feeds.")
+	m.walFsyncs = reg.Counter("convoyd_wal_fsyncs_total",
+		"Fsyncs of active WAL segments.")
+	m.walFsyncSeconds = reg.Histogram("convoyd_wal_fsync_seconds",
+		"WAL fsync latency in seconds — the durability tax each batch pays under -wal-fsync=always.", nil)
+	m.walSegments = reg.Gauge("convoyd_wal_segments",
+		"Open WAL segments across all durable feeds.")
+	m.walRecoveredFeeds = reg.Counter("convoyd_wal_recovered_feeds_total",
+		"Feeds rebuilt from their write-ahead logs at server start.")
+	m.walReplayedTicks = reg.Counter("convoyd_wal_replayed_ticks_total",
+		"Tick batches re-applied by WAL recovery.")
+	m.walTruncatedBytes = reg.Counter("convoyd_wal_truncated_bytes_total",
+		"Torn-tail bytes dropped by WAL recovery (segments and spec journals).")
+	m.walRecoverySeconds = reg.Gauge("convoyd_wal_recovery_seconds",
+		"Wall time of the last recovery-on-start replay.")
 	return m
 }
+
+// OnAppend implements wal.Observer: one record appended to some feed's log.
+func (m *serveMetrics) OnAppend(records, bytes int) {
+	m.walAppendedRecords.Add(float64(records))
+	m.walAppendedBytes.Add(float64(bytes))
+}
+
+// OnFsync implements wal.Observer: one fsync of an active segment.
+func (m *serveMetrics) OnFsync(d time.Duration) {
+	m.walFsyncs.Inc()
+	m.walFsyncSeconds.Observe(d.Seconds())
+}
+
+// OnSegments implements wal.Observer: open-segment count change.
+func (m *serveMetrics) OnSegments(delta int) { m.walSegments.Add(float64(delta)) }
 
 // bindServer registers the exposition-time gauges that read live server
 // structures; called once per Server, after those structures exist.
@@ -318,6 +375,19 @@ type ServerStats struct {
 	// the LRU result-cache size.
 	QueryInflight int64 `json:"query_inflight"`
 	CacheEntries  int   `json:"cache_entries"`
+	// WALAppendedRecords / WALAppendedBytes / WALFsyncs count write-ahead
+	// logging across all durable feeds; WALSegments is the open-segment
+	// count right now. All zero on an in-memory server.
+	WALAppendedRecords int64 `json:"wal_appended_records"`
+	WALAppendedBytes   int64 `json:"wal_appended_bytes"`
+	WALFsyncs          int64 `json:"wal_fsyncs"`
+	WALSegments        int64 `json:"wal_segments"`
+	// WALRecoveredFeeds / WALReplayedTicks / WALTruncatedBytes describe the
+	// recovery-on-start replay; WALRecoverySeconds its wall time.
+	WALRecoveredFeeds  int64   `json:"wal_recovered_feeds"`
+	WALReplayedTicks   int64   `json:"wal_replayed_ticks"`
+	WALTruncatedBytes  int64   `json:"wal_truncated_bytes"`
+	WALRecoverySeconds float64 `json:"wal_recovery_seconds"`
 }
 
 // Snapshot returns the server's counters at this instant. It is safe to
@@ -349,6 +419,14 @@ func (s *Server) Snapshot() ServerStats {
 		QueriesTimedOut:          int64(m.queriesTimedOut.Value()),
 		QueriesRejected:          int64(m.queriesRejected.Value()),
 		QueryInflight:            int64(m.queryInflight.Value()),
+		WALAppendedRecords:       int64(m.walAppendedRecords.Value()),
+		WALAppendedBytes:         int64(m.walAppendedBytes.Value()),
+		WALFsyncs:                int64(m.walFsyncs.Value()),
+		WALSegments:              int64(m.walSegments.Value()),
+		WALRecoveredFeeds:        int64(m.walRecoveredFeeds.Value()),
+		WALReplayedTicks:         int64(m.walReplayedTicks.Value()),
+		WALTruncatedBytes:        int64(m.walTruncatedBytes.Value()),
+		WALRecoverySeconds:       m.walRecoverySeconds.Value(),
 	}
 	if st.ObjectsSeen > 0 {
 		st.ReuseRatio = 1 - float64(st.ObjectsReclustered)/float64(st.ObjectsSeen)

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // registry is the named-feed table. It guards only the map — every
@@ -32,6 +34,7 @@ var (
 	errMonitorExists   = errors.New("serve: monitor already exists")
 	errTooManyMonitors = errors.New("serve: monitor limit reached")
 	errServerClosing   = errors.New("serve: server shutting down")
+	errNoWAL           = errors.New("serve: feed is not durable (server started without a data dir)")
 )
 
 // badRequestError marks an error as the client's fault (400). Wrap with
@@ -49,9 +52,15 @@ func newRegistry(cfg Config) *registry {
 }
 
 // create registers a new feed under the name, with the given clustering
-// backend for its default monitor ("" = dbscan).
+// backend for its default monitor ("" = dbscan). On a durable server the
+// feed's WAL directory is initialised first, so a feed that exists in
+// memory always has a manifest on disk.
 func (r *registry) create(name string, p core.Params, clusterer string) (*feed, error) {
 	if err := p.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	cl, err := ParseClusterer(clusterer)
+	if err != nil {
 		return nil, badRequest(err)
 	}
 	r.mu.Lock()
@@ -65,8 +74,25 @@ func (r *registry) create(name string, p core.Params, clusterer string) (*feed, 
 	if len(r.feeds) >= r.cfg.MaxFeeds {
 		return nil, fmt.Errorf("%w (%d)", errTooManyFeeds, r.cfg.MaxFeeds)
 	}
-	f, err := newFeed(name, p, clusterer, r.cfg)
+	var w *feedWAL
+	if r.cfg.WALDir != "" {
+		dir := feedWALDir(r.cfg.WALDir, name)
+		if wal.Exists(dir) {
+			// An idle-evicted durable feed left its log behind. Re-creating
+			// the name would fork its history; the client DELETEs the feed
+			// (removing the log) or restarts the server (resurrecting it).
+			return nil, fmt.Errorf("%w: %q (log on disk from an evicted feed; DELETE it or restart to recover)", errFeedExists, name)
+		}
+		if w, err = createFeedWAL(r.cfg, name, ParamsToJSON(p), cl.Name()); err != nil {
+			return nil, err
+		}
+	}
+	f, err := newFeed(name, p, clusterer, r.cfg, w)
 	if err != nil {
+		if w != nil {
+			_ = w.close()
+			_ = os.RemoveAll(feedWALDir(r.cfg.WALDir, name))
+		}
 		return nil, err
 	}
 	r.feeds[name] = f
@@ -106,10 +132,30 @@ func (r *registry) remove(_ context.Context, name string) (FeedCloseResponse, er
 	}
 	r.mu.Unlock()
 	if !ok {
+		if r.cfg.WALDir != "" {
+			if dir := feedWALDir(r.cfg.WALDir, name); wal.Exists(dir) {
+				// An idle-evicted durable feed: its worker is gone but its
+				// log is not. DELETE still means "forget the feed", so the
+				// directory goes; there is nothing left to drain.
+				if err := os.RemoveAll(dir); err != nil {
+					return FeedCloseResponse{}, fmt.Errorf("serve: remove feed wal: %w", err)
+				}
+				r.cfg.metrics.feedsDeleted.Inc()
+				return FeedCloseResponse{Drained: []ConvoyJSON{}}, nil
+			}
+		}
 		return FeedCloseResponse{}, fmt.Errorf("%w: %q", errNoFeed, name)
 	}
 	r.cfg.metrics.feedsDeleted.Inc()
-	return f.close(context.Background())
+	resp, err := f.close(context.Background())
+	if f.w != nil {
+		// The drain released the file handles; DELETE also forgets the
+		// history (idle eviction keeps it, so a restart resurrects the feed).
+		if rerr := os.RemoveAll(feedWALDir(r.cfg.WALDir, name)); rerr != nil && err == nil {
+			err = fmt.Errorf("serve: remove feed wal: %w", rerr)
+		}
+	}
+	return resp, err
 }
 
 // list snapshots the registered feeds, name-sorted.

@@ -29,6 +29,13 @@
 //     discovery run mid-clustering and frees the worker slot, and identical
 //     concurrent queries collapse into one shared run (Cache: "dedup").
 //
+// When configured with a WAL directory (convoyd -data-dir), feeds are
+// durable: every accepted tick batch is written ahead to a per-feed log
+// (internal/wal) before any monitor advances, monitor registrations are
+// journaled, and a restarting server replays the logs so its feeds come
+// back state-identical to a process that never stopped — including after
+// a crash mid-append. The retained window also serves historical queries.
+//
 // # HTTP API (all under /v1)
 //
 //	GET    /v1/healthz                      liveness + feed count
@@ -44,6 +51,9 @@
 //	POST   /v1/feeds/{name}/monitors        add a monitor     {id, params:{m,k,e}, clusterer?}
 //	GET    /v1/feeds/{name}/monitors/{id}   one monitor's status
 //	DELETE /v1/feeds/{name}/monitors/{id}   drain + remove    → {id, drained:[...]}
+//	POST   /v1/feeds/{name}/query           historical query over the feed's WAL window
+//	                                        {params, from?, to?, algo?, clusterer?}
+//	GET    /v1/feeds/{name}/wal             WAL status: segments, bytes, fsync, recovery
 //	POST   /v1/query                        batch query (body = CSV/CTB upload, params
 //	                                        in the query string; or JSON {path,...})
 //
@@ -95,6 +105,12 @@ func New(cfg Config) *Server {
 		janitorStop: make(chan struct{}),
 	}
 	s.routes()
+	if cfg.WALDir != "" {
+		// Recovery-on-start: resurrect every durable feed before the
+		// handler takes traffic, so the restarted server is state-identical
+		// to one that never stopped.
+		s.reg.recoverFeeds(cfg)
+	}
 	cfg.metrics.bindServer(s)
 	if cfg.IdleTimeout > 0 {
 		s.wg.Add(1)
@@ -218,7 +234,46 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/feeds/{name}/monitors", s.handleAddMonitor)
 	s.mux.HandleFunc("GET /v1/feeds/{name}/monitors/{id}", s.handleMonitorStatus)
 	s.mux.HandleFunc("DELETE /v1/feeds/{name}/monitors/{id}", s.handleDeleteMonitor)
+	s.mux.HandleFunc("POST /v1/feeds/{name}/query", s.handleHistoryQuery)
+	s.mux.HandleFunc("GET /v1/feeds/{name}/wal", s.handleWALStatus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+}
+
+// handleHistoryQuery answers a batch convoy query over the tick window a
+// durable feed's WAL retains (404 on in-memory feeds).
+func (s *Server) handleHistoryQuery(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req HistoryQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest(fmt.Errorf("decode history query: %w", err)))
+		return
+	}
+	resp, err := s.historyQuery(r.Context(), f, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWALStatus reports a durable feed's log shape, append/fsync
+// counters and recovery stats (404 on in-memory feeds).
+func (s *Server) handleWALStatus(w http.ResponseWriter, r *http.Request) {
+	f, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, rec, err := f.walStatus(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, walStatusJSON(f.name, s.cfg.WALFsync, st, rec))
 }
 
 // validPathName reports whether a client-chosen name (feed name, monitor
@@ -250,7 +305,8 @@ func statusFor(err error) int {
 		mbe *http.MaxBytesError
 	)
 	switch {
-	case errors.Is(err, errNoFeed), errors.Is(err, errNoMonitor), errors.Is(err, errDBNotFound):
+	case errors.Is(err, errNoFeed), errors.Is(err, errNoMonitor),
+		errors.Is(err, errDBNotFound), errors.Is(err, errNoWAL):
 		return http.StatusNotFound
 	case errors.Is(err, errFeedExists), errors.Is(err, errMonitorExists):
 		return http.StatusConflict

@@ -405,6 +405,98 @@ func ExplainFromTrace(tj trace.TraceJSON) (ExplainJSON, bool) {
 	return out, true
 }
 
+// HistoryQueryRequest is the body of POST /v1/feeds/{name}/query: a batch
+// convoy query over the tick window a durable feed's WAL retains. The
+// window replays the ticks clients actually ingested — verbatim, gaps
+// included — so the answer matches a batch query over the same stream.
+type HistoryQueryRequest struct {
+	Params ParamsJSON `json:"params"`
+	// From and To delimit the inclusive tick window; absent means unbounded
+	// on that side (the whole retained log when both are absent). Ticks
+	// compacted past the retention horizon are gone and silently excluded.
+	From *model.Tick `json:"from,omitempty"`
+	To   *model.Tick `json:"to,omitempty"`
+	// Algo selects the algorithm (default cmc — the canonical semantics for
+	// a replayed live stream; the CuTS family is opt-in and dbscan-only).
+	Algo string `json:"algo,omitempty"`
+	// Clusterer selects which logged signal the window is clustered on:
+	// "dbscan" (default) over the logged positions, "proxgraph" over the
+	// logged proximity edges.
+	Clusterer string `json:"clusterer,omitempty"`
+	// Delta and Lambda override the CuTS guidelines when > 0.
+	Delta  float64 `json:"delta,omitempty"`
+	Lambda int64   `json:"lambda,omitempty"`
+	// Workers requests a parallel discovery run, clamped to the server's
+	// MaxWorkersPerQuery like a batch query.
+	Workers int `json:"workers,omitempty"`
+	// Incremental, when false, forces the run's clustering onto the
+	// from-scratch path (a performance knob; the answer is identical).
+	Incremental *bool `json:"incremental,omitempty"`
+}
+
+// HistoryQueryResponse is the answer of POST /v1/feeds/{name}/query.
+type HistoryQueryResponse struct {
+	Convoys []ConvoyJSON `json:"convoys"`
+	Params  ParamsJSON   `json:"params"`
+	Algo    string       `json:"algo"`
+	// Clusterer is present only for non-default backends.
+	Clusterer string `json:"clusterer,omitempty"`
+	// From and To echo the request's window bounds.
+	From *model.Tick `json:"from,omitempty"`
+	To   *model.Tick `json:"to,omitempty"`
+	// Ticks counts the logged batches the window covered; Objects the
+	// distinct labels among them.
+	Ticks   int `json:"ticks"`
+	Objects int `json:"objects"`
+	// Stats carries the CuTS run statistics (absent for CMC).
+	Stats *StatsJSON `json:"stats,omitempty"`
+	// ElapsedMS is the wall time of the window read plus the discovery run.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// WALStatusJSON is the answer of GET /v1/feeds/{name}/wal: one durable
+// feed's log shape, append/fsync counters and recovery stats.
+type WALStatusJSON struct {
+	Feed string `json:"feed"`
+	// Fsync is the tick-record durability policy name (always, interval,
+	// never).
+	Fsync string `json:"fsync"`
+	// Segments, Bytes and Records describe the retained log (compacted
+	// segments excluded).
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	Records  int64 `json:"records"`
+	// FirstTick and LastTick delimit the retained tick range; null while
+	// the log holds no ticks.
+	FirstTick *model.Tick `json:"first_tick,omitempty"`
+	LastTick  *model.Tick `json:"last_tick,omitempty"`
+	// AppendedRecords and AppendedBytes count appends since this process
+	// opened the log; CompactedSegments the segments dropped past the
+	// retention horizon.
+	AppendedRecords   int64 `json:"appended_records"`
+	AppendedBytes     int64 `json:"appended_bytes"`
+	CompactedSegments int64 `json:"compacted_segments"`
+	// LastSync is the RFC 3339 time of the last fsync of the active
+	// segment; absent before the first.
+	LastSync *time.Time `json:"last_sync,omitempty"`
+	// Recovery is present when this feed was rebuilt from its WAL at server
+	// start.
+	Recovery *WALRecoveryJSON `json:"recovery,omitempty"`
+}
+
+// WALRecoveryJSON summarizes the replay that resurrected a feed.
+type WALRecoveryJSON struct {
+	ReplayedTicks int64 `json:"replayed_ticks"`
+	// SkippedTicks counts logged batches dropped as already-applied
+	// duplicates (at-least-once ingestion across a crash).
+	SkippedTicks int64 `json:"skipped_ticks"`
+	ReplayedOps  int64 `json:"replayed_ops"`
+	// TruncatedBytes is the torn tail dropped from the segments and the
+	// spec journal — > 0 means the previous process died mid-append.
+	TruncatedBytes int64   `json:"truncated_bytes"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
 // ErrorJSON is the body of every non-2xx response.
 type ErrorJSON struct {
 	Error string `json:"error"`

@@ -1,0 +1,203 @@
+package tsio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Tick-block binary format ("CTK"): the CTB-style encoding of one ingested
+// tick batch — the unit the write-ahead log appends per accepted
+// POST /v1/feeds/{name}/ticks batch. Unlike CTB (whole trajectories,
+// column-ish), a tick block is row-ish: everything one tick carried, both
+// object positions and proximity edges, so a log of blocks replays exactly
+// the batches a feed accepted, in order. Layout, integers as unsigned
+// varints unless noted:
+//
+//	magic "CTK1" (4 bytes)
+//	t (zig-zag varint; ticks may be negative)
+//	numPositions
+//	per position: labelLen, label bytes, x, y as IEEE-754 bits (8+8 LE)
+//	numEdges
+//	per edge: aLen, a bytes, bLen, b bytes, w as IEEE-754 bits (8 LE)
+//
+// Coordinates and weights round-trip bit-exactly. Labels travel as the
+// client's strings — dense ObjectIDs are a per-feed artifact that must not
+// be persisted (a recovered feed re-interns labels in replay order and
+// reproduces the same dense IDs).
+
+// tickBlockMagic identifies the format and its version.
+var tickBlockMagic = [4]byte{'C', 'T', 'K', '1'}
+
+// TickPosition is one object's location inside a TickBlock.
+type TickPosition struct {
+	Label string
+	X, Y  float64
+}
+
+// TickEdge is one proximity observation inside a TickBlock.
+type TickEdge struct {
+	A, B string
+	W    float64
+}
+
+// TickBlock is the persisted form of one tick batch: the snapshot of every
+// tracked object at one tick — positions, proximity edges, or both.
+type TickBlock struct {
+	T         model.Tick
+	Positions []TickPosition
+	Edges     []TickEdge
+}
+
+// AppendTickBlock appends the CTK encoding of the block to dst and returns
+// the extended slice.
+func AppendTickBlock(dst []byte, b TickBlock) []byte {
+	dst = append(dst, tickBlockMagic[:]...)
+	dst = binary.AppendVarint(dst, int64(b.T))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Positions)))
+	for _, p := range b.Positions {
+		dst = binary.AppendUvarint(dst, uint64(len(p.Label)))
+		dst = append(dst, p.Label...)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.X))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Y))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b.Edges)))
+	for _, e := range b.Edges {
+		dst = binary.AppendUvarint(dst, uint64(len(e.A)))
+		dst = append(dst, e.A...)
+		dst = binary.AppendUvarint(dst, uint64(len(e.B)))
+		dst = append(dst, e.B...)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.W))
+	}
+	return dst
+}
+
+// tickBlockReader decodes CTK fields off a byte slice with bounds and
+// plausibility checks suitable for corrupted or hostile inputs (the WAL
+// replay fuzzer feeds this arbitrary bytes).
+type tickBlockReader struct {
+	data []byte
+	off  int
+}
+
+func (r *tickBlockReader) remaining() int { return len(r.data) - r.off }
+
+func (r *tickBlockReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("tsio: tick block: truncated %s", what)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *tickBlockReader) varint(what string) (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("tsio: tick block: truncated %s", what)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *tickBlockReader) str(what string) (string, error) {
+	n, err := r.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("tsio: tick block: %s length %d exceeds %d remaining bytes", what, n, r.remaining())
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *tickBlockReader) float(what string) (float64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("tsio: tick block: truncated %s", what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// DecodeTickBlock parses one CTK-encoded tick block. The data must contain
+// exactly one block — trailing bytes are an error, since the WAL frames
+// each block as one CRC-checked record. Counts are guarded against the
+// remaining input before any allocation, and non-finite coordinates or
+// weights are rejected like ReadBinary rejects them: a damaged record must
+// fail decoding rather than poison a replayed monitor.
+func DecodeTickBlock(data []byte) (TickBlock, error) {
+	var b TickBlock
+	if len(data) < len(tickBlockMagic) || string(data[:len(tickBlockMagic)]) != string(tickBlockMagic[:]) {
+		return b, fmt.Errorf("tsio: tick block: bad magic (want %q)", tickBlockMagic)
+	}
+	r := &tickBlockReader{data: data, off: len(tickBlockMagic)}
+	t, err := r.varint("tick")
+	if err != nil {
+		return b, err
+	}
+	b.T = model.Tick(t)
+	nPos, err := r.uvarint("position count")
+	if err != nil {
+		return b, err
+	}
+	// A position is at least 17 bytes (one-byte label length + two floats),
+	// so the count is bounded by the remaining input.
+	if nPos > uint64(r.remaining())/17 {
+		return b, fmt.Errorf("tsio: tick block: implausible position count %d", nPos)
+	}
+	if nPos > 0 {
+		b.Positions = make([]TickPosition, 0, nPos)
+	}
+	for i := uint64(0); i < nPos; i++ {
+		var p TickPosition
+		if p.Label, err = r.str("position label"); err != nil {
+			return b, err
+		}
+		if p.X, err = r.float("position x"); err != nil {
+			return b, err
+		}
+		if p.Y, err = r.float("position y"); err != nil {
+			return b, err
+		}
+		if !finite(p.X) || !finite(p.Y) {
+			return b, fmt.Errorf("tsio: tick block: position %d: non-finite coordinates (%g, %g)", i, p.X, p.Y)
+		}
+		b.Positions = append(b.Positions, p)
+	}
+	nEdges, err := r.uvarint("edge count")
+	if err != nil {
+		return b, err
+	}
+	// An edge is at least 10 bytes (two one-byte label lengths + a float).
+	if nEdges > uint64(r.remaining())/10 {
+		return b, fmt.Errorf("tsio: tick block: implausible edge count %d", nEdges)
+	}
+	if nEdges > 0 {
+		b.Edges = make([]TickEdge, 0, nEdges)
+	}
+	for i := uint64(0); i < nEdges; i++ {
+		var e TickEdge
+		if e.A, err = r.str("edge label"); err != nil {
+			return b, err
+		}
+		if e.B, err = r.str("edge label"); err != nil {
+			return b, err
+		}
+		if e.W, err = r.float("edge weight"); err != nil {
+			return b, err
+		}
+		if !finite(e.W) {
+			return b, fmt.Errorf("tsio: tick block: edge %d: non-finite weight", i)
+		}
+		b.Edges = append(b.Edges, e)
+	}
+	if r.remaining() != 0 {
+		return b, fmt.Errorf("tsio: tick block: %d trailing bytes", r.remaining())
+	}
+	return b, nil
+}

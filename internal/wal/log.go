@@ -1,0 +1,463 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/tsio"
+)
+
+// errClosed reports an operation on a closed log.
+var errClosed = errors.New("wal: log closed")
+
+// manifestName is the creation record's file name inside a log directory.
+const manifestName = "MANIFEST"
+
+// manifest is the creation record: the format version and the owner's
+// opaque spec (the serving layer stores the feed's creation spec here and
+// gets it back verbatim from Open).
+type manifest struct {
+	Version int             `json:"version"`
+	Meta    json.RawMessage `json:"meta,omitempty"`
+}
+
+// manifestVersion is the current on-disk format version.
+const manifestVersion = 1
+
+// Log is one feed's write-ahead log: a directory of tick segments plus a
+// spec journal, owned by exactly one process at a time (the feed worker
+// serializes appends; the interval-sync goroutine only ever fsyncs).
+type Log struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex
+	segs   []segmentMeta // ascending index; the last one is active
+	active *os.File
+	// activeSince is when the active segment was created (age rotation).
+	activeSince time.Time
+	dirty       bool // unsynced bytes in the active segment
+	closed      bool
+
+	lastSync        time.Time
+	appendedRecords int64
+	appendedBytes   int64
+	compacted       int64
+	truncatedBytes  int64
+
+	stop     chan struct{}
+	syncDone chan struct{}
+}
+
+// Exists reports whether dir already holds a log (its manifest).
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Create initialises a fresh log in dir (created if missing), recording
+// meta — opaque owner bytes, returned verbatim by Open — in the manifest.
+// It fails if dir already holds a log.
+func Create(dir string, meta []byte, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if Exists(dir) {
+		return nil, fmt.Errorf("wal: %s: log already exists", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	data, err := json.Marshal(manifest{Version: manifestVersion, Meta: meta})
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode manifest: %w", err)
+	}
+	// The manifest is written once and must be durable before the feed
+	// acknowledges its creation: temp file, fsync, rename, fsync the dir.
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	if err := l.openSegment(1); err != nil {
+		return nil, err
+	}
+	l.startSyncLoop()
+	return l, nil
+}
+
+// Open resumes an existing log: the manifest's meta bytes are returned,
+// every sealed segment is CRC-verified, a torn tail of the final segment
+// is truncated away (its size lands in Status.TruncatedBytes), and the
+// final segment is reopened for appending. Corruption anywhere before the
+// tail fails the open — the directory is left untouched for inspection.
+func Open(dir string, opt Options) (*Log, []byte, error) {
+	opt = opt.withDefaults()
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, nil, fmt.Errorf("wal: decode manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, nil, fmt.Errorf("wal: manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	indexes, err := segmentIndexes(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opt: opt, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	for i, idx := range indexes {
+		last := i == len(indexes)-1
+		res, err := scanSegment(filepath.Join(dir, segmentName(idx)), idx, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.tornBytes > 0 {
+			// The crash signature: drop the partial record (and anything
+			// after it) so the segment ends on a record boundary again.
+			if err := os.Truncate(res.meta.path, res.meta.bytes); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			l.truncatedBytes += res.tornBytes
+		}
+		l.segs = append(l.segs, res.meta)
+	}
+	if len(l.segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		tail := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reopen segment: %w", err)
+		}
+		l.active = f
+		l.activeSince = time.Now()
+		l.opt.Observer.OnSegments(len(l.segs))
+	}
+	l.startSyncLoop()
+	return l, m.Meta, nil
+}
+
+// segmentIndexes lists the segment files in dir, ascending.
+func segmentIndexes(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unexpected segment file %q", name)
+		}
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// openSegment creates the segment with the given index and makes it the
+// active one (l.mu held, or before the log escapes its constructor).
+func (l *Log) openSegment(index uint64) error {
+	path := filepath.Join(l.dir, segmentName(index))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write(segmentHeader); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	l.segs = append(l.segs, segmentMeta{index: index, path: path, bytes: int64(len(segmentHeader))})
+	l.active = f
+	l.activeSince = time.Now()
+	l.opt.Observer.OnSegments(1)
+	return nil
+}
+
+// startSyncLoop arms the interval-fsync goroutine when the policy wants
+// one; otherwise the loop's done channel is closed immediately so Close
+// never waits on a goroutine that was never started.
+func (l *Log) startSyncLoop() {
+	if l.opt.Fsync != FsyncInterval {
+		close(l.syncDone)
+		return
+	}
+	go func() {
+		defer close(l.syncDone)
+		t := time.NewTicker(l.opt.FsyncInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				_ = l.Sync() // best-effort; Append surfaces real write errors
+			}
+		}
+	}()
+}
+
+// Append frames and writes one tick block, rotating and compacting first
+// when the active segment is full or stale. Under FsyncAlways the record
+// is on disk when Append returns; otherwise it is buffered in the OS until
+// the next interval sync, rotation or close.
+func (l *Log) Append(b tsio.TickBlock) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	payload := tsio.AppendTickBlock(nil, b)
+	frame := appendRecord(nil, payload)
+	tail := &l.segs[len(l.segs)-1]
+	if tail.records > 0 &&
+		(tail.bytes+int64(len(frame)) > l.opt.SegmentBytes ||
+			(l.opt.SegmentAge > 0 && time.Since(l.activeSince) >= l.opt.SegmentAge)) {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+		tail = &l.segs[len(l.segs)-1]
+	}
+	if _, err := l.active.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	tail.bytes += int64(len(frame))
+	tail.records++
+	tail.note(b.T)
+	l.appendedRecords++
+	l.appendedBytes += int64(len(frame))
+	l.dirty = true
+	l.opt.Observer.OnAppend(1, len(frame))
+	if l.opt.Fsync == FsyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// rotate seals the active segment and opens the next one (l.mu held). The
+// sealed file is fsynced first — except under FsyncNever — so sealed
+// segments are durable whole-or-not-at-all; then segments wholly past the
+// retention horizon are compacted away.
+func (l *Log) rotate() error {
+	if l.opt.Fsync != FsyncNever {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	next := l.segs[len(l.segs)-1].index + 1
+	if err := l.openSegment(next); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.compactLocked()
+	return nil
+}
+
+// compactLocked drops sealed segments whose newest tick is older than the
+// retention horizon (l.mu held). The active segment never compacts.
+func (l *Log) compactLocked() {
+	if l.opt.RetainTicks <= 0 {
+		return
+	}
+	newest := l.segs[len(l.segs)-1]
+	horizon := model.Tick(0)
+	hasHorizon := false
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		if l.segs[i].hasTick {
+			horizon = l.segs[i].last - model.Tick(l.opt.RetainTicks)
+			hasHorizon = true
+			break
+		}
+	}
+	if !hasHorizon {
+		return
+	}
+	kept := l.segs[:0]
+	removed := 0
+	for _, seg := range l.segs {
+		if seg.index != newest.index && seg.hasTick && seg.last < horizon {
+			// Best-effort: a segment that refuses to delete stays counted.
+			if err := os.Remove(seg.path); err == nil {
+				l.compacted++
+				removed++
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	if removed > 0 {
+		l.opt.Observer.OnSegments(-removed)
+	}
+}
+
+// Sync forces buffered appends of the active segment to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.active == nil {
+		return nil
+	}
+	t0 := time.Now()
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	l.opt.Observer.OnFsync(time.Since(t0))
+	return nil
+}
+
+// Replay streams every retained tick block through fn in append order —
+// the recovery path. fn errors abort the replay and are returned.
+func (l *Log) Replay(fn func(tsio.TickBlock) error) error {
+	return l.ReadRange(0, 0, false, fn)
+}
+
+// ReadRange streams the tick blocks with from ≤ t ≤ to through fn in
+// append order, touching only segments whose tick range overlaps the
+// window. With bounded=false the window is ignored and everything is
+// read. Safe to call concurrently with Append: the snapshot taken under
+// the lock bounds each segment read to its validated length, and appends
+// are visible immediately regardless of the fsync policy (reads go
+// through the file system, durability is Sync's concern alone).
+func (l *Log) ReadRange(from, to model.Tick, bounded bool, fn func(tsio.TickBlock) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
+	}
+	segs := make([]segmentMeta, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+	for _, seg := range segs {
+		if seg.records == 0 {
+			continue
+		}
+		if bounded && seg.hasTick && (seg.last < from || seg.first > to) {
+			continue
+		}
+		err := readSegment(seg.path, seg.bytes, func(b tsio.TickBlock) error {
+			if bounded && (b.T < from || b.T > to) {
+				return nil
+			}
+			return fn(b)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status snapshots the log's meters.
+func (l *Log) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Status{
+		Segments:          len(l.segs),
+		AppendedRecords:   l.appendedRecords,
+		AppendedBytes:     l.appendedBytes,
+		CompactedSegments: l.compacted,
+		LastSync:          l.lastSync,
+		TruncatedBytes:    l.truncatedBytes,
+	}
+	for _, seg := range l.segs {
+		st.Bytes += seg.bytes
+		st.Records += seg.records
+		if seg.hasTick {
+			if !st.HasTicks {
+				st.FirstTick, st.LastTick, st.HasTicks = int64(seg.first), int64(seg.last), true
+			} else {
+				if int64(seg.first) < st.FirstTick {
+					st.FirstTick = int64(seg.first)
+				}
+				if int64(seg.last) > st.LastTick {
+					st.LastTick = int64(seg.last)
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the active segment and stops the interval-sync
+// goroutine. The files stay on disk; Open resumes them. Safe to call
+// twice.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.active.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close segment: %w", cerr)
+	}
+	l.closed = true
+	l.opt.Observer.OnSegments(-len(l.segs))
+	close(l.stop)
+	l.mu.Unlock()
+	<-l.syncDone
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

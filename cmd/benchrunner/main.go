@@ -45,7 +45,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling, monitors, cancel, soak, clusterers, increment, wal) or 'all'")
+		exp       = flag.String("exp", "all", "experiment id (table3, fig12..fig17, fig19, scaling, monitors, cancel, soak, clusterers, increment, wal, distributed) or 'all'")
 		scale     = flag.Float64("scale", 0.05, "time-domain scale (1 = paper's Table 3 sizes)")
 		seed      = flag.Int64("seed", 1, "random seed for data generation")
 		workers   = flag.Int("workers", 1, "goroutines per discovery stage for the experiments (scaling sweeps its own counts)")

@@ -7,6 +7,7 @@
 //	convoyd -addr :8764 [-data dir] [-idle 10m] [-query-workers 8] [-cache 64] [-max-monitors 64] [-max-edges-per-tick 65536] [-request-timeout 30s]
 //	        [-data-dir dir] [-no-wal] [-wal-fsync always|interval|never] [-wal-fsync-interval 100ms]
 //	        [-wal-segment-bytes 4194304] [-wal-segment-age 0] [-wal-retain-ticks 0]
+//	        [-shard | -shards host:port,host:port,...]
 //	        [-metrics-addr :9090] [-pprof] [-log-format text|json] [-log-level info] [-slow-query 250ms] [-trace-sample 0.01]
 //
 // Quick start against a running server:
@@ -48,6 +49,24 @@
 //
 //	curl -X POST localhost:8764/v1/feeds/fleet/query -d '{"params":{"m":2,"k":3,"e":1},"from":0,"to":500}'
 //	curl localhost:8764/v1/feeds/fleet/wal
+//
+// # Distributed queries
+//
+// A convoyd fleet splits batch queries across machines. Start shards with
+// -shard (enabling POST /v1/shard/query, the versioned window RPC) and a
+// coordinator pointing at them:
+//
+//	convoyd -addr :8765 -shard &
+//	convoyd -addr :8766 -shard &
+//	convoyd -addr :8764 -shards localhost:8765,localhost:8766
+//
+// The coordinator answers POST /v1/query exactly like a single node — it
+// splits the database's time range into overlapping windows (overlap k−1,
+// so convoys crossing a boundary are seen whole by at least one side),
+// assigns one window per shard, and merges the partial answers into the
+// exact global result. Caching, in-flight dedup of identical queries and
+// the query-worker bound all apply to the fan-out as a unit. -shard and
+// -shards are mutually exclusive: a process is a shard or a coordinator.
 //
 // # Observability
 //
@@ -94,6 +113,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -139,6 +159,8 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "trace every request and log a structured record with the full span tree for any request slower than this (0 = off)")
 		traceSample = flag.Float64("trace-sample", 0, "probability in [0,1] of tracing an ordinary request into /debug/traces (explain and slow-query tracing work regardless)")
 		noIncr      = flag.Bool("no-incremental", false, "force every clustering pass (feeds and batch queries) onto the from-scratch path; answers are identical, the incremental reuse is just disabled")
+		shardMode   = flag.Bool("shard", false, "serve as a distributed-query shard: enable POST /v1/shard/query, the RPC a coordinator assigns time windows over (mutually exclusive with -shards)")
+		shardList   = flag.String("shards", "", "comma-separated shard base URLs (host:port or http://host:port); serve as a distributed-query coordinator fanning every batch query out over these shards (mutually exclusive with -shard)")
 
 		walDir           = flag.String("data-dir", "", "durable-feed directory: per-feed write-ahead logs live under <dir>/feeds and are replayed on start (empty = feeds are in-memory)")
 		noWAL            = flag.Bool("no-wal", false, "kill switch: keep feeds in-memory even when -data-dir is set")
@@ -149,6 +171,28 @@ func main() {
 		walRetain        = flag.Int64("wal-retain-ticks", 0, "compact WAL segments wholly older than the last tick minus this many ticks; bounds disk and the historical-query window (0 = retain everything)")
 	)
 	flag.Parse()
+
+	var shards []string
+	if *shardList != "" {
+		if *shardMode {
+			fmt.Fprintln(os.Stderr, "convoyd: -shard and -shards are mutually exclusive (a server is a shard or a coordinator, not both)")
+			os.Exit(2)
+		}
+		for _, s := range strings.Split(*shardList, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			if !strings.Contains(s, "://") {
+				s = "http://" + s
+			}
+			shards = append(shards, s)
+		}
+		if len(shards) == 0 {
+			fmt.Fprintln(os.Stderr, "convoyd: -shards lists no shard addresses")
+			os.Exit(2)
+		}
+	}
 
 	fsync, err := wal.ParseFsyncPolicy(*walFsync)
 	if err != nil {
@@ -188,10 +232,18 @@ func main() {
 		Logger:             logger,
 		Tracer:             tracer,
 		SlowQuery:          *slowQuery,
+		Shards:             shards,
+		ShardMode:          *shardMode,
 	})
 	reg.PublishExpvar("convoyd")
 	if feedDir != "" {
 		logger.Info("durable feeds enabled", "data_dir", feedDir, "fsync", fsync.String())
+	}
+	if *shardMode {
+		logger.Info("shard mode: serving POST /v1/shard/query")
+	}
+	if len(shards) > 0 {
+		logger.Info("coordinator mode: fanning batch queries out", "shards", strings.Join(shards, ","))
 	}
 
 	// The API mux: everything the serve package routes lives under /v1,

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	convoyfind -input traj.csv -m 3 -k 180 -e 8 [-algo cuts*] [-delta δ] [-lambda λ]
-//	           [-clusterer dbscan|proxgraph] [-workers N] [-limit N] [-timeout 30s]
+//	           [-clusterer dbscan|proxgraph] [-workers N] [-partitions N] [-limit N] [-timeout 30s]
 //	           [-stats] [-explain] [-format text|json|jsonl|json-array]
 //
 // The input format is "obj,t,x,y" with a header line (see the tsio
@@ -67,6 +67,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "deprecated alias for -format json-array (ignored when -format is given)")
 		workers   = flag.Int("workers", 0, "goroutines per discovery stage (0 = all CPU cores, 1 = serial)")
 		limit     = flag.Int("limit", 0, "stop after this many convoys, abandoning the remaining scan (0 = all)")
+		parts     = flag.Int("partitions", 0, "split the time range into this many overlapping windows, mine them independently and merge — the answer is identical, the scan parallelises (0/1 = single pass)")
 		timeout   = flag.Duration("timeout", 0, "abort discovery after this long (0 = no deadline)")
 		noIncr    = flag.Bool("no-incremental", false, "force from-scratch clustering every tick (disables the incremental fast path; answers are identical)")
 	)
@@ -120,7 +121,7 @@ func main() {
 	opts := options{
 		input: *input, m: *m, k: *k, e: *e, algo: *algo, clusterer: *clusterer,
 		delta: *delta, lambda: *lambda, workers: *workers,
-		limit: *limit, stats: *stats, explain: *explain, format: *format,
+		limit: *limit, partitions: *parts, stats: *stats, explain: *explain, format: *format,
 		noIncremental: *noIncr,
 	}
 	if err := run(ctx, os.Stdout, opts); err != nil {
@@ -147,9 +148,13 @@ type options struct {
 	lambda    int64
 	workers   int
 	limit     int
-	stats     bool
-	explain   bool
-	format    string
+	// partitions splits the scan into overlapping time windows mined
+	// independently and merged (-partitions); the answer never depends
+	// on it.
+	partitions int
+	stats      bool
+	explain    bool
+	format     string
 	// noIncremental pins every CMC clustering pass to the from-scratch
 	// path (-no-incremental); the answers never depend on it.
 	noIncremental bool
@@ -193,6 +198,9 @@ func buildQuery(o options, st *convoys.Stats, log *convoys.ProximityLog) (*convo
 	}
 	if o.limit > 0 {
 		opts = append(opts, convoys.WithLimit(o.limit))
+	}
+	if o.partitions > 1 {
+		opts = append(opts, convoys.WithPartitions(o.partitions))
 	}
 	if o.noIncremental {
 		opts = append(opts, convoys.WithIncremental(-1))

@@ -240,6 +240,14 @@ func WithWorkers(n int) QueryOption { return core.WithWorkers(n) }
 // abandoning the remaining clustering work.
 func WithLimit(n int) QueryOption { return core.WithLimit(n) }
 
+// WithPartitions splits the database's time range into n overlapping
+// windows (overlap k−1 ticks), mines each independently on the query's
+// worker pool and merges the partial answers — the same partition/merge a
+// convoyd coordinator runs across shard processes, here in one process.
+// The answer set is identical to the single-pass run for every n; n ≤ 1
+// disables partitioning.
+func WithPartitions(n int) QueryOption { return core.WithPartitions(n) }
+
 // WithStats directs run statistics (phase timings, candidate counts,
 // clustering passes) into st, written once per Run/Seq completion.
 func WithStats(st *Stats) QueryOption { return core.WithStats(st) }

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// TestPartitionWindowsInvariants pins the geometric contract behind the
+// merge's exactness: the windows cover the domain, consecutive windows
+// overlap by exactly k−1 ticks, and every k consecutive ticks lie entirely
+// inside some window.
+func TestPartitionWindowsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		lo := model.Tick(rng.Intn(40) - 20)
+		span := int64(1 + rng.Intn(60))
+		hi := lo + model.Tick(span) - 1
+		k := int64(1 + rng.Intn(12))
+		n := 1 + rng.Intn(9)
+		ws := PartitionWindows(lo, hi, k, n)
+		if len(ws) == 0 {
+			t.Fatalf("no windows for [%d,%d] k=%d n=%d", lo, hi, k, n)
+		}
+		if len(ws) > n {
+			t.Fatalf("[%d,%d] k=%d n=%d: %d windows > n", lo, hi, k, n, len(ws))
+		}
+		if ws[0].Lo != lo || ws[len(ws)-1].Hi != hi {
+			t.Fatalf("[%d,%d] k=%d n=%d: windows %v do not span the domain", lo, hi, k, n, ws)
+		}
+		for i, w := range ws {
+			if w.Hi < w.Lo {
+				t.Fatalf("inverted window %v", w)
+			}
+			if i > 0 {
+				overlap := int64(ws[i-1].Hi-w.Lo) + 1
+				if len(ws) > 1 && i < len(ws)-1 && overlap != k-1 {
+					t.Fatalf("[%d,%d] k=%d n=%d: windows %d/%d overlap %d, want %d", lo, hi, k, n, i-1, i, overlap, k-1)
+				}
+				if overlap < k-1 {
+					t.Fatalf("[%d,%d] k=%d n=%d: windows %d/%d overlap %d < k-1", lo, hi, k, n, i-1, i, overlap)
+				}
+			}
+		}
+		// Every k-tick run of the domain fits inside one window.
+		for s := lo; s+model.Tick(k)-1 <= hi; s++ {
+			ok := false
+			for _, w := range ws {
+				if s >= w.Lo && s+model.Tick(k)-1 <= w.Hi {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("[%d,%d] k=%d n=%d: k-run starting at %d not inside any of %v", lo, hi, k, n, s, ws)
+			}
+		}
+	}
+}
+
+// TestSliceTimeInterpolates pins the interpolation-aware slicing: a window
+// boundary falling inside a sampling gap materializes the virtual location,
+// so the sliced trajectory agrees with the original at every in-window tick.
+func TestSliceTimeInterpolates(t *testing.T) {
+	tr, err := model.NewTrajectory("a", []model.Sample{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: 10, P: geom.Pt(10, 20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := model.NewDB()
+	db.Add(tr)
+	sliced, ids := SliceTime(db, 3, 7)
+	if sliced.Len() != 1 || len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("slice: %d objects, ids %v", sliced.Len(), ids)
+	}
+	got := sliced.Traj(0)
+	if got.Start() != 3 || got.End() != 7 {
+		t.Fatalf("sliced span [%d,%d], want [3,7]", got.Start(), got.End())
+	}
+	for tk := model.Tick(3); tk <= 7; tk++ {
+		want, _ := tr.LocationAt(tk)
+		have, ok := got.LocationAt(tk)
+		if !ok || have != want {
+			t.Fatalf("tick %d: sliced %v (ok=%v), want %v", tk, have, ok, want)
+		}
+	}
+	// An object entirely outside the window is dropped.
+	if s, ids := SliceTime(db, 20, 30); s.Len() != 0 || len(ids) != 0 {
+		t.Fatalf("out-of-window slice kept %d objects", s.Len())
+	}
+}
+
+// convoyDB builds a randomized database with engineered convoy structure:
+// objects joining and leaving shared anchors, sampling gaps, staggered
+// lifespans — the adversarial inputs for the merged ≡ single-pass property.
+func convoyDB(t *testing.T, rng *rand.Rand) *model.DB {
+	t.Helper()
+	const (
+		objects = 8
+		ticks   = 36
+	)
+	// Two anchors wander along precomputed paths shared by every follower;
+	// each object follows an anchor for random stretches or walks alone.
+	paths := make([][2]geom.Point, ticks+1)
+	a := [2]geom.Point{geom.Pt(10, 10), geom.Pt(60, 60)}
+	for tk := range paths {
+		paths[tk] = a
+		for i := range a {
+			a[i] = geom.Pt(a[i].X+rng.Float64()-0.5, a[i].Y+rng.Float64()-0.5)
+		}
+	}
+	db := model.NewDB()
+	for o := 0; o < objects; o++ {
+		start := model.Tick(rng.Intn(8))
+		end := model.Tick(ticks - rng.Intn(8))
+		pos := geom.Pt(rng.Float64()*80, rng.Float64()*80)
+		mode := rng.Intn(3) // 0,1: follow anchor; 2: alone
+		var samples []model.Sample
+		for tk := start; tk <= end; tk++ {
+			if rng.Float64() < 0.1 {
+				mode = rng.Intn(3)
+			}
+			switch mode {
+			case 0, 1:
+				an := paths[tk][mode]
+				pos = geom.Pt(an.X+rng.Float64()*2-1, an.Y+rng.Float64()*2-1)
+			default:
+				pos = geom.Pt(pos.X+rng.Float64()*2-1, pos.Y+rng.Float64()*2-1)
+			}
+			// Sampling gaps: skip some interior ticks (first and last kept so
+			// the lifespan is exact).
+			if tk != start && tk != end && rng.Float64() < 0.15 {
+				continue
+			}
+			samples = append(samples, model.Sample{T: tk, P: pos})
+		}
+		tr, err := model.NewTrajectory(fmt.Sprintf("o%d", o), samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Add(tr)
+	}
+	return db
+}
+
+// TestPartitionedEquivalence is the acceptance property test: the
+// partitioned plan returns exactly the single-pass answer for every
+// algorithm variant, partition count and worker count. Run under -race it
+// also exercises the parallel per-partition mining.
+func TestPartitionedEquivalence(t *testing.T) {
+	p := Params{M: 2, K: 3, Eps: 4}
+	algos := []struct {
+		name string
+		opt  Option
+	}{
+		{"cmc", WithCMC()},
+		{"cuts", WithVariant(VariantCuTS)},
+		{"cuts+", WithVariant(VariantCuTSPlus)},
+		{"cuts*", WithVariant(VariantCuTSStar)},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		db := convoyDB(t, rand.New(rand.NewSource(seed)))
+		for _, algo := range algos {
+			want, err := NewQuery(WithParams(p), algo.opt).Run(context.Background(), db)
+			if err != nil {
+				t.Fatalf("seed %d %s single-pass: %v", seed, algo.name, err)
+			}
+			for _, parts := range []int{1, 2, 3, 7} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("seed%d/%s/p%d/w%d", seed, algo.name, parts, workers)
+					got, err := NewQuery(WithParams(p), algo.opt,
+						WithPartitions(parts), WithWorkers(workers)).Run(context.Background(), db)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("%s: partitioned ≠ single-pass\npartitioned:\n%v\nsingle-pass:\n%v", name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// boundaryDB lays out hand-checked scenarios around the window boundary at
+// tick 5 (PartitionWindows(0, 9, 2, 2) = [0,5], [4,9]). Objects are glued
+// (distance 0) when listed at the same anchor.
+func scenarioWindows(t *testing.T, k int64) []Window {
+	t.Helper()
+	ws := PartitionWindows(0, 9, k, 2)
+	if len(ws) != 2 || ws[0].Lo != 0 || ws[1].Hi != 9 {
+		t.Fatalf("unexpected windows %v", ws)
+	}
+	return ws
+}
+
+// runBoth runs the query single-pass and partitioned (both via
+// WithPartitions and via the explicit SliceTime/MergePartials pipeline)
+// and requires all three answers to be identical.
+func runBoth(t *testing.T, db *model.DB, p Params, n int) Result {
+	t.Helper()
+	want, err := NewQuery(WithParams(p), WithCMC()).Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewQuery(WithParams(p), WithCMC(), WithPartitions(n)).Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("WithPartitions(%d) ≠ single-pass\ngot:\n%v\nwant:\n%v", n, got, want)
+	}
+	// The explicit pipeline: slice, mine, remap, merge.
+	lo, hi, _ := db.TimeRange()
+	ws := PartitionWindows(lo, hi, p.K, n)
+	parts := make([][]Convoy, len(ws))
+	for i, w := range ws {
+		sliced, ids := SliceTime(db, w.Lo, w.Hi)
+		res, err := NewQuery(WithParams(p), WithCMC()).Run(context.Background(), sliced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = RemapConvoys(res, ids)
+	}
+	merged := MergePartials(ws, parts, p)
+	if !merged.Equal(want) {
+		t.Fatalf("MergePartials ≠ single-pass\nmerged:\n%v\nwant:\n%v", merged, want)
+	}
+	return want
+}
+
+// expect asserts that the result contains a convoy with exactly these
+// members and interval.
+func expect(t *testing.T, res Result, members []model.ObjectID, lo, hi model.Tick) {
+	t.Helper()
+	want := Convoy{Objects: members, Start: lo, End: hi}
+	for _, c := range res {
+		if c.Equal(want) {
+			return
+		}
+	}
+	t.Fatalf("result missing %v; got:\n%v", want, res)
+}
+
+// TestMergeBoundarySpan: a convoy exactly spanning the partition boundary
+// is reassembled from its two partials.
+func TestMergeBoundarySpan(t *testing.T) {
+	p := Params{M: 2, K: 4, Eps: 1}
+	scenarioWindows(t, p.K) // sanity: [0,5],[4,9] shape (overlap k−1 = 3 → recompute)
+	together := func(tk model.Tick) bool { return tk >= 3 && tk <= 8 }
+	rows := make([][]geom.Point, 2)
+	for o := range rows {
+		row := make([]geom.Point, 10)
+		for tk := 0; tk < 10; tk++ {
+			if together(model.Tick(tk)) {
+				row[tk] = geom.Pt(50, 50)
+			} else {
+				row[tk] = geom.Pt(float64(o)*100, float64(tk)*10)
+			}
+		}
+		rows[o] = row
+	}
+	db := buildDB(t, 0, rows...)
+	res := runBoth(t, db, p, 2)
+	expect(t, res, []model.ObjectID{0, 1}, 3, 8)
+}
+
+// TestMergeThreePartitions: a convoy straddling three partitions is
+// stitched through the middle window.
+func TestMergeThreePartitions(t *testing.T) {
+	p := Params{M: 2, K: 3, Eps: 1}
+	const ticks = 12
+	rows := make([][]geom.Point, 2)
+	for o := range rows {
+		row := make([]geom.Point, ticks)
+		for tk := 0; tk < ticks; tk++ {
+			if tk >= 1 && tk <= 10 {
+				row[tk] = geom.Pt(5, 5)
+			} else {
+				row[tk] = geom.Pt(float64(o)*100, 90)
+			}
+		}
+		rows[o] = row
+	}
+	db := buildDB(t, 0, rows...)
+	lo, hi, _ := db.TimeRange()
+	if ws := PartitionWindows(lo, hi, p.K, 3); len(ws) != 3 {
+		t.Fatalf("want 3 windows, got %v", ws)
+	}
+	res := runBoth(t, db, p, 3)
+	expect(t, res, []model.ObjectID{0, 1}, 1, 10)
+}
+
+// TestMergeLifetimeExactlyKInOverlap: convoys of lifetime exactly k that
+// end (or start) exactly at the shared boundary tick are each visible in
+// full to only one window — the other sees a sub-k fragment it never
+// reports — and must come out exactly once.
+func TestMergeLifetimeExactlyKInOverlap(t *testing.T) {
+	p := Params{M: 2, K: 2, Eps: 1}
+	ws := scenarioWindows(t, p.K) // [0,5],[5,9]: the overlap is tick 5 alone
+	if ws[0].Hi != 5 || ws[1].Lo != 5 {
+		t.Fatalf("unexpected overlap %v", ws)
+	}
+	rows := make([][]geom.Point, 4)
+	for o := range rows {
+		row := make([]geom.Point, 10)
+		for tk := 0; tk < 10; tk++ {
+			switch {
+			case o < 2 && (tk == 4 || tk == 5): // ends at the boundary tick
+				row[tk] = geom.Pt(7, 7)
+			case o >= 2 && (tk == 5 || tk == 6): // starts at the boundary tick
+				row[tk] = geom.Pt(30, 30)
+			default:
+				row[tk] = geom.Pt(float64(o)*100+300, float64(tk)*10)
+			}
+		}
+		rows[o] = row
+	}
+	db := buildDB(t, 0, rows...)
+	res := runBoth(t, db, p, 2)
+	expect(t, res, []model.ObjectID{0, 1}, 4, 5)
+	expect(t, res, []model.ObjectID{2, 3}, 5, 6)
+	if len(res) != 2 {
+		t.Fatalf("want exactly two convoys, got:\n%v", res)
+	}
+}
+
+// TestMergeLeaveAndRejoin: an object that leaves the group exactly at the
+// boundary (shrinking the convoy) and one that rejoins later must not be
+// stitched across the gap; the shrunken convoy extends exactly.
+func TestMergeLeaveAndRejoin(t *testing.T) {
+	p := Params{M: 2, K: 2, Eps: 1}
+	scenarioWindows(t, p.K) // [0,5],[4,9]
+	// o0, o1 together the whole time; o2 with them only on [0,5]; o3 joins
+	// the group on [2,4], leaves, and rejoins on [7,9] — two separate
+	// answers that must not merge (5 and 7 are not adjacent... 4+1=5 < 7).
+	rows := make([][]geom.Point, 4)
+	for o := range rows {
+		row := make([]geom.Point, 10)
+		for tk := 0; tk < 10; tk++ {
+			at := func(cond bool) geom.Point {
+				if cond {
+					return geom.Pt(20, 20)
+				}
+				return geom.Pt(float64(o)*100+200, float64(tk)*10)
+			}
+			switch o {
+			case 0, 1:
+				row[tk] = at(true)
+			case 2:
+				row[tk] = at(tk <= 5)
+			case 3:
+				row[tk] = at((tk >= 2 && tk <= 4) || tk >= 7)
+			}
+		}
+		rows[o] = row
+	}
+	db := buildDB(t, 0, rows...)
+	res := runBoth(t, db, p, 2)
+	expect(t, res, []model.ObjectID{0, 1}, 0, 9)
+	expect(t, res, []model.ObjectID{0, 1, 2}, 0, 5)
+	expect(t, res, []model.ObjectID{0, 1, 2, 3}, 2, 4)
+	expect(t, res, []model.ObjectID{0, 1, 3}, 7, 9)
+}
+
+// TestPartitionedCancellation: a cancelled partitioned run returns the
+// context error, not a partial answer.
+func TestPartitionedCancellation(t *testing.T) {
+	db := convoyDB(t, rand.New(rand.NewSource(9)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewQuery(WithParams(Params{M: 2, K: 3, Eps: 4}), WithCMC(),
+		WithPartitions(4), WithWorkers(2)).Run(ctx, db)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestPartitionedStats: the partitioned run aggregates sub-run statistics
+// and reports the partition count.
+func TestPartitionedStats(t *testing.T) {
+	db := convoyDB(t, rand.New(rand.NewSource(3)))
+	var st Stats
+	_, err := NewQuery(WithParams(Params{M: 2, K: 3, Eps: 4}), WithCMC(),
+		WithPartitions(3), WithStats(&st)).Run(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPartitions != 3 {
+		t.Fatalf("NumPartitions = %d, want 3", st.NumPartitions)
+	}
+	if st.ClusterPasses == 0 {
+		t.Fatal("no cluster passes recorded")
+	}
+}

@@ -46,6 +46,10 @@ type Query struct {
 	limit     int
 	statsOut  *Stats
 
+	// partitions > 1 selects the partition → local-mine → merge execution
+	// plan for Run; see WithPartitions.
+	partitions int
+
 	// incremental selects the CMC incremental-clustering mode: 0 is the
 	// default (on for the grid-DBSCAN backend at DefaultChurnThreshold),
 	// < 0 is off, > 0 is a custom churn threshold. See WithIncremental.
@@ -195,6 +199,9 @@ func (q *Query) Params() Params { return q.p }
 // stops early and returns the first convoys delivered (canonicalized
 // among themselves).
 func (q *Query) Run(ctx context.Context, db *model.DB) (Result, error) {
+	if q.partitions > 1 && (q.clusterer == nil || q.clusterer.Name() == DefaultBackend) {
+		return q.runPartitioned(ctx, db)
+	}
 	var out []Convoy
 	var err error
 	if q.limit > 0 {

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func convoy(start, end int64, objects ...string) wire.ConvoyJSON {
+	return wire.ConvoyJSON{Objects: objects, Start: start, End: end, Lifetime: end - start + 1}
+}
+
+// TestMergeBoundarySpan stitches a convoy that crosses the window boundary
+// in label space: each shard reports its half, the merge glues them.
+func TestMergeBoundarySpan(t *testing.T) {
+	windows := []core.Window{{Lo: 0, Hi: 6}, {Lo: 4, Hi: 9}}
+	parts := [][]wire.ConvoyJSON{
+		{convoy(0, 6, "bus7", "bus9")},
+		{convoy(4, 9, "bus7", "bus9")},
+	}
+	id, label := SortedLabelIndex(parts)
+	got, err := Merge(windows, parts, core.Params{M: 2, K: 4, Eps: 1}, id, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("merged %d convoys, want 1: %+v", len(got), got)
+	}
+	want := convoy(0, 9, "bus7", "bus9")
+	if got[0].Start != want.Start || got[0].End != want.End || got[0].Lifetime != want.Lifetime ||
+		strings.Join(got[0].Objects, ",") != strings.Join(want.Objects, ",") {
+		t.Fatalf("merged %+v, want %+v", got[0], want)
+	}
+}
+
+// TestMergeUnknownLabel pins the protocol violation: a shard answering
+// about an object the id lookup cannot resolve is an error, not a silent
+// drop.
+func TestMergeUnknownLabel(t *testing.T) {
+	windows := []core.Window{{Lo: 0, Hi: 9}}
+	parts := [][]wire.ConvoyJSON{{convoy(0, 9, "ghost", "bus9")}}
+	id := func(string) (int, bool) { return 0, false }
+	label := func(int) string { return "" }
+	_, err := Merge(windows, parts, core.Params{M: 2, K: 4, Eps: 1}, id, label)
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("err = %v, want unknown-object error naming the label", err)
+	}
+}
+
+// TestMergeShapeMismatch rejects a partial count that does not match the
+// window count.
+func TestMergeShapeMismatch(t *testing.T) {
+	id, label := SortedLabelIndex(nil)
+	_, err := Merge([]core.Window{{Lo: 0, Hi: 9}}, nil, core.Params{M: 2, K: 2, Eps: 1}, id, label)
+	if err == nil {
+		t.Fatal("mismatched windows/parts accepted")
+	}
+}

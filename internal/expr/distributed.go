@@ -1,0 +1,161 @@
+package expr
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/serve"
+	"repro/internal/tsio"
+)
+
+// The distributed experiment (not in the paper): wall-clock time of the
+// partition → local-mine → merge pipeline as the partition count grows,
+// in two deployments over the Truck profile. "local" runs the whole
+// pipeline in one process (core.WithPartitions); "shard" hosts one
+// in-process convoyd shard per partition on a loopback port plus a
+// coordinator fanning the query out over the versioned shard RPC, so the
+// measured time includes the database upload to every shard and the
+// label-space merge. Every answer is checked against the single-pass
+// serial run — the sweep measures cost, never correctness.
+
+// partitionSweep is the partition counts the experiment measures.
+func partitionSweep() []int { return []int{1, 2, 4, 8} }
+
+// Distributed prints and records the partition-count sweep.
+func Distributed(o Options) error {
+	var prof *datagen.Profile
+	for _, p := range o.profiles() {
+		if p.Name == "Truck" {
+			pp := p
+			prof = &pp
+			break
+		}
+	}
+	if prof == nil {
+		p := datagen.Truck(o.Scale, o.Seed)
+		prof = &p
+	}
+	db := prof.Generate()
+	p := params(*prof)
+
+	ref, err := core.NewQuery(core.WithParams(p)).Run(context.Background(), db)
+	if err != nil {
+		return fmt.Errorf("expr: Distributed reference run: %w", err)
+	}
+
+	var csv bytes.Buffer
+	if err := tsio.WriteCSV(&csv, db); err != nil {
+		return fmt.Errorf("expr: Distributed serialize: %w", err)
+	}
+
+	w := tab(o)
+	fmt.Fprintln(w, "Distributed: partition → local-mine → merge vs partition count (Truck)")
+	fmt.Fprintln(w, "mode\tpartitions\tconvoys\ttime (ms)")
+	for _, n := range partitionSweep() {
+		t0 := time.Now()
+		res, err := core.NewQuery(core.WithParams(p),
+			core.WithWorkers(o.Workers), core.WithPartitions(n)).Run(context.Background(), db)
+		elapsed := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("expr: Distributed local partitions=%d: %w", n, err)
+		}
+		if !res.Equal(ref) {
+			return fmt.Errorf("expr: Distributed local partitions=%d: answer differs from single pass", n)
+		}
+		fmt.Fprintf(w, "local\t%d\t%d\t%s\n", n, len(res), ms(elapsed))
+		o.record(Record{Exp: "distributed", Dataset: prof.Name, Method: "local",
+			Param: "partitions", Value: float64(n),
+			Metrics: map[string]float64{
+				"convoys": float64(len(res)),
+				"time_ms": msf(elapsed),
+			}})
+	}
+	for _, n := range partitionSweep() {
+		convoys, elapsed, err := shardQuery(n, csv.Bytes(), p, o.Workers)
+		if err != nil {
+			return fmt.Errorf("expr: Distributed shard partitions=%d: %w", n, err)
+		}
+		if convoys != len(ref) {
+			return fmt.Errorf("expr: Distributed shard partitions=%d: %d convoys, single pass found %d",
+				n, convoys, len(ref))
+		}
+		fmt.Fprintf(w, "shard\t%d\t%d\t%s\n", n, convoys, ms(elapsed))
+		o.record(Record{Exp: "distributed", Dataset: prof.Name, Method: "shard",
+			Param: "partitions", Value: float64(n),
+			Metrics: map[string]float64{
+				"convoys": float64(convoys),
+				"time_ms": msf(elapsed),
+			}})
+	}
+	return w.Flush()
+}
+
+// shardQuery hosts n in-process shard convoyds and one coordinator on
+// loopback ports, runs the query through the coordinator and returns the
+// convoy count and wall time of that one request (uploads and merge
+// included).
+func shardQuery(n int, csv []byte, p core.Params, workers int) (int, time.Duration, error) {
+	var shards []string
+	var cleanup []func()
+	defer func() {
+		for _, f := range cleanup {
+			f()
+		}
+	}()
+	listen := func(srv *serve.Server) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		cleanup = append(cleanup, func() { _ = hs.Close(); _ = srv.Close() })
+		return "http://" + ln.Addr().String(), nil
+	}
+	for i := 0; i < n; i++ {
+		base, err := listen(serve.New(serve.Config{ShardMode: true}))
+		if err != nil {
+			return 0, 0, err
+		}
+		shards = append(shards, base)
+	}
+	coord, err := listen(serve.New(serve.Config{Shards: shards}))
+	if err != nil {
+		return 0, 0, err
+	}
+
+	url := fmt.Sprintf("%s/v1/query?m=%d&k=%d&e=%g&workers=%d", coord, p.M, p.K, p.Eps, workers)
+	t0 := time.Now()
+	resp, err := http.Post(url, "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, data)
+	}
+	var out serve.QueryResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return 0, 0, fmt.Errorf("decode coordinator answer: %w", err)
+	}
+	// A short time range yields fewer windows than shards (the partitioner
+	// never cuts a window thinner than the k−1 overlap), so the fan-out may
+	// legitimately use a subset of the fleet.
+	if out.Shards < 1 || out.Shards > n {
+		return 0, 0, fmt.Errorf("coordinator used %d shards, want 1..%d", out.Shards, n)
+	}
+	return len(out.Convoys), elapsed, nil
+}

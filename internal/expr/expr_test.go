@@ -111,8 +111,8 @@ func TestLookupAndRunAll(t *testing.T) {
 	if _, ok := Lookup("nonsense"); ok {
 		t.Error("nonsense found")
 	}
-	if len(Experiments) != 15 {
-		t.Errorf("expected 15 experiments, got %d", len(Experiments))
+	if len(Experiments) != 16 {
+		t.Errorf("expected 16 experiments, got %d", len(Experiments))
 	}
 	if _, ok := Lookup("monitors"); !ok {
 		t.Error("monitors not found")

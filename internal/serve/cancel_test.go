@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Cancellation and deduplication behavior of the batch query engine: the
@@ -19,7 +21,7 @@ import (
 
 // cmcQuery is the standard request the tests below issue.
 func cmcQuery() QueryRequest {
-	return QueryRequest{Params: ParamsJSON{M: 2, K: 5, Eps: 1}, Algo: "cmc"}
+	return QueryRequest{QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 5, Eps: 1}, Algo: "cmc"}}
 }
 
 // gatedEngine builds an engine whose compute blocks on the returned gate
@@ -384,7 +386,7 @@ func TestPathQueryStaleMemoNeverPoisonsCache(t *testing.T) {
 	// Prime the path→digest memo with content A.
 	var first QueryResponse
 	doJSON(t, "POST", ts.URL+"/v1/query", QueryRequest{
-		Path: "db.csv", Params: ParamsJSON{M: 2, K: 5, Eps: 1}, Algo: "cmc",
+		Path: "db.csv", QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 5, Eps: 1}, Algo: "cmc"},
 	}, http.StatusOK, &first)
 	if len(first.Convoys) != 2 {
 		t.Fatalf("content A yields %d convoys, want 2", len(first.Convoys))
@@ -407,7 +409,7 @@ func TestPathQueryStaleMemoNeverPoisonsCache(t *testing.T) {
 	// reads B and must report/cache B's digest, not the memoized one.
 	var second QueryResponse
 	doJSON(t, "POST", ts.URL+"/v1/query", QueryRequest{
-		Path: "db.csv", Params: ParamsJSON{M: 2, K: 4, Eps: 1}, Algo: "cmc",
+		Path: "db.csv", QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 4, Eps: 1}, Algo: "cmc"},
 	}, http.StatusOK, &second)
 	if second.Digest == first.Digest {
 		t.Fatalf("changed file served under the stale digest %s", first.Digest)

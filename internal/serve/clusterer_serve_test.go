@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/wire"
 )
 
 // Monitors that share (e, m) but name different clustering backends must
@@ -241,7 +242,7 @@ func TestQueryClustererProxgraphE2E(t *testing.T) {
 // The cache key separates backends even for byte-identical uploads and
 // otherwise equal parameters.
 func TestQueryCacheKeyIncludesClusterer(t *testing.T) {
-	base := QueryRequest{Params: ParamsJSON{M: 2, K: 2, Eps: 1}, Algo: AlgoCMC}
+	base := QueryRequest{QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 2, Eps: 1}, Algo: AlgoCMC}}
 	plain, err := plan(base, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -14,7 +14,7 @@ import (
 // sensible default applied by New.
 type Config struct {
 	// MaxFeeds caps the number of concurrently registered feeds; feed
-	// creation beyond the cap fails with 507. Default 1024.
+	// creation beyond the cap fails with 429. Default 1024.
 	MaxFeeds int
 	// MaxMonitorsPerFeed caps the standing convoy queries registered on
 	// one feed (the implicit default monitor counts). Monitors sharing a
@@ -120,6 +120,18 @@ type Config struct {
 	// structured record (with the full span tree) for each request whose
 	// wall time exceeds it. 0 disables slow-request logging.
 	SlowQuery time.Duration
+	// Shards, when non-empty, turns this server into a distributed-query
+	// coordinator (convoyd -shards): every batch query's time range is
+	// split into len(Shards) overlapping windows, fanned out over these
+	// shard base URLs via POST /v1/shard/query, and the partial answers
+	// are merged into the exact global answer. The fan-out runs under the
+	// same worker pool, LRU cache and in-flight dedup as local queries.
+	// Mutually exclusive with ShardMode.
+	Shards []string
+	// ShardMode enables POST /v1/shard/query (convoyd -shard): the
+	// versioned RPC a coordinator uses to assign this server one window of
+	// a distributed query. Off (the default), the route answers 403.
+	ShardMode bool
 
 	// metrics is the instrument bundle built over Metrics (or a private
 	// registry) by withDefaults and threaded through the registry, feeds

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/core"
@@ -19,36 +18,19 @@ import (
 // same stream slice. Unlike /v1/query the answer is never cached: the log
 // grows with every tick, so a window's contents are a moving target.
 
-// historyQuery validates, reads the window and runs the discovery. The
-// run holds a query-pool slot like a batch query, so a burst of
-// historical queries cannot starve the engine.
+// historyQuery validates (through the canonical wire.QuerySpec validator),
+// reads the window and runs the discovery. The run holds a query-pool slot
+// like a batch query, so a burst of historical queries cannot starve the
+// engine.
 func (s *Server) historyQuery(ctx context.Context, f *feed, req HistoryQueryRequest) (HistoryQueryResponse, error) {
 	if req.Algo == "" {
 		// A historical query replays a live stream's ticks, where CMC is
 		// the canonical semantics; the CuTS family stays opt-in.
 		req.Algo = AlgoCMC
 	}
-	pl, err := plan(QueryRequest{
-		Params:      req.Params,
-		Algo:        req.Algo,
-		Clusterer:   req.Clusterer,
-		Delta:       req.Delta,
-		Lambda:      req.Lambda,
-		Workers:     req.Workers,
-		Incremental: req.Incremental,
-	}, s.cfg.MaxWorkersPerQuery)
+	pl, err := plan(QueryRequest{QuerySpec: req}, s.cfg.MaxWorkersPerQuery)
 	if err != nil {
 		return HistoryQueryResponse{}, err
-	}
-	from, to := model.Tick(math.MinInt64), model.Tick(math.MaxInt64)
-	if req.From != nil {
-		from = *req.From
-	}
-	if req.To != nil {
-		to = *req.To
-	}
-	if from > to {
-		return HistoryQueryResponse{}, badRequest(fmt.Errorf("serve: history window inverted (from %d > to %d)", from, to))
 	}
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -56,25 +38,25 @@ func (s *Server) historyQuery(ctx context.Context, f *feed, req HistoryQueryRequ
 		defer cancel()
 	}
 	t0 := time.Now()
-	batches, err := f.window(ctx, from, to)
+	batches, err := f.window(ctx, pl.res.From, pl.res.To)
 	if err != nil {
 		return HistoryQueryResponse{}, err
 	}
 	resp := HistoryQueryResponse{
 		Convoys:   []ConvoyJSON{},
-		Params:    pl.req.Params,
-		Algo:      pl.algo,
-		Clusterer: pl.clusterer,
+		Params:    pl.res.Spec.Params,
+		Algo:      pl.res.Algo,
+		Clusterer: pl.res.Clusterer,
 		From:      req.From,
 		To:        req.To,
 		Ticks:     len(batches),
 	}
-	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
+	opts := []core.Option{core.WithParams(pl.res.P), core.WithWorkers(pl.workers)}
 	if s.cfg.DisableIncremental || (pl.req.Incremental != nil && !*pl.req.Incremental) {
 		opts = append(opts, core.WithIncremental(-1))
 	}
 	var db *model.DB
-	if pl.clusterer == proxgraph.Backend {
+	if pl.res.Clusterer == proxgraph.Backend {
 		// Cluster the logged contact edges: rebuild the window's edge log
 		// and let the graph backend read it tick by tick, exactly like an
 		// uploaded a,b,t,w contact log.
@@ -104,13 +86,13 @@ func (s *Server) historyQuery(ctx context.Context, f *feed, req HistoryQueryRequ
 		}
 	}
 	resp.Objects = db.Len()
-	if pl.isCMC {
+	if pl.res.IsCMC {
 		opts = append(opts, core.WithCMC())
 	} else {
 		opts = append(opts,
-			core.WithVariant(pl.variant),
-			core.WithDelta(pl.req.Delta),
-			core.WithLambda(pl.req.Lambda))
+			core.WithVariant(pl.res.Variant),
+			core.WithDelta(pl.res.Spec.Delta),
+			core.WithLambda(pl.res.Spec.Lambda))
 	}
 	var st core.Stats
 	opts = append(opts, core.WithStats(&st))
@@ -123,7 +105,7 @@ func (s *Server) historyQuery(ctx context.Context, f *feed, req HistoryQueryRequ
 	if err != nil {
 		return HistoryQueryResponse{}, err
 	}
-	if !pl.isCMC {
+	if !pl.res.IsCMC {
 		js := StatsToJSON(st)
 		resp.Stats = &js
 	}

@@ -91,7 +91,7 @@ func TestMonitorLimit(t *testing.T) {
 	addMonitor(t, ts.URL, "small", MonitorSpec{ID: "second", Params: ParamsJSON{M: 2, K: 3, Eps: 1}})
 	doJSON(t, "POST", ts.URL+"/v1/feeds/small/monitors",
 		MonitorSpec{ID: "third", Params: ParamsJSON{M: 2, K: 4, Eps: 1}},
-		http.StatusInsufficientStorage, nil)
+		http.StatusTooManyRequests, nil)
 	// Removing one frees a slot.
 	doJSON(t, "DELETE", ts.URL+"/v1/feeds/small/monitors/second", nil, http.StatusOK, nil)
 	addMonitor(t, ts.URL, "small", MonitorSpec{ID: "third", Params: ParamsJSON{M: 2, K: 4, Eps: 1}})

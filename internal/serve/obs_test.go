@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // explainStages returns the stage names of a query profile.
@@ -111,7 +112,7 @@ func TestQueryExplainJSONBody(t *testing.T) {
 	defer ts.Close()
 
 	body, _ := json.Marshal(QueryRequest{
-		Path: "db.csv", Params: ParamsJSON{M: 2, K: 5, Eps: 1}, Algo: "cmc", Explain: true,
+		Path: "db.csv", QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 5, Eps: 1}, Algo: "cmc", Explain: true},
 	})
 	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
 	if err != nil {

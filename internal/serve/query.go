@@ -9,10 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"math"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +19,7 @@ import (
 	"repro/internal/proxgraph"
 	"repro/internal/trace"
 	"repro/internal/tsio"
+	"repro/internal/wire"
 )
 
 // queryEngine runs batch convoy queries on a bounded worker pool with an
@@ -108,19 +107,17 @@ func parseDB(data []byte) (*model.DB, error) {
 	return tsio.ReadCSV(bytes.NewReader(data))
 }
 
-// queryPlan is a validated query: resolved algorithm plus parameters.
+// queryPlan is a validated query: the canonical spec resolved by the one
+// shared validator (wire.QuerySpec.Normalize) plus the server-side worker
+// clamp.
 type queryPlan struct {
-	req     QueryRequest
-	p       core.Params
-	isCMC   bool
-	variant core.Variant
-	algo    string
-	// clusterer is the normalized clustering backend name ("dbscan" is
-	// spelled "" so legacy keys are unchanged). A non-default backend
-	// changes the answer, so it participates in the cache key, and it
-	// changes how the request body is parsed: proxgraph queries upload an
-	// edge CSV (a,b,t,w contact log), not a trajectory database.
-	clusterer string
+	req QueryRequest
+	// res is the resolved spec: validated params, algorithm, normalized
+	// clusterer name ("" for dbscan, so legacy cache keys are unchanged)
+	// and window bounds. A non-default clusterer changes how the request
+	// body is parsed: proxgraph queries upload an edge CSV (a,b,t,w
+	// contact log), not a trajectory database.
+	res wire.Resolved
 	// workers is the effective per-stage worker count: the request's
 	// workers field clamped to the server's MaxWorkersPerQuery (0 = 1 =
 	// serial). It never enters the cache key — the answer is identical for
@@ -128,70 +125,35 @@ type queryPlan struct {
 	workers int
 }
 
-// plan validates the request once, up front, clamping the requested worker
-// count to the server's cap.
+// plan validates the request once, up front — through the schema's single
+// validator — clamping the requested worker count to the server's cap.
 func plan(req QueryRequest, maxWorkers int) (queryPlan, error) {
-	cl, err := ParseClusterer(req.Clusterer)
+	res, err := req.QuerySpec.Normalize()
 	if err != nil {
 		return queryPlan{}, badRequest(err)
 	}
-	clusterer := ""
-	if cl.Name() != core.DefaultBackend {
-		clusterer = cl.Name()
-		// The CuTS family's filter step depends on Euclidean DBSCAN bounds,
-		// so a graph backend only runs under CMC — which is therefore the
-		// default algorithm for proxgraph queries rather than cuts*.
-		if req.Algo == "" {
-			req.Algo = AlgoCMC
-		}
-	}
-	isCMC, variant, err := ParseAlgo(req.Algo)
-	if err != nil {
-		return queryPlan{}, badRequest(err)
-	}
-	if clusterer != "" && !isCMC {
-		return queryPlan{}, badRequest(fmt.Errorf(
-			"serve: clusterer %q requires algo=cmc (the CuTS filter bounds are DBSCAN-specific; got algo=%q)",
-			clusterer, req.Algo))
-	}
-	p := req.Params.Params()
-	if err := p.Validate(); err != nil {
-		return queryPlan{}, badRequest(err)
-	}
-	if req.Workers < 0 {
-		return queryPlan{}, badRequest(fmt.Errorf("serve: workers must be ≥ 0 (got %d)", req.Workers))
-	}
-	// timeout_ms must be a usable duration: finite, non-negative and small
-	// enough that the milliseconds→Duration conversion cannot overflow
-	// (NaN/Inf pass a plain "< 0" check and would silently mean "no
-	// deadline").
-	if req.TimeoutMS < 0 || math.IsNaN(req.TimeoutMS) || math.IsInf(req.TimeoutMS, 0) ||
-		req.TimeoutMS > float64(math.MaxInt64)/float64(time.Millisecond) {
-		return queryPlan{}, badRequest(fmt.Errorf("serve: timeout_ms must be a finite duration in milliseconds ≥ 0 (got %g)", req.TimeoutMS))
-	}
-	workers := req.Workers
+	workers := res.Spec.Workers
 	if workers > maxWorkers {
 		workers = maxWorkers
 	}
-	algo := strings.ToLower(req.Algo)
-	if algo == "" {
-		algo = AlgoCuTSStar
-	}
-	return queryPlan{req: req, p: p, isCMC: isCMC, variant: variant, algo: algo, clusterer: clusterer, workers: workers}, nil
+	return queryPlan{req: req, res: res, workers: workers}, nil
 }
 
 // key is the cache key for this plan over a database with the digest. The
-// key holds only answer-determining inputs: CMC ignores δ/λ entirely, so
-// they are normalized out for algo=cmc (equivalent CMC queries with
-// different δ/λ must share an entry), and the worker count never
-// participates (parallel output equals serial output by construction).
+// key holds only answer-determining inputs: δ/λ are already normalized out
+// for algo=cmc by the validator (equivalent CMC queries with different δ/λ
+// must share an entry), the worker and partition counts never participate
+// (parallel and partitioned output equals serial output by construction),
+// and a from/to window — which does change the answer — extends the key
+// only when present, so unwindowed keys keep their legacy shape.
 func (pl queryPlan) key(digest string) string {
-	delta, lambda := pl.req.Delta, pl.req.Lambda
-	if pl.isCMC {
-		delta, lambda = 0, 0
+	key := fmt.Sprintf("%s|%d|%d|%g|%s|%g|%d|%s",
+		digest, pl.res.P.M, pl.res.P.K, pl.res.P.Eps, pl.res.Algo,
+		pl.res.Spec.Delta, pl.res.Spec.Lambda, pl.res.Clusterer)
+	if pl.res.Windowed {
+		key += fmt.Sprintf("|w%d:%d", pl.res.From, pl.res.To)
 	}
-	return fmt.Sprintf("%s|%d|%d|%g|%s|%g|%d|%s",
-		digest, pl.p.M, pl.p.K, pl.p.Eps, pl.algo, delta, lambda, pl.clusterer)
+	return key
 }
 
 func hashBytes(data []byte) string {
@@ -506,22 +468,33 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 		sopts = append(sopts, trace.Forced())
 	}
 	ctx, qsp := e.cfg.Tracer.Start(ctx, "query", sopts...)
-	qsp.Str("algo", pl.algo).Str("digest", digest)
+	qsp.Str("algo", pl.res.Algo).Str("digest", digest)
 	if reqSpan != nil {
 		qsp.Str("http_trace_id", reqSpan.TraceID())
 	}
 	defer qsp.End() // idempotent; the success path ends it before Collect
 	t0 := time.Now()
+	if len(e.cfg.Shards) > 0 {
+		// Coordinator mode: fan the query out over the shard fleet and merge
+		// the partials. Placed here — under the flight — so sharded queries
+		// inherit the cache, the dedup of identical concurrent queries and
+		// the worker-slot bound exactly like local ones.
+		return e.computeSharded(ctx, qsp, t0, digest, data, pl)
+	}
 	var db *model.DB
 	var err error
-	opts := []core.Option{core.WithParams(pl.p), core.WithWorkers(pl.workers)}
+	var sliceIDs []model.ObjectID // new dense ID → original, when windowed
+	opts := []core.Option{core.WithParams(pl.res.P), core.WithWorkers(pl.workers)}
 	// Like workers, the incremental knob cannot change the answer set — only
 	// how much clustering work each tick costs — so it stays out of the cache
 	// key and is applied here, after the key was computed.
 	if e.cfg.DisableIncremental || (pl.req.Incremental != nil && !*pl.req.Incremental) {
 		opts = append(opts, core.WithIncremental(-1))
 	}
-	if pl.clusterer == proxgraph.Backend {
+	if n := pl.res.Spec.Partitions; n > 1 {
+		opts = append(opts, core.WithPartitions(n))
+	}
+	if pl.res.Clusterer == proxgraph.Backend {
 		// A proxgraph query uploads an edge CSV (a,b,t,w contact log). The
 		// log synthesizes a positionless stand-in database — one row per
 		// object spanning its first to last contact — and the clusterer
@@ -530,32 +503,48 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 		if lerr != nil {
 			return QueryResponse{}, badRequest(lerr)
 		}
+		if pl.res.Windowed {
+			// Window the contact log by keeping only the records inside
+			// [from, to] — the per-tick clusters are a pure function of that
+			// tick's edges, so the windowed log answers the windowed query.
+			if log, lerr = windowLog(log, pl.res.From, pl.res.To); lerr != nil {
+				return QueryResponse{}, badRequest(lerr)
+			}
+		}
 		db, err = log.DB()
 		if err != nil {
 			return QueryResponse{}, badRequest(err)
 		}
-		qsp.Str("clusterer", pl.clusterer)
+		qsp.Str("clusterer", pl.res.Clusterer)
 		opts = append(opts, core.WithClusterer(log.Clusterer()))
 	} else {
 		db, err = parseDB(data)
 		if err != nil {
 			return QueryResponse{}, badRequest(err) // unparseable database
 		}
+		if pl.res.Windowed {
+			// Interpolation-aware slice: real samples inside the window plus
+			// virtual boundary samples, so the windowed answer equals the
+			// full answer restricted to [from, to].
+			db, sliceIDs = core.SliceTime(db, pl.res.From, pl.res.To)
+		}
 	}
 	resp := QueryResponse{
-		Params:    pl.req.Params,
-		Algo:      pl.algo,
-		Clusterer: pl.clusterer,
+		Params:    pl.res.Spec.Params,
+		Algo:      pl.res.Algo,
+		Clusterer: pl.res.Clusterer,
+		From:      pl.req.From,
+		To:        pl.req.To,
 		Digest:    digest,
 		Cache:     "miss",
 	}
-	if pl.isCMC {
+	if pl.res.IsCMC {
 		opts = append(opts, core.WithCMC())
 	} else {
 		opts = append(opts,
-			core.WithVariant(pl.variant),
-			core.WithDelta(pl.req.Delta),
-			core.WithLambda(pl.req.Lambda))
+			core.WithVariant(pl.res.Variant),
+			core.WithDelta(pl.res.Spec.Delta),
+			core.WithLambda(pl.res.Spec.Lambda))
 	}
 	var st core.Stats
 	opts = append(opts, core.WithStats(&st))
@@ -564,12 +553,23 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 	if err != nil {
 		return QueryResponse{}, err
 	}
-	e.cfg.metrics.observeRunStats(pl.algo, st)
-	if !pl.isCMC {
+	e.cfg.metrics.observeRunStats(pl.res.Algo, st)
+	if !pl.res.IsCMC {
 		js := StatsToJSON(st)
 		resp.Stats = &js
 	}
 	labels := DBLabels(db)
+	if sliceIDs != nil {
+		// Unlabeled objects fall back to "o<ID>"; keep that naming anchored
+		// to the original database's IDs, not the sliced copy's dense ones.
+		orig := labels
+		labels = func(id model.ObjectID) string {
+			if name := orig(id); name != "" {
+				return name
+			}
+			return fmt.Sprintf("o%d", sliceIDs[id])
+		}
+	}
 	resp.Convoys = make([]ConvoyJSON, len(res))
 	for i, c := range res {
 		resp.Convoys[i] = ConvoyToJSON(c, labels)
@@ -589,6 +589,23 @@ func (e *queryEngine) compute(ctx context.Context, digest string, data []byte, p
 		}
 	}
 	return resp, nil
+}
+
+// windowLog copies the records inside [lo, hi] into a fresh contact log —
+// the proxgraph form of a time slice (per-tick clusters are a pure
+// function of that tick's edges, so dropping out-of-window records is
+// exact).
+func windowLog(log *proxgraph.Log, lo, hi model.Tick) (*proxgraph.Log, error) {
+	out := proxgraph.NewLog()
+	for _, r := range log.Records() {
+		if r.T < lo || r.T > hi {
+			continue
+		}
+		if err := out.AddRecord(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // lruCache is a minimal mutex-guarded LRU over string keys.

@@ -56,6 +56,15 @@
 //	GET    /v1/feeds/{name}/wal             WAL status: segments, bytes, fsync, recovery
 //	POST   /v1/query                        batch query (body = CSV/CTB upload, params
 //	                                        in the query string; or JSON {path,...})
+//	POST   /v1/shard/query                  shard RPC (?v=1): one window of a
+//	                                        distributed query (403 unless -shard)
+//
+// Every query surface decodes the same canonical parameter schema
+// (wire.QuerySpec — legacy flat spellings included) and every non-2xx
+// answer is the uniform envelope {"error":{"code","message"}}; see
+// internal/wire. With Config.Shards set, POST /v1/query becomes a
+// coordinator that fans the query out over a shard fleet and merges the
+// exact answer (see shard.go).
 //
 // Replaying a database tick-by-tick through a feed and canonicalizing the
 // emitted convoys equals the batch CMC answer on the same database — the
@@ -76,7 +85,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // Server is the convoyd HTTP handler plus the state behind it. Create it
@@ -237,6 +248,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/feeds/{name}/query", s.handleHistoryQuery)
 	s.mux.HandleFunc("GET /v1/feeds/{name}/wal", s.handleWALStatus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/shard/query", s.handleShardQuery)
 }
 
 // handleHistoryQuery answers a batch convoy query over the tick window a
@@ -291,9 +303,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v) // a peer gone mid-write is its own problem
 }
 
-// writeErr maps an error to its HTTP status and a JSON body.
+// writeErr maps an error to its HTTP status and the uniform envelope
+// {"error":{"code","message"}} every /v1/* route answers with. Overload
+// rejections (429) carry a Retry-After hint.
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), ErrorJSON{Error: err.Error()})
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, wire.NewError(status, err.Error()))
 }
 
 // statusFor resolves an error's HTTP status from its type: client
@@ -303,6 +321,7 @@ func statusFor(err error) int {
 	var (
 		bre *badRequestError
 		mbe *http.MaxBytesError
+		she *dist.ShardError
 	)
 	switch {
 	case errors.Is(err, errNoFeed), errors.Is(err, errNoMonitor),
@@ -311,11 +330,17 @@ func statusFor(err error) int {
 	case errors.Is(err, errFeedExists), errors.Is(err, errMonitorExists):
 		return http.StatusConflict
 	case errors.Is(err, errTooManyFeeds), errors.Is(err, errTooManyMonitors):
-		return http.StatusInsufficientStorage
+		// The feed/monitor caps are overload backpressure, not a storage
+		// condition: clients should retry after draining or deleting.
+		return http.StatusTooManyRequests
 	case errors.Is(err, errFeedClosed), errors.Is(err, errServerClosing):
 		return http.StatusGone
-	case errors.Is(err, errPathRefDisabled):
+	case errors.Is(err, errPathRefDisabled), errors.Is(err, errShardDisabled):
 		return http.StatusForbidden
+	case errors.As(err, &she):
+		// The client's query was fine; a shard behind this coordinator was
+		// not.
+		return http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded):
 		// The query's timeout_ms (or the server's -request-timeout cap)
 		// expired; the discovery run was aborted and its slot freed.
@@ -324,7 +349,9 @@ func statusFor(err error) int {
 		// The client went away mid-query; nobody reads this response, but
 		// the nginx-convention 499 keeps access logs honest.
 		return 499
-	case errors.As(err, &bre), errors.As(err, &mbe):
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &bre):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -505,9 +532,11 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	resp, err := f.ingest(r.Context(), batches)
 	if err != nil {
 		// The accepted prefix is permanently applied; the client needs
-		// to know how far the batch got to resume past it.
-		writeJSON(w, statusFor(err), TicksError{
-			Error:    err.Error(),
+		// to know how far the batch got to resume past it, so the uniform
+		// envelope's error object rides next to the resume cursor.
+		status := statusFor(err)
+		writeJSON(w, status, TicksError{
+			Error:    ErrorBody{Code: wire.CodeForStatus(status), Message: err.Error()},
 			Accepted: resp.Accepted,
 			Closed:   resp.Closed,
 		})
@@ -692,74 +721,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// queryFromURL decodes upload-style query parameters. m and k are
-// integers and rejected (not truncated) when fractional.
+// queryFromURL decodes upload-style query parameters through the
+// canonical decoder (wire.SpecFromURL): m and k are integers and rejected
+// (not truncated) when fractional, "eps" is accepted as an alias of "e",
+// and from/to/partitions/v ride along with the legacy knobs.
 func queryFromURL(r *http.Request) (QueryRequest, error) {
-	q := r.URL.Query()
-	var req QueryRequest
-	var err error
-	integer := func(key string) (int64, error) {
-		raw := q.Get(key)
-		if raw == "" {
-			return 0, badRequest(fmt.Errorf("decode query: missing parameter %q", key))
-		}
-		v, perr := strconv.ParseInt(raw, 10, 64)
-		if perr != nil {
-			return 0, badRequest(fmt.Errorf("decode query: bad %s=%q (want an integer)", key, raw))
-		}
-		return v, nil
+	spec, err := wire.SpecFromURL(r.URL.Query())
+	if err != nil {
+		return QueryRequest{}, badRequest(err)
 	}
-	var m, k int64
-	if m, err = integer("m"); err != nil {
-		return req, err
-	}
-	if k, err = integer("k"); err != nil {
-		return req, err
-	}
-	raw := q.Get("e")
-	if raw == "" {
-		return req, badRequest(fmt.Errorf("decode query: missing parameter %q", "e"))
-	}
-	e, perr := strconv.ParseFloat(raw, 64)
-	if perr != nil {
-		return req, badRequest(fmt.Errorf("decode query: bad e=%q", raw))
-	}
-	req.Params = ParamsJSON{M: int(m), K: k, Eps: e}
-	req.Algo = q.Get("algo")
-	req.Clusterer = q.Get("clusterer")
-	if raw := q.Get("delta"); raw != "" {
-		if req.Delta, err = strconv.ParseFloat(raw, 64); err != nil {
-			return req, badRequest(fmt.Errorf("decode query: bad delta=%q", raw))
-		}
-	}
-	if raw := q.Get("lambda"); raw != "" {
-		if req.Lambda, err = strconv.ParseInt(raw, 10, 64); err != nil {
-			return req, badRequest(fmt.Errorf("decode query: bad lambda=%q", raw))
-		}
-	}
-	if raw := q.Get("workers"); raw != "" {
-		w, perr := strconv.ParseInt(raw, 10, 32)
-		if perr != nil {
-			return req, badRequest(fmt.Errorf("decode query: bad workers=%q (want an integer)", raw))
-		}
-		req.Workers = int(w)
-	}
-	if raw := q.Get("timeout_ms"); raw != "" {
-		if req.TimeoutMS, err = strconv.ParseFloat(raw, 64); err != nil {
-			return req, badRequest(fmt.Errorf("decode query: bad timeout_ms=%q", raw))
-		}
-	}
-	if raw := q.Get("explain"); raw != "" {
-		if req.Explain, err = strconv.ParseBool(raw); err != nil {
-			return req, badRequest(fmt.Errorf("decode query: bad explain=%q (want a boolean)", raw))
-		}
-	}
-	if raw := q.Get("incremental"); raw != "" {
-		v, perr := strconv.ParseBool(raw)
-		if perr != nil {
-			return req, badRequest(fmt.Errorf("decode query: bad incremental=%q (want a boolean)", raw))
-		}
-		req.Incremental = &v
-	}
-	return req, nil
+	return QueryRequest{QuerySpec: spec}, nil
 }

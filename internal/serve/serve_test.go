@@ -22,6 +22,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/model"
 	"repro/internal/tsio"
+	"repro/internal/wire"
 )
 
 // newTestServer starts the handler on an httptest server and tears both
@@ -348,7 +349,7 @@ func TestErrorPaths(t *testing.T) {
 			{T: 3, Positions: []Position{{ID: "a", X: 0, Y: 0}}},
 		}},
 		http.StatusBadRequest, &te)
-	if te.Accepted != 1 || te.Error == "" {
+	if te.Accepted != 1 || te.Error.Message == "" {
 		t.Errorf("partial-batch error = %+v, want accepted=1", te)
 	}
 	var st FeedStatus
@@ -400,7 +401,7 @@ func TestErrorPaths(t *testing.T) {
 		t.Errorf("empty upload: status %d", resp.StatusCode)
 	}
 	doJSON(t, "POST", ts.URL+"/v1/query",
-		QueryRequest{Path: "x.csv", Params: ParamsJSON{M: 2, K: 2, Eps: 1}},
+		QueryRequest{Path: "x.csv", QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 2, Eps: 1}}},
 		http.StatusForbidden, nil)
 }
 
@@ -493,7 +494,7 @@ func TestQueryPathReferenceAndCTB(t *testing.T) {
 
 	var resp QueryResponse
 	doJSON(t, "POST", ts.URL+"/v1/query",
-		QueryRequest{Path: "two.csv", Params: ParamsJSON{M: 2, K: 5, Eps: 1}},
+		QueryRequest{Path: "two.csv", QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 5, Eps: 1}}},
 		http.StatusOK, &resp)
 	if len(resp.Convoys) != 2 {
 		t.Fatalf("path query = %+v", resp)
@@ -504,10 +505,10 @@ func TestQueryPathReferenceAndCTB(t *testing.T) {
 	// client's own path (no server-side layout).
 	var ej ErrorJSON
 	doJSON(t, "POST", ts.URL+"/v1/query",
-		QueryRequest{Path: "../../../etc/passwd", Params: ParamsJSON{M: 2, K: 5, Eps: 1}},
+		QueryRequest{Path: "../../../etc/passwd", QuerySpec: wire.QuerySpec{Params: ParamsJSON{M: 2, K: 5, Eps: 1}}},
 		http.StatusNotFound, &ej)
-	if strings.Contains(ej.Error, dir) {
-		t.Errorf("error leaks data dir: %q", ej.Error)
+	if strings.Contains(ej.Error.Message, dir) {
+		t.Errorf("error leaks data dir: %q", ej.Error.Message)
 	}
 
 	// CTB uploads are sniffed by magic.
@@ -719,7 +720,7 @@ func TestFeedLimit(t *testing.T) {
 	createFeed(t, ts.URL, "one", ParamsJSON{M: 2, K: 2, Eps: 1})
 	createFeed(t, ts.URL, "two", ParamsJSON{M: 2, K: 2, Eps: 1})
 	doJSON(t, "POST", ts.URL+"/v1/feeds", FeedSpec{Name: "three", Params: ParamsJSON{M: 2, K: 2, Eps: 1}},
-		http.StatusInsufficientStorage, nil)
+		http.StatusTooManyRequests, nil)
 	// Deleting frees a slot.
 	doJSON(t, "DELETE", ts.URL+"/v1/feeds/one", nil, http.StatusOK, nil)
 	createFeed(t, ts.URL, "three", ParamsJSON{M: 2, K: 2, Eps: 1})

@@ -1,109 +1,65 @@
 package serve
 
 import (
-	"fmt"
-	"strings"
+	"encoding/json"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/proxgraph"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
-// Wire types: the JSON schema of the convoyd HTTP API, shared with the
-// CLIs so that `convoyfind -format json` and the server speak the same
-// language. Ticks travel as plain int64 and object identities as string
-// labels — dense ObjectIDs are a per-feed (or per-database) implementation
-// detail that must not leak to clients.
+// The JSON schema of the convoyd HTTP API lives in internal/wire — the
+// canonical vocabulary shared with the CLIs (convoyfind -format json,
+// convoyload) and the coordinator↔shard RPC (internal/dist). This file
+// aliases the shared types into the serve namespace and adds the
+// server-only request/response shapes (feed lifecycle, statuses, events).
 
-// ParamsJSON is the wire form of the convoy query parameters (m, k, e).
-type ParamsJSON struct {
-	M   int     `json:"m"`
-	K   int64   `json:"k"`
-	Eps float64 `json:"e"`
-}
+// Shared wire vocabulary (see internal/wire).
+type (
+	ParamsJSON   = wire.ParamsJSON
+	ConvoyJSON   = wire.ConvoyJSON
+	Position     = wire.Position
+	EdgeJSON     = wire.EdgeJSON
+	TickBatch    = wire.TickBatch
+	TicksRequest = wire.TicksRequest
+	StatsJSON    = wire.StatsJSON
+	ErrorJSON    = wire.ErrorJSON
+	ErrorBody    = wire.ErrorBody
+)
 
-// Params converts to the core parameter struct.
-func (p ParamsJSON) Params() core.Params { return core.Params{M: p.M, K: p.K, Eps: p.Eps} }
+// Algo names accepted by the query engine and convoyfind.
+const (
+	AlgoCMC      = wire.AlgoCMC
+	AlgoCuTS     = wire.AlgoCuTS
+	AlgoCuTSPlus = wire.AlgoCuTSPlus
+	AlgoCuTSStar = wire.AlgoCuTSStar
+)
 
 // ParamsToJSON converts core parameters to their wire form.
-func ParamsToJSON(p core.Params) ParamsJSON { return ParamsJSON{M: p.M, K: p.K, Eps: p.Eps} }
-
-// ConvoyJSON is the wire form of one convoy answer.
-type ConvoyJSON struct {
-	// Objects are the member labels, ascending in the underlying IDs.
-	Objects []string `json:"objects"`
-	// Start and End delimit the inclusive tick interval.
-	Start model.Tick `json:"start"`
-	End   model.Tick `json:"end"`
-	// Lifetime is End−Start+1, precomputed for consumers.
-	Lifetime int64 `json:"lifetime"`
-}
+func ParamsToJSON(p core.Params) ParamsJSON { return wire.ParamsToJSON(p) }
 
 // ConvoyToJSON renders a convoy with the given label lookup; a lookup
 // returning "" falls back to "o<ID>".
 func ConvoyToJSON(c core.Convoy, label func(model.ObjectID) string) ConvoyJSON {
-	out := ConvoyJSON{
-		Objects:  make([]string, len(c.Objects)),
-		Start:    c.Start,
-		End:      c.End,
-		Lifetime: c.Lifetime(),
-	}
-	for i, id := range c.Objects {
-		name := ""
-		if label != nil {
-			name = label(id)
-		}
-		if name == "" {
-			name = fmt.Sprintf("o%d", id)
-		}
-		out.Objects[i] = name
-	}
-	return out
+	return wire.ConvoyToJSON(c, label)
 }
 
 // DBLabels returns a label lookup backed by a database's trajectory labels.
-func DBLabels(db *model.DB) func(model.ObjectID) string {
-	return func(id model.ObjectID) string {
-		if id < 0 || id >= db.Len() {
-			return ""
-		}
-		return db.Traj(id).Label
-	}
-}
+func DBLabels(db *model.DB) func(model.ObjectID) string { return wire.DBLabels(db) }
 
-// Position is one object's location in a tick batch.
-type Position struct {
-	ID string  `json:"id"`
-	X  float64 `json:"x"`
-	Y  float64 `json:"y"`
-}
+// StatsToJSON converts run statistics to their wire form.
+func StatsToJSON(st core.Stats) StatsJSON { return wire.StatsToJSON(st) }
 
-// EdgeJSON is one proximity observation in a tick batch: objects a and b
-// were in contact at the batch's tick with weight w. Edges feed
-// graph-connectivity monitors (clusterer "proxgraph"); geometric monitors
-// ignore them.
-type EdgeJSON struct {
-	A string  `json:"a"`
-	B string  `json:"b"`
-	W float64 `json:"w"`
-}
+// ParseAlgo resolves an algorithm name ("" defaults to cuts*). cmc reports
+// true in the first return; otherwise the variant is valid.
+func ParseAlgo(name string) (isCMC bool, v core.Variant, err error) { return wire.ParseAlgo(name) }
 
-// TickBatch is the ingestion unit of POST /v1/feeds/{name}/ticks: the
-// snapshot of every tracked object at one tick — positions, proximity
-// edges, or both (a coordinate-free contact feed sends only edges).
-type TickBatch struct {
-	T         model.Tick `json:"t"`
-	Positions []Position `json:"positions"`
-	Edges     []EdgeJSON `json:"edges,omitempty"`
-}
-
-// TicksRequest is the body of POST /v1/feeds/{name}/ticks. Either a single
-// batch or a "ticks" array is accepted; see decodeTicks.
-type TicksRequest struct {
-	Ticks []TickBatch `json:"ticks"`
-}
+// ParseClusterer resolves a clustering backend name from the wire ("" and
+// "dbscan" are the built-in default; "proxgraph" is the graph-connectivity
+// backend clustering each tick's proximity edges).
+func ParseClusterer(name string) (core.Clusterer, error) { return wire.ParseClusterer(name) }
 
 // TicksResponse reports the outcome of a tick ingestion.
 type TicksResponse struct {
@@ -113,12 +69,12 @@ type TicksResponse struct {
 	Closed []ConvoyJSON `json:"closed"`
 }
 
-// TicksError is the error body of a failed tick ingestion. The accepted
-// prefix of the batch is permanently applied to the feed, so the client
-// needs Accepted (and any Closed convoys it produced) to know where to
-// resume.
+// TicksError is the error body of a failed tick ingestion: the uniform
+// envelope's error object plus the resume cursor. The accepted prefix of
+// the batch is permanently applied to the feed, so the client needs
+// Accepted (and any Closed convoys it produced) to know where to resume.
 type TicksError struct {
-	Error    string       `json:"error"`
+	Error    ErrorBody    `json:"error"`
 	Accepted int          `json:"accepted"`
 	Closed   []ConvoyJSON `json:"closed"`
 }
@@ -247,92 +203,57 @@ type FeedCloseResponse struct {
 	Drained []ConvoyJSON `json:"drained"`
 }
 
-// QueryRequest is the JSON body form of POST /v1/query, referencing a
-// server-local database file. Uploads instead send the raw CSV/CTB bytes
-// with parameters in the URL query string.
+// QueryRequest is the JSON body form of POST /v1/query: the canonical
+// wire.QuerySpec (m/k/e, algorithm, clusterer, window, execution knobs —
+// every field promoted here) plus a Path referencing a database file under
+// the server's data directory. Uploads instead send the raw CSV/CTB bytes
+// with the same spec in the URL query string.
 type QueryRequest struct {
+	wire.QuerySpec
 	// Path locates the database file under the server's data directory.
-	Path   string     `json:"path"`
-	Params ParamsJSON `json:"params"`
-	// Algo selects the algorithm: cmc, cuts, cuts+ or cuts* (default; with
-	// clusterer "proxgraph" the default becomes cmc and the CuTS family is
-	// rejected).
-	Algo string `json:"algo,omitempty"`
-	// Clusterer selects the clustering backend: "dbscan" (default) over a
-	// trajectory database, or "proxgraph" over a proximity-edge CSV
-	// ("a,b,t,w" header) — the Path (or upload body) is then parsed as an
-	// edge list and convoys are chains of connected contact components.
-	Clusterer string `json:"clusterer,omitempty"`
-	// Delta and Lambda override the automatic guidelines when > 0.
-	Delta  float64 `json:"delta,omitempty"`
-	Lambda int64   `json:"lambda,omitempty"`
-	// Workers requests a parallel discovery run with that many goroutines
-	// per pipeline stage; 0/absent runs serially. The server caps the
-	// value at its MaxWorkersPerQuery config. The answer set is identical
-	// for every worker count, so workers is not part of the cache key.
-	Workers int `json:"workers,omitempty"`
-	// TimeoutMS aborts the query after this many milliseconds — queueing
-	// and discovery both count — answering 504. 0/absent means no
-	// client-side deadline; the server's QueryTimeout cap (convoyd
-	// -request-timeout) applies either way. Aborted runs free their worker
-	// slot immediately and are never cached.
-	TimeoutMS float64 `json:"timeout_ms,omitempty"`
-	// Explain asks for a per-stage timing profile of this query's
-	// discovery run (the Explain field of the response). An explain query
-	// always runs the discovery — the cache is bypassed on the way in, so
-	// the profile describes this request, not a months-old cached run —
-	// but its answer is cached like any other, Explain stripped.
-	Explain bool `json:"explain,omitempty"`
-	// Incremental, when false, forces this query's CMC scan onto the
-	// from-scratch clustering path; absent/true keeps the default
-	// (incremental clustering where it applies). Like workers, it cannot
-	// change the answer set — only the work — so it is not part of the
-	// cache key.
-	Incremental *bool `json:"incremental,omitempty"`
+	Path string `json:"path"`
 }
 
-// StatsJSON is the wire form of the CuTS run statistics.
-type StatsJSON struct {
-	Variant       string  `json:"variant"`
-	Delta         float64 `json:"delta"`
-	Lambda        int64   `json:"lambda"`
-	Workers       int     `json:"workers"`
-	NumPartitions int     `json:"partitions"`
-	NumCandidates int     `json:"candidates"`
-	RefineUnits   float64 `json:"refine_units"`
-	ClusterPasses int64   `json:"cluster_passes"`
-	// ClusterPassesFull / Incremental split the pass count by clustering
-	// mode; ObjectsReclustered meters the incremental path's object-level
-	// work (see core.Stats).
-	ClusterPassesFull        int64   `json:"cluster_passes_full"`
-	ClusterPassesIncremental int64   `json:"cluster_passes_incremental"`
-	ObjectsReclustered       int64   `json:"objects_reclustered"`
-	SimplifyMS               float64 `json:"simplify_ms"`
-	FilterMS                 float64 `json:"filter_ms"`
-	RefineMS                 float64 `json:"refine_ms"`
-	TotalMS                  float64 `json:"total_ms"`
-}
-
-// StatsToJSON converts run statistics to their wire form.
-func StatsToJSON(st core.Stats) StatsJSON {
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-	return StatsJSON{
-		Variant:                  st.Variant.String(),
-		Delta:                    st.Delta,
-		Lambda:                   st.Lambda,
-		Workers:                  st.Workers,
-		NumPartitions:            st.NumPartitions,
-		NumCandidates:            st.NumCandidates,
-		RefineUnits:              st.RefineUnits,
-		ClusterPasses:            st.ClusterPasses,
-		ClusterPassesFull:        st.ClusterPassesFull,
-		ClusterPassesIncremental: st.ClusterPassesIncremental,
-		ObjectsReclustered:       st.ObjectsReclustered,
-		SimplifyMS:               ms(st.SimplifyTime),
-		FilterMS:                 ms(st.FilterTime),
-		RefineMS:                 ms(st.RefineTime),
-		TotalMS:                  ms(st.TotalTime()),
+// UnmarshalJSON decodes the embedded spec (with every legacy spelling the
+// canonical decoder accepts) plus the path. Without this, the embedded
+// spec's own UnmarshalJSON would be promoted and the path silently
+// dropped.
+func (r *QueryRequest) UnmarshalJSON(data []byte) error {
+	if err := json.Unmarshal(data, &r.QuerySpec); err != nil {
+		return err
 	}
+	var p struct {
+		Path string `json:"path"`
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	r.Path = p.Path
+	return nil
+}
+
+// MarshalJSON inlines the spec's fields and the path into one object —
+// the inverse of UnmarshalJSON.
+func (r QueryRequest) MarshalJSON() ([]byte, error) {
+	b, err := json.Marshal(r.QuerySpec)
+	if err != nil {
+		return nil, err
+	}
+	if r.Path == "" {
+		return b, nil
+	}
+	p, err := json.Marshal(struct {
+		Path string `json:"path"`
+	}{r.Path})
+	if err != nil {
+		return nil, err
+	}
+	if len(b) <= 2 { // "{}"
+		return p, nil
+	}
+	// {...spec} + {"path":...} → {...spec,"path":...}
+	out := append(b[:len(b)-1], ',')
+	return append(out, p[1:]...), nil
 }
 
 // QueryResponse is the answer of POST /v1/query.
@@ -343,6 +264,9 @@ type QueryResponse struct {
 	// Clusterer is the clustering backend the run used; present only for
 	// non-default backends (a plain DBSCAN answer omits it).
 	Clusterer string `json:"clusterer,omitempty"`
+	// From and To echo the request's window bounds when it was windowed.
+	From *model.Tick `json:"from,omitempty"`
+	To   *model.Tick `json:"to,omitempty"`
 	// Stats carries the CuTS run statistics (absent for CMC).
 	Stats *StatsJSON `json:"stats,omitempty"`
 	// Digest identifies the database contents (sha256, hex).
@@ -351,6 +275,9 @@ type QueryResponse struct {
 	// request) or "dedup" (this request joined an identical concurrent
 	// query's in-flight run and shares its answer).
 	Cache string `json:"cache"`
+	// Shards counts the shard partials a coordinator merged for this
+	// answer (absent on single-node runs).
+	Shards int `json:"shards,omitempty"`
 	// ElapsedMS is the wall time of this request's engine work (0 on a
 	// cache hit).
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -405,34 +332,13 @@ func ExplainFromTrace(tj trace.TraceJSON) (ExplainJSON, bool) {
 	return out, true
 }
 
-// HistoryQueryRequest is the body of POST /v1/feeds/{name}/query: a batch
-// convoy query over the tick window a durable feed's WAL retains. The
-// window replays the ticks clients actually ingested — verbatim, gaps
-// included — so the answer matches a batch query over the same stream.
-type HistoryQueryRequest struct {
-	Params ParamsJSON `json:"params"`
-	// From and To delimit the inclusive tick window; absent means unbounded
-	// on that side (the whole retained log when both are absent). Ticks
-	// compacted past the retention horizon are gone and silently excluded.
-	From *model.Tick `json:"from,omitempty"`
-	To   *model.Tick `json:"to,omitempty"`
-	// Algo selects the algorithm (default cmc — the canonical semantics for
-	// a replayed live stream; the CuTS family is opt-in and dbscan-only).
-	Algo string `json:"algo,omitempty"`
-	// Clusterer selects which logged signal the window is clustered on:
-	// "dbscan" (default) over the logged positions, "proxgraph" over the
-	// logged proximity edges.
-	Clusterer string `json:"clusterer,omitempty"`
-	// Delta and Lambda override the CuTS guidelines when > 0.
-	Delta  float64 `json:"delta,omitempty"`
-	Lambda int64   `json:"lambda,omitempty"`
-	// Workers requests a parallel discovery run, clamped to the server's
-	// MaxWorkersPerQuery like a batch query.
-	Workers int `json:"workers,omitempty"`
-	// Incremental, when false, forces the run's clustering onto the
-	// from-scratch path (a performance knob; the answer is identical).
-	Incremental *bool `json:"incremental,omitempty"`
-}
+// HistoryQueryRequest is the body of POST /v1/feeds/{name}/query: the
+// canonical query spec applied to the tick window a durable feed's WAL
+// retains (From/To delimit the window; ticks compacted past the retention
+// horizon are gone and silently excluded). The default algorithm is cmc —
+// the canonical semantics for a replayed live stream; the CuTS family is
+// opt-in and dbscan-only.
+type HistoryQueryRequest = wire.QuerySpec
 
 // HistoryQueryResponse is the answer of POST /v1/feeds/{name}/query.
 type HistoryQueryResponse struct {
@@ -495,48 +401,4 @@ type WALRecoveryJSON struct {
 	// spec journal — > 0 means the previous process died mid-append.
 	TruncatedBytes int64   `json:"truncated_bytes"`
 	DurationMS     float64 `json:"duration_ms"`
-}
-
-// ErrorJSON is the body of every non-2xx response.
-type ErrorJSON struct {
-	Error string `json:"error"`
-}
-
-// Algo names accepted by the query engine and convoyfind.
-const (
-	AlgoCMC      = "cmc"
-	AlgoCuTS     = "cuts"
-	AlgoCuTSPlus = "cuts+"
-	AlgoCuTSStar = "cuts*"
-)
-
-// ParseAlgo resolves an algorithm name ("" defaults to cuts*). cmc reports
-// true in the first return; otherwise the variant is valid.
-func ParseAlgo(name string) (isCMC bool, v core.Variant, err error) {
-	switch strings.ToLower(name) {
-	case AlgoCMC:
-		return true, 0, nil
-	case AlgoCuTS:
-		return false, core.VariantCuTS, nil
-	case AlgoCuTSPlus:
-		return false, core.VariantCuTSPlus, nil
-	case AlgoCuTSStar, "":
-		return false, core.VariantCuTSStar, nil
-	default:
-		return false, 0, fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", name)
-	}
-}
-
-// ParseClusterer resolves a clustering backend name from the wire ("" and
-// "dbscan" are the built-in default; "proxgraph" is the graph-connectivity
-// backend clustering each tick's proximity edges).
-func ParseClusterer(name string) (core.Clusterer, error) {
-	switch strings.ToLower(name) {
-	case "", core.DefaultBackend:
-		return core.DefaultClusterer, nil
-	case proxgraph.Backend:
-		return proxgraph.Clusterer{}, nil
-	default:
-		return nil, fmt.Errorf("unknown clusterer %q (want %s or %s)", name, core.DefaultBackend, proxgraph.Backend)
-	}
 }

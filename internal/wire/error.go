@@ -1,0 +1,69 @@
+package wire
+
+import "net/http"
+
+// The uniform error envelope: every non-2xx answer of every /v1/* route
+// (and the shard RPC) is
+//
+//	{"error": {"code": "<stable machine code>", "message": "<human text>"}}
+//
+// with the HTTP status and the code agreeing per the table below. Clients
+// branch on the code; the message is for humans and carries no contract.
+const (
+	CodeBadRequest   = "bad_request"           // 400: malformed body/parameters
+	CodeNotFound     = "not_found"             // 404: no such feed/monitor/database
+	CodeConflict     = "conflict"              // 409: feed/monitor already exists
+	CodeForbidden    = "forbidden"             // 403: disabled surface (path refs, shard RPC)
+	CodeTooMany      = "too_many_requests"     // 429: feed/monitor caps hit; Retry-After is set
+	CodeGone         = "gone"                  // 410: feed closed / server shutting down
+	CodeClientClosed = "client_closed_request" // 499: caller went away mid-query
+	CodeTimeout      = "timeout"               // 504: timeout_ms or the server cap expired
+	CodeBadGateway   = "bad_gateway"           // 502: a shard failed during a fan-out
+	CodePayloadLarge = "payload_too_large"     // 413: request body over MaxBodyBytes
+	CodeInternal     = "internal"              // 500: everything else
+)
+
+// ErrorBody is the payload of the error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorJSON is the body of every non-2xx response.
+type ErrorJSON struct {
+	Error ErrorBody `json:"error"`
+}
+
+// NewError builds an envelope from a status and message, deriving the
+// stable code from the status.
+func NewError(status int, message string) ErrorJSON {
+	return ErrorJSON{Error: ErrorBody{Code: CodeForStatus(status), Message: message}}
+}
+
+// CodeForStatus maps an HTTP status to its stable error code.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusForbidden:
+		return CodeForbidden
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadLarge
+	case http.StatusTooManyRequests:
+		return CodeTooMany
+	case http.StatusGone:
+		return CodeGone
+	case 499:
+		return CodeClientClosed
+	case http.StatusBadGateway:
+		return CodeBadGateway
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	default:
+		return CodeInternal
+	}
+}

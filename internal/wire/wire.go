@@ -1,0 +1,191 @@
+// Package wire is the canonical JSON schema of the convoy query API: the
+// one place the parameter vocabulary, validation rules and error envelope
+// live. The HTTP server (internal/serve), the CLIs (convoyfind -format
+// json, convoyload) and the coordinator↔shard RPC (internal/dist) all
+// speak these types, so a query means the same thing on every surface.
+//
+// Ticks travel as plain int64 and object identities as string labels —
+// dense ObjectIDs are a per-database implementation detail that must not
+// leak to clients.
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/proxgraph"
+)
+
+// ParamsJSON is the wire form of the convoy query parameters (m, k, e).
+type ParamsJSON struct {
+	M   int     `json:"m"`
+	K   int64   `json:"k"`
+	Eps float64 `json:"e"`
+}
+
+// Params converts to the core parameter struct.
+func (p ParamsJSON) Params() core.Params { return core.Params{M: p.M, K: p.K, Eps: p.Eps} }
+
+// ParamsToJSON converts core parameters to their wire form.
+func ParamsToJSON(p core.Params) ParamsJSON { return ParamsJSON{M: p.M, K: p.K, Eps: p.Eps} }
+
+// ConvoyJSON is the wire form of one convoy answer.
+type ConvoyJSON struct {
+	// Objects are the member labels, ascending in the underlying IDs.
+	Objects []string `json:"objects"`
+	// Start and End delimit the inclusive tick interval.
+	Start model.Tick `json:"start"`
+	End   model.Tick `json:"end"`
+	// Lifetime is End−Start+1, precomputed for consumers.
+	Lifetime int64 `json:"lifetime"`
+}
+
+// ConvoyToJSON renders a convoy with the given label lookup; a lookup
+// returning "" falls back to "o<ID>".
+func ConvoyToJSON(c core.Convoy, label func(model.ObjectID) string) ConvoyJSON {
+	out := ConvoyJSON{
+		Objects:  make([]string, len(c.Objects)),
+		Start:    c.Start,
+		End:      c.End,
+		Lifetime: c.Lifetime(),
+	}
+	for i, id := range c.Objects {
+		name := ""
+		if label != nil {
+			name = label(id)
+		}
+		if name == "" {
+			name = fmt.Sprintf("o%d", id)
+		}
+		out.Objects[i] = name
+	}
+	return out
+}
+
+// DBLabels returns a label lookup backed by a database's trajectory labels.
+func DBLabels(db *model.DB) func(model.ObjectID) string {
+	return func(id model.ObjectID) string {
+		if id < 0 || id >= db.Len() {
+			return ""
+		}
+		return db.Traj(id).Label
+	}
+}
+
+// Position is one object's location in a tick batch.
+type Position struct {
+	ID string  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// EdgeJSON is one proximity observation in a tick batch: objects a and b
+// were in contact at the batch's tick with weight w. Edges feed
+// graph-connectivity monitors (clusterer "proxgraph"); geometric monitors
+// ignore them.
+type EdgeJSON struct {
+	A string  `json:"a"`
+	B string  `json:"b"`
+	W float64 `json:"w"`
+}
+
+// TickBatch is the ingestion unit of POST /v1/feeds/{name}/ticks: the
+// snapshot of every tracked object at one tick — positions, proximity
+// edges, or both (a coordinate-free contact feed sends only edges).
+type TickBatch struct {
+	T         model.Tick `json:"t"`
+	Positions []Position `json:"positions"`
+	Edges     []EdgeJSON `json:"edges,omitempty"`
+}
+
+// TicksRequest is the body of POST /v1/feeds/{name}/ticks. Either a single
+// batch or a "ticks" array is accepted.
+type TicksRequest struct {
+	Ticks []TickBatch `json:"ticks"`
+}
+
+// StatsJSON is the wire form of the discovery run statistics.
+type StatsJSON struct {
+	Variant       string  `json:"variant"`
+	Delta         float64 `json:"delta"`
+	Lambda        int64   `json:"lambda"`
+	Workers       int     `json:"workers"`
+	NumPartitions int     `json:"partitions"`
+	NumCandidates int     `json:"candidates"`
+	RefineUnits   float64 `json:"refine_units"`
+	ClusterPasses int64   `json:"cluster_passes"`
+	// ClusterPassesFull / Incremental split the pass count by clustering
+	// mode; ObjectsReclustered meters the incremental path's object-level
+	// work (see core.Stats).
+	ClusterPassesFull        int64   `json:"cluster_passes_full"`
+	ClusterPassesIncremental int64   `json:"cluster_passes_incremental"`
+	ObjectsReclustered       int64   `json:"objects_reclustered"`
+	SimplifyMS               float64 `json:"simplify_ms"`
+	FilterMS                 float64 `json:"filter_ms"`
+	RefineMS                 float64 `json:"refine_ms"`
+	TotalMS                  float64 `json:"total_ms"`
+}
+
+// StatsToJSON converts run statistics to their wire form.
+func StatsToJSON(st core.Stats) StatsJSON {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return StatsJSON{
+		Variant:                  st.Variant.String(),
+		Delta:                    st.Delta,
+		Lambda:                   st.Lambda,
+		Workers:                  st.Workers,
+		NumPartitions:            st.NumPartitions,
+		NumCandidates:            st.NumCandidates,
+		RefineUnits:              st.RefineUnits,
+		ClusterPasses:            st.ClusterPasses,
+		ClusterPassesFull:        st.ClusterPassesFull,
+		ClusterPassesIncremental: st.ClusterPassesIncremental,
+		ObjectsReclustered:       st.ObjectsReclustered,
+		SimplifyMS:               ms(st.SimplifyTime),
+		FilterMS:                 ms(st.FilterTime),
+		RefineMS:                 ms(st.RefineTime),
+		TotalMS:                  ms(st.TotalTime()),
+	}
+}
+
+// Algo names accepted by the query engine and convoyfind.
+const (
+	AlgoCMC      = "cmc"
+	AlgoCuTS     = "cuts"
+	AlgoCuTSPlus = "cuts+"
+	AlgoCuTSStar = "cuts*"
+)
+
+// ParseAlgo resolves an algorithm name ("" defaults to cuts*). cmc reports
+// true in the first return; otherwise the variant is valid.
+func ParseAlgo(name string) (isCMC bool, v core.Variant, err error) {
+	switch strings.ToLower(name) {
+	case AlgoCMC:
+		return true, 0, nil
+	case AlgoCuTS:
+		return false, core.VariantCuTS, nil
+	case AlgoCuTSPlus:
+		return false, core.VariantCuTSPlus, nil
+	case AlgoCuTSStar, "":
+		return false, core.VariantCuTSStar, nil
+	default:
+		return false, 0, fmt.Errorf("unknown algorithm %q (want cmc, cuts, cuts+ or cuts*)", name)
+	}
+}
+
+// ParseClusterer resolves a clustering backend name from the wire ("" and
+// "dbscan" are the built-in default; "proxgraph" is the graph-connectivity
+// backend clustering each tick's proximity edges).
+func ParseClusterer(name string) (core.Clusterer, error) {
+	switch strings.ToLower(name) {
+	case "", core.DefaultBackend:
+		return core.DefaultClusterer, nil
+	case proxgraph.Backend:
+		return proxgraph.Clusterer{}, nil
+	default:
+		return nil, fmt.Errorf("unknown clusterer %q (want %s or %s)", name, core.DefaultBackend, proxgraph.Backend)
+	}
+}
